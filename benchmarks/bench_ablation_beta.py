@@ -1,0 +1,61 @@
+"""Ablation: Meridian's beta parameter (the paper fixes beta = 0.5).
+
+Beta controls "the trade-off between the number of messages sent as part
+of a Meridian query resolution and the accuracy of the result" — larger
+beta widens the probe band and loosens the forwarding criterion, spending
+probes to buy accuracy.  The ablation verifies the trade-off direction on
+a clustered world.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import series_table
+from repro.latency.builder import build_clustered_oracle
+from repro.meridian.overlay import MeridianConfig
+from repro.meridian.simulator import run_meridian_trial
+from repro.topology.clustered import ClusteredConfig
+
+BETAS = (0.25, 0.5, 0.75, 0.9)
+
+
+def sweep():
+    world = build_clustered_oracle(
+        ClusteredConfig(n_clusters=25, end_networks_per_cluster=25, delta=0.2),
+        seed=41,
+    )
+    rows = []
+    for beta in BETAS:
+        trial = run_meridian_trial(
+            world,
+            n_targets=80,
+            n_queries=300,
+            config=MeridianConfig(beta=beta),
+            seed=41,
+        )
+        rows.append(
+            (beta, trial.correct_closest_rate, trial.mean_probes_per_query)
+        )
+    return rows
+
+
+def test_beta_tradeoff(benchmark):
+    rows = run_once(benchmark, sweep)
+    betas = [r[0] for r in rows]
+    accuracy = [r[1] for r in rows]
+    probes = [r[2] for r in rows]
+    print(
+        series_table(
+            "beta",
+            betas,
+            {
+                "P(correct closest)": [f"{v:.3f}" for v in accuracy],
+                "probes/query": [f"{v:.1f}" for v in probes],
+            },
+        )
+    )
+    # Wider beta must cost more probes; accuracy must not degrade much.
+    assert probes[-1] > probes[0]
+    assert accuracy[-1] >= accuracy[0] - 0.05
+    # And no beta rescues Meridian from the clustering condition.
+    assert max(accuracy) < 0.8

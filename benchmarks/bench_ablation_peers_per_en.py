@@ -1,0 +1,54 @@
+"""Ablation: peers per end-network (the paper fixes 2).
+
+More peers per end-network mean more "correct" answers per target, so
+exact-closest discovery gets easier even though the cluster is equally
+opaque — quantifying how much of the paper's difficulty stems from the
+1-mate setup.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import series_table
+from repro.latency.builder import build_clustered_oracle
+from repro.meridian.simulator import run_meridian_trial
+from repro.topology.clustered import ClusteredConfig
+
+PEERS_PER_EN = (1, 2, 4, 8)
+
+
+def sweep():
+    rows = []
+    for peers in PEERS_PER_EN:
+        world = build_clustered_oracle(
+            ClusteredConfig(
+                n_clusters=10,
+                end_networks_per_cluster=50,
+                peers_per_end_network=peers,
+                delta=0.2,
+            ),
+            seed=47,
+        )
+        trial = run_meridian_trial(
+            world, n_targets=80, n_queries=250, seed=47
+        )
+        rows.append((peers, trial.correct_closest_rate, trial.correct_cluster_rate))
+    return rows
+
+
+def test_peers_per_en_effect(benchmark):
+    rows = run_once(benchmark, sweep)
+    peers = [r[0] for r in rows]
+    closest = [r[1] for r in rows]
+    cluster = [r[2] for r in rows]
+    print(
+        series_table(
+            "peers/end-network",
+            peers,
+            {
+                "P(correct closest)": [f"{v:.3f}" for v in closest],
+                "P(correct cluster)": [f"{v:.3f}" for v in cluster],
+            },
+        )
+    )
+    # With one peer per EN there is no same-EN mate at all for most targets
+    # (their EN-mates are targets too); more peers per EN -> easier exact hits.
+    assert closest[-1] > closest[0]

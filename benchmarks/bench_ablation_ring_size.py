@@ -1,0 +1,62 @@
+"""Ablation: nodes per ring (the paper fixes 16).
+
+Ring capacity bounds the in-cluster candidates a query can probe, which is
+exactly the brute-force budget once the clustering condition bites: success
+scales with ring size (the Section 2 lower-bound's budget term) while probe
+cost grows alongside.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import series_table
+from repro.core.lowerbound import success_probability_with_budget
+from repro.latency.builder import build_clustered_oracle
+from repro.meridian.overlay import MeridianConfig
+from repro.meridian.simulator import run_meridian_trial
+from repro.topology.clustered import ClusteredConfig
+
+RING_SIZES = (4, 8, 16, 32)
+END_NETWORKS = 60
+
+
+def sweep():
+    world = build_clustered_oracle(
+        ClusteredConfig(
+            n_clusters=10, end_networks_per_cluster=END_NETWORKS, delta=0.2
+        ),
+        seed=43,
+    )
+    rows = []
+    for ring_size in RING_SIZES:
+        config = MeridianConfig(
+            ring_size=ring_size, candidate_pool=max(48, 2 * ring_size)
+        )
+        trial = run_meridian_trial(
+            world, n_targets=80, n_queries=300, config=config, seed=43
+        )
+        rows.append((ring_size, trial.correct_closest_rate))
+    return rows
+
+
+def test_ring_size_budget_effect(benchmark):
+    rows = run_once(benchmark, sweep)
+    sizes = [r[0] for r in rows]
+    accuracy = [r[1] for r in rows]
+    bound = [
+        success_probability_with_budget(END_NETWORKS, k) for k in sizes
+    ]
+    print(
+        series_table(
+            "ring size",
+            sizes,
+            {
+                "P(correct closest)": [f"{v:.3f}" for v in accuracy],
+                "budget bound": [f"{v:.3f}" for v in bound],
+            },
+        )
+    )
+    # Bigger rings help (more in-cluster budget)...
+    assert accuracy[-1] > accuracy[0]
+    # ...but success stays below the analytic in-cluster budget ceiling
+    # (the query must also *enter* the right cluster and know the mate).
+    for measured, ceiling in zip(accuracy, bound):
+        assert measured <= ceiling + 0.1

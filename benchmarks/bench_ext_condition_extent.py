@@ -1,0 +1,10 @@
+"""Benchmark: the future-work extension (true extent of the condition)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import ext_condition_extent
+
+
+def test_condition_extent(benchmark, scale):
+    result = run_once(benchmark, ext_condition_extent.run, scale)
+    assert_shapes(result)
+    print(result.render())

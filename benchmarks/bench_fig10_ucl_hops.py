@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 10 (UCL hop-length vs latency)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import fig10_ucl_hops
+
+
+def test_fig10(benchmark, scale):
+    result = run_once(benchmark, fig10_ucl_hops.run, scale)
+    assert_shapes(result)
+    assert result.n_pairs > 100
+    print(result.render())

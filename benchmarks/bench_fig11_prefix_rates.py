@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 11 (prefix heuristic error rates)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import fig11_prefix_rates
+
+
+def test_fig11(benchmark, scale):
+    result = run_once(benchmark, fig11_prefix_rates.run, scale)
+    assert_shapes(result)
+    print(result.render())

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 3 (prediction-measure CDF)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import fig3_prediction_cdf
+
+
+def test_fig3(benchmark, scale):
+    result = run_once(benchmark, fig3_prediction_cdf.run, scale)
+    assert_shapes(result)
+    assert result.n_pairs > 500
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4 (prediction measure vs predicted latency)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import fig4_prediction_bins
+
+
+def test_fig4(benchmark, scale):
+    result = run_once(benchmark, fig4_prediction_bins.run, scale)
+    assert_shapes(result)
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 5 (intra- vs inter-domain latency CDFs)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import fig5_intra_inter
+
+
+def test_fig5(benchmark, scale):
+    result = run_once(benchmark, fig5_intra_inter.run, scale)
+    assert_shapes(result)
+    print(result.render())

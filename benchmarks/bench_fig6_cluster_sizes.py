@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 (cluster-size distributions)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import fig6_cluster_sizes
+
+
+def test_fig6(benchmark, scale):
+    result = run_once(benchmark, fig6_cluster_sizes.run, scale)
+    assert_shapes(result)
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7 (top-5 cluster hub-latency CDFs)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import fig7_intra_cluster
+
+
+def test_fig7(benchmark, scale):
+    result = run_once(benchmark, fig7_intra_cluster.run, scale)
+    assert_shapes(result)
+    print(result.render())

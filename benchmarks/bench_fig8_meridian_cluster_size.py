@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 8 (Meridian accuracy vs cluster size).
+
+The heavyweight experiment: five cluster sizes x two ~2,500-peer worlds x
+hundreds of queries each.
+"""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import fig8_meridian_cluster_size
+
+
+def test_fig8(benchmark, scale):
+    result = run_once(benchmark, fig8_meridian_cluster_size.run, scale)
+    assert_shapes(result)
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 9 (Meridian accuracy vs delta)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import fig9_meridian_delta
+
+
+def test_fig9(benchmark, scale):
+    result = run_once(benchmark, fig9_meridian_delta.run, scale)
+    assert_shapes(result)
+    print(result.render())

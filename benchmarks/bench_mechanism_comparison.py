@@ -1,0 +1,72 @@
+"""Head-to-head: the Section 5 mechanisms vs the latency-only fallback.
+
+"We suggest different possible approaches to tackle this issue ... and show
+using a preliminary evaluation that one of these [UCL] is very promising."
+This benchmark joins a peer population through the full cascade and
+attributes every successful same-network discovery to the stage that found
+it, with a Meridian-only control group.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import format_table
+from repro.core.finder import NearestPeerFinder
+from repro.topology.internet import InternetConfig, SyntheticInternet
+
+
+def run_comparison():
+    internet = SyntheticInternet.generate(
+        InternetConfig(
+            n_isps=4,
+            pops_per_isp_low=2,
+            pops_per_isp_high=4,
+            en_per_pop_low=10,
+            en_per_pop_high=40,
+            mean_peers_per_campus_en=2.0,
+        ),
+        seed=61,
+    )
+    rng = np.random.default_rng(61)
+    peers = np.array(internet.peer_ids)
+    targets = rng.choice(peers, size=40, replace=False)
+    target_set = set(int(t) for t in targets)
+    members = [int(p) for p in peers if int(p) not in target_set]
+
+    configurations = {
+        "ucl-only": ("ucl",),
+        "prefix-only": ("prefix",),
+        "multicast+registry": ("multicast", "registry"),
+        "full cascade": ("multicast", "registry", "ucl", "prefix"),
+        "latency-only (fallback)": (),
+    }
+    rows = []
+    for label, mechanisms in configurations.items():
+        finder = NearestPeerFinder(internet, mechanisms=mechanisms, seed=61)
+        finder.join_all(members[:250])
+        exact = near = 0
+        stages = {}
+        for target in targets:
+            result = finder.find(int(target))
+            truth, truth_latency = finder.true_nearest(int(target))
+            if result.found is not None:
+                found_latency = internet.route(int(target), result.found).latency_ms
+                exact += found_latency <= truth_latency + 1e-9
+                near += found_latency <= max(2 * truth_latency, truth_latency + 1.0)
+            stages[result.stage] = stages.get(result.stage, 0) + 1
+        dominant = max(stages, key=stages.get)
+        rows.append([label, exact / len(targets), near / len(targets), dominant])
+    return rows
+
+
+def test_mechanism_comparison(benchmark):
+    rows = run_once(benchmark, run_comparison)
+    print(
+        format_table(
+            ["configuration", "exact rate", "near rate", "dominant stage"], rows
+        )
+    )
+    by_label = {r[0]: r for r in rows}
+    # The paper's conclusion: the UCL mechanism dominates latency-only search.
+    assert by_label["ucl-only"][1] > by_label["latency-only (fallback)"][1]
+    assert by_label["full cascade"][1] >= by_label["ucl-only"][1] - 0.1

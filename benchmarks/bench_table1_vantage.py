@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (vantage points + spread verification)."""
+
+from benchmarks.conftest import assert_shapes, run_once
+from repro.experiments import table1_vantage
+
+
+def test_table1(benchmark, scale):
+    result = run_once(benchmark, table1_vantage.run, scale)
+    assert_shapes(result)
+    print(result.render())

@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and asserts
+its shape checks, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction harness.  Experiments are multi-second affairs; benchmarks run
+them once (``pedantic`` with one round) and time that single execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """Default (reduced, trend-preserving) experiment scale."""
+    return ExperimentScale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one execution of an experiment driver."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def assert_shapes(result) -> None:
+    """Fail the benchmark if any of the paper's qualitative claims breaks."""
+    for check in result.shape_checks():
+        assert check.evaluate(), f"{check.experiment}: {check.claim}"

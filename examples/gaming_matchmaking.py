@@ -1,0 +1,118 @@
+"""Matchmaking for a latency-sensitive P2P game.
+
+The paper's motivating example: "In first person shooter games ... an
+increase of latency from 20 to 40 milliseconds noticeably degrades
+user-perceived performance", and many P2P games "only work with the high
+bandwidths and low latencies seen over LANs".
+
+Scenario: gamers come online one by one and need an opponent.  We compare
+two matchmakers over the same synthetic Internet:
+
+* **latency-only** — Meridian over measured RTTs (the state of the art the
+  paper critiques);
+* **hint-assisted** — the library's NearestPeerFinder cascade (multicast +
+  registry + UCL + prefix with a Meridian fallback).
+
+Reported: how often each matchmaker produces a LAN-grade (<1 ms) and a
+playable (<20 ms) match, plus the opportunity cost versus ground truth.
+
+Run:  python examples/gaming_matchmaking.py
+"""
+
+import numpy as np
+
+from repro import NearestPeerFinder, SyntheticInternet
+from repro.algorithms import MeridianSearch
+from repro.core.opportunity import opportunity_cost
+from repro.topology.internet import InternetConfig
+
+LAN_GRADE_MS = 1.0
+PLAYABLE_MS = 20.0
+
+
+def build_world() -> tuple[SyntheticInternet, list[int], list[int]]:
+    internet = SyntheticInternet.generate(
+        InternetConfig(
+            n_isps=4,
+            pops_per_isp_low=3,
+            pops_per_isp_high=5,
+            en_per_pop_low=12,
+            en_per_pop_high=48,
+            mean_peers_per_campus_en=2.2,
+        ),
+        seed=2008,
+    )
+    rng = np.random.default_rng(2008)
+    gamers = np.array(internet.peer_ids)
+    arrivals = rng.choice(gamers, size=50, replace=False)
+    arrival_set = set(int(a) for a in arrivals)
+    lobby = [int(g) for g in gamers if int(g) not in arrival_set]
+    return internet, lobby, [int(a) for a in arrivals]
+
+
+def match_quality(internet, pairs):
+    latencies = [internet.route(a, b).latency_ms for a, b in pairs if b is not None]
+    lan = np.mean([lat <= LAN_GRADE_MS for lat in latencies])
+    playable = np.mean([lat <= PLAYABLE_MS for lat in latencies])
+    return latencies, lan, playable
+
+
+def main() -> None:
+    internet, lobby, arrivals = build_world()
+    print(f"world: {internet.describe()}")
+    print(f"lobby of {len(lobby)} gamers; {len(arrivals)} arrivals to match\n")
+
+    # Ground truth for the opportunity-cost accounting.
+    def true_nearest(target):
+        return min(
+            (internet.route(target, other).latency_ms for other in lobby),
+        )
+
+    truths = [true_nearest(a) for a in arrivals]
+
+    # Matchmaker A: latency-only Meridian.
+    meridian = MeridianSearch()
+    meridian.build(internet, np.array(lobby), seed=1)
+    meridian_pairs = [
+        (a, meridian.query(a, seed=a).found) for a in arrivals
+    ]
+    m_lat, m_lan, m_play = match_quality(internet, meridian_pairs)
+
+    # Matchmaker B: the full hint cascade.
+    finder = NearestPeerFinder(internet, seed=1)
+    finder.join_all(lobby)
+    cascade_pairs = []
+    stages = {}
+    for a in arrivals:
+        result = finder.find(a)
+        cascade_pairs.append((a, result.found))
+        stages[result.stage] = stages.get(result.stage, 0) + 1
+    c_lat, c_lan, c_play = match_quality(internet, cascade_pairs)
+
+    print(f"{'matchmaker':24s} {'LAN-grade':>10s} {'playable':>10s} {'median ms':>10s}")
+    print(
+        f"{'meridian (latency-only)':24s} {m_lan:>10.0%} {m_play:>10.0%} "
+        f"{np.median(m_lat):>10.2f}"
+    )
+    print(
+        f"{'hint cascade':24s} {c_lan:>10.0%} {c_play:>10.0%} "
+        f"{np.median(c_lat):>10.2f}"
+    )
+    print(f"\ncascade stages used: {stages}")
+
+    cost_m = opportunity_cost(m_lat, truths)
+    cost_c = opportunity_cost(c_lat, truths)
+    print(
+        f"\nopportunity cost (found/true latency, p90): "
+        f"meridian {cost_m.p90_latency_ratio:.0f}x, "
+        f"cascade {cost_c.p90_latency_ratio:.0f}x; "
+        f"exact-match rate {cost_m.exact_rate:.0%} vs {cost_c.exact_rate:.0%}"
+    )
+    print(
+        "=> whenever a LAN-mate exists, the latency-only matchmaker misses "
+        "it by orders of magnitude; topology hints recover it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""The common interface all nearest-peer algorithms implement."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.oracle import LatencyOracle
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one nearest-peer search.
+
+    ``probes`` counts latency measurements involving the target — the
+    paper's cost metric ("this translates to a lower bound on the number of
+    latency probes performed").  ``aux_probes`` counts other measurements
+    the query triggered (e.g. beacon-to-beacon).
+    """
+
+    target: int
+    found: int
+    found_latency_ms: float
+    probes: int
+    aux_probes: int = 0
+    hops: int = 0
+    path: list[int] = field(default_factory=list)
+
+
+class NearestPeerAlgorithm(abc.ABC):
+    """A nearest-peer search scheme over a fixed member population.
+
+    Lifecycle: construct with parameters, :meth:`build` once over the member
+    set (this may take offline measurements — ring construction, coordinate
+    embedding, hierarchy building), then :meth:`query` many times.  Queries
+    must only learn about the target through ``self.probe`` so the probe
+    accounting is honest.
+    """
+
+    #: Human-readable scheme name (class attribute).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._oracle: LatencyOracle | None = None
+        self._probe_oracle: LatencyOracle | None = None
+        self._members: np.ndarray | None = None
+        self._probe_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def build(
+        self,
+        oracle: LatencyOracle,
+        member_ids: np.ndarray | list[int],
+        seed: int | np.random.Generator | None = None,
+        probe_oracle: LatencyOracle | None = None,
+    ) -> None:
+        """Index the member population (may probe freely: offline phase).
+
+        ``probe_oracle`` supplies *query-time* measurements; pass a
+        :class:`~repro.topology.oracle.NoisyOracle` to model the fact that
+        real probes cannot resolve sub-millisecond differences — the honest
+        setting for comparing schemes under the clustering condition
+        (beacon triangulation, for one, is unrealistically sharp on exact
+        latencies).
+        """
+        self._oracle = oracle
+        self._probe_oracle = probe_oracle or oracle
+        self._members = np.asarray(member_ids, dtype=int)
+        self._build(make_rng(seed))
+
+    @abc.abstractmethod
+    def _build(self, rng: np.random.Generator) -> None:
+        """Subclass hook: construct internal structures."""
+
+    def query(
+        self,
+        target: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> SearchResult:
+        """Find the nearest member to ``target`` (not itself a member)."""
+        if self._oracle is None or self._members is None:
+            raise ConfigurationError(f"{self.name}: query() before build()")
+        self._probe_count = 0
+        rng = make_rng(seed)
+        result = self._query(int(target), rng)
+        result.probes = self._probe_count
+        return result
+
+    @abc.abstractmethod
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        """Subclass hook: the actual search."""
+
+    # -- probing --------------------------------------------------------------
+
+    @property
+    def members(self) -> np.ndarray:
+        if self._members is None:
+            raise ConfigurationError(f"{self.name}: not built yet")
+        return self._members
+
+    @property
+    def oracle(self) -> LatencyOracle:
+        if self._oracle is None:
+            raise ConfigurationError(f"{self.name}: not built yet")
+        return self._oracle
+
+    def probe(self, node: int, target: int) -> float:
+        """Measure RTT between a member and the target (counted, noisy)."""
+        self._probe_count += 1
+        assert self._probe_oracle is not None
+        return self._probe_oracle.latency_ms(node, target)
+
+    def offline_distances_from(self, node: int) -> np.ndarray:
+        """RTTs from ``node`` to every member, for *build-time* use only.
+
+        Uses the dense fast path when the oracle exposes one.  Not counted
+        as query probes — index construction is the offline phase.
+        """
+        oracle = self.oracle
+        if hasattr(oracle, "latencies_from"):
+            return oracle.latencies_from(int(node))[self.members]
+        return np.array(
+            [oracle.latency_ms(int(node), int(m)) for m in self.members]
+        )
+
+    def result(
+        self,
+        target: int,
+        measured: dict[int, float],
+        hops: int = 0,
+        path: list[int] | None = None,
+    ) -> SearchResult:
+        """Build a result from the probe log (found = argmin)."""
+        if not measured:
+            raise ConfigurationError(f"{self.name}: query probed nothing")
+        found = min(measured, key=measured.get)
+        return SearchResult(
+            target=target,
+            found=found,
+            found_latency_ms=measured[found],
+            probes=self._probe_count,
+            hops=hops,
+            path=path or [],
+        )

@@ -1,0 +1,75 @@
+"""Beacon-based nearest-peer search (Kommareddy et al., ICNP 2001).
+
+A fixed set of beacon servers tracks its latency to every member offline.
+A query measures the target against every beacon; each beacon returns the
+members whose recorded latency is within a tolerance band of the target's,
+and the candidates are ranked by the Hotz metric (the triangulation lower
+bound ``max_b |d(b, t) - d(b, m)|``) before a bounded probing pass.
+
+Under the clustering condition "most peers in the same cluster but
+different end-networks [have] almost identical latencies to all the beacon
+servers ... all such peers are impossible to tell apart" — the candidate
+sets blow up to the whole cluster and the probe budget decides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.util.validate import require_positive
+
+
+class BeaconSearch(NearestPeerAlgorithm):
+    """Triangulation from a fixed beacon set."""
+
+    name = "beaconing"
+
+    def __init__(
+        self,
+        n_beacons: int = 10,
+        band_fraction: float = 0.15,
+        probe_budget: int = 16,
+    ) -> None:
+        super().__init__()
+        require_positive(n_beacons, "n_beacons")
+        self._n_beacons = n_beacons
+        self._band_fraction = band_fraction
+        self._probe_budget = probe_budget
+        self._beacons: np.ndarray | None = None
+        self._beacon_to_member: np.ndarray | None = None  # (B, N)
+
+    def _build(self, rng: np.random.Generator) -> None:
+        members = self.members
+        count = min(self._n_beacons, members.size)
+        self._beacons = rng.choice(members, size=count, replace=False)
+        self._beacon_to_member = np.stack(
+            [self.offline_distances_from(int(b)) for b in self._beacons]
+        )
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        assert self._beacons is not None and self._beacon_to_member is not None
+        members = self.members
+        target_to_beacons = np.array(
+            [self.probe(int(b), target) for b in self._beacons]
+        )
+        # Hotz lower bound per member, and per-beacon band membership.
+        gaps = np.abs(self._beacon_to_member - target_to_beacons[:, None])
+        hotz = gaps.max(axis=0)
+        bands = gaps <= self._band_fraction * np.maximum(
+            target_to_beacons[:, None], 1e-3
+        )
+        in_any_band = bands.any(axis=0)
+        candidate_rows = np.flatnonzero(in_any_band)
+        if candidate_rows.size == 0:
+            candidate_rows = np.arange(members.size)
+        ranked = candidate_rows[np.argsort(hotz[candidate_rows])]
+        measured: dict[int, float] = {}
+        for row in ranked[: self._probe_budget]:
+            member = int(members[row])
+            if member != target:
+                measured[member] = self.probe(member, target)
+        if not measured:  # degenerate: every candidate was the target
+            fallback = int(rng.choice(members[members != target]))
+            measured[fallback] = self.probe(fallback, target)
+        return self.result(target, measured, hops=1)

@@ -1,0 +1,88 @@
+"""Karger-Ruhl style distance-based sampling (STOC 2002).
+
+Each member keeps, for every distance scale ``2^i``, a bounded sample of
+other members inside the ball of that radius.  A nearest-neighbour query
+repeatedly asks the current node for its samples at the scale of the
+current distance to the target, probes them, and moves to any member that
+halves the distance.  In growth-restricted metrics each such round succeeds
+with constant probability; under the clustering condition the ball at the
+cluster scale contains a constant fraction of the whole cluster, so the
+"halving" step stalls exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.util.validate import require_positive
+
+
+class KargerRuhlSearch(NearestPeerAlgorithm):
+    """Metric-sampling nearest-neighbour search."""
+
+    name = "karger-ruhl"
+
+    def __init__(
+        self,
+        samples_per_scale: int = 8,
+        min_scale_ms: float = 0.05,
+        max_scale_ms: float = 512.0,
+        max_rounds: int = 48,
+    ) -> None:
+        super().__init__()
+        require_positive(samples_per_scale, "samples_per_scale")
+        self._samples_per_scale = samples_per_scale
+        self._min_scale_ms = min_scale_ms
+        self._max_scale_ms = max_scale_ms
+        self._max_rounds = max_rounds
+        self._scales: list[float] = []
+        # member -> scale index -> sampled member ids
+        self._samples: dict[int, list[np.ndarray]] = {}
+
+    def _scale_index(self, distance_ms: float) -> int:
+        clamped = min(max(distance_ms, self._min_scale_ms), self._max_scale_ms)
+        return int(
+            round(math.log2(clamped / self._min_scale_ms))
+        )
+
+    def _build(self, rng: np.random.Generator) -> None:
+        n_scales = self._scale_index(self._max_scale_ms) + 1
+        self._scales = [self._min_scale_ms * 2**i for i in range(n_scales)]
+        members = self.members
+        self._samples = {}
+        for node in members:
+            node = int(node)
+            per_scale: list[np.ndarray] = []
+            distances = self.offline_distances_from(node)
+            for radius in self._scales:
+                inside = members[(distances <= radius) & (members != node)]
+                if inside.size > self._samples_per_scale:
+                    inside = rng.choice(
+                        inside, size=self._samples_per_scale, replace=False
+                    )
+                per_scale.append(inside)
+            self._samples[node] = per_scale
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        current = int(rng.choice(self.members))
+        measured = {current: self.probe(current, target)}
+        path = [current]
+        for _ in range(self._max_rounds):
+            d = measured[current]
+            scale = self._scale_index(2.0 * d)
+            candidates = self._samples[current][min(scale, len(self._scales) - 1)]
+            for member in candidates:
+                member = int(member)
+                if member not in measured and member != target:
+                    measured[member] = self.probe(member, target)
+            best = min(measured, key=measured.get)
+            # Move only on a halving, the Karger-Ruhl progress criterion.
+            if measured[best] <= d / 2.0 and best != current:
+                current = best
+                path.append(current)
+            else:
+                break
+        return self.result(target, measured, hops=len(path) - 1, path=path)

@@ -1,0 +1,53 @@
+"""Meridian behind the common search interface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.meridian.overlay import MeridianConfig, MeridianOverlay
+from repro.meridian.query import closest_node_query
+
+
+class MeridianSearch(NearestPeerAlgorithm):
+    """Adapter: build a Meridian overlay, answer queries with it."""
+
+    name = "meridian"
+
+    def __init__(self, config: MeridianConfig | None = None) -> None:
+        super().__init__()
+        self._config = config or MeridianConfig()
+        self._overlay: MeridianOverlay | None = None
+
+    def _build(self, rng: np.random.Generator) -> None:
+        self._overlay = MeridianOverlay.build(
+            self.oracle, self.members, config=self._config, seed=rng
+        )
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        assert self._overlay is not None
+        outcome = closest_node_query(
+            self._overlay, _CountingProxy(self), target, seed=rng
+        )
+        return SearchResult(
+            target=target,
+            found=outcome.found,
+            found_latency_ms=outcome.found_latency_ms,
+            probes=0,  # replaced by the base class from the counter
+            hops=outcome.hops,
+            path=outcome.path,
+        )
+
+
+class _CountingProxy:
+    """LatencyOracle view that routes probes through the algorithm counter."""
+
+    def __init__(self, algorithm: MeridianSearch) -> None:
+        self._algorithm = algorithm
+
+    @property
+    def n_nodes(self) -> int:
+        return self._algorithm.oracle.n_nodes
+
+    def latency_ms(self, a: int, b: int) -> float:
+        return self._algorithm.probe(a, b)

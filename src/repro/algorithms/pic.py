@@ -1,0 +1,164 @@
+"""Coordinate-driven nearest-peer search: PIC and a Vivaldi variant.
+
+PIC (Costa et al., ICDCS 2004): every peer carries a Euclidean coordinate;
+a joining node computes its own coordinate from probes to a few members,
+then launches multiple greedy walks — each hop moves to the neighbour whose
+*coordinates* are closest to the target's coordinates — and finally probes
+the walks' end candidates to pick the answer.
+
+``PicSearch`` embeds with GNP-style landmarks (PIC's fixed-landmark
+variant); ``VivaldiGreedySearch`` reuses the same machinery over Vivaldi
+coordinates.  Under the clustering condition the embedding collapses every
+cluster to "almost the same coordinates", so the greedy walks cannot find
+the right end-network — the failure mode of Section 2.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.coords.gnp import GnpConfig, GnpEmbedding
+from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
+from repro.util.validate import require_positive
+
+
+class _CoordinateGreedyBase(NearestPeerAlgorithm):
+    """Shared machinery: neighbour graph + greedy walks + final probing."""
+
+    def __init__(
+        self,
+        neighbors_per_node: int = 16,
+        n_walks: int = 4,
+        placement_probes: int = 12,
+        final_probe_count: int = 8,
+        max_steps: int = 64,
+    ) -> None:
+        super().__init__()
+        require_positive(neighbors_per_node, "neighbors_per_node")
+        require_positive(n_walks, "n_walks")
+        self._neighbors_per_node = neighbors_per_node
+        self._n_walks = n_walks
+        self._placement_probes = placement_probes
+        self._final_probe_count = final_probe_count
+        self._max_steps = max_steps
+        self._neighbors: dict[int, np.ndarray] = {}
+        self._positions: dict[int, np.ndarray] = {}
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _embed_members(self, rng: np.random.Generator) -> dict[int, np.ndarray]:
+        raise NotImplementedError
+
+    def _place_target(
+        self, target: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- shared build/query -----------------------------------------------------
+
+    def _build(self, rng: np.random.Generator) -> None:
+        self._positions = self._embed_members(rng)
+        members = self.members
+        for node in members:
+            node = int(node)
+            others = members[members != node]
+            count = min(self._neighbors_per_node, others.size)
+            self._neighbors[node] = rng.choice(others, size=count, replace=False)
+
+    def _coordinate_distance(self, node: int, point: np.ndarray) -> float:
+        return float(np.linalg.norm(self._positions[int(node)] - point))
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        target_position = self._place_target(target, rng)
+        visited: set[int] = set()
+        end_candidates: dict[int, float] = {}  # node -> coord distance
+        hops = 0
+        for _ in range(self._n_walks):
+            current = int(rng.choice(self.members))
+            current_cd = self._coordinate_distance(current, target_position)
+            for _ in range(self._max_steps):
+                visited.add(current)
+                neighbour_cds = {
+                    int(nb): self._coordinate_distance(int(nb), target_position)
+                    for nb in self._neighbors[current]
+                }
+                best = min(neighbour_cds, key=neighbour_cds.get)
+                if neighbour_cds[best] >= current_cd:
+                    break
+                current, current_cd = best, neighbour_cds[best]
+                hops += 1
+            end_candidates[current] = current_cd
+        # Probe the best few candidates by coordinate distance (actual
+        # latency measurements happen only here and at placement).
+        ranked = sorted(end_candidates, key=end_candidates.get)
+        measured: dict[int, float] = {}
+        for node in ranked[: self._final_probe_count]:
+            if node != target:
+                measured[node] = self.probe(node, target)
+        return self.result(target, measured, hops=hops, path=ranked)
+
+
+class PicSearch(_CoordinateGreedyBase):
+    """PIC: landmark (GNP-style) embedding + greedy walks."""
+
+    name = "pic"
+
+    def __init__(self, gnp_config: GnpConfig | None = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._gnp_config = gnp_config or GnpConfig()
+        self._embedding: GnpEmbedding | None = None
+
+    def _embed_members(self, rng: np.random.Generator) -> dict[int, np.ndarray]:
+        self._embedding = GnpEmbedding.build(
+            self.oracle, self.members, config=self._gnp_config, seed=rng
+        )
+        return {int(m): self._embedding.position(int(m)) for m in self.members}
+
+    def _place_target(self, target: int, rng: np.random.Generator) -> np.ndarray:
+        assert self._embedding is not None
+        rtts = np.array(
+            [
+                self.probe(int(lm), target)
+                for lm in self._embedding.landmark_ids
+            ]
+        )
+        return self._embedding.place_external(rtts)
+
+
+class VivaldiGreedySearch(_CoordinateGreedyBase):
+    """Vivaldi coordinates + greedy walks."""
+
+    name = "vivaldi-greedy"
+
+    def __init__(
+        self,
+        vivaldi_config: VivaldiConfig | None = None,
+        vivaldi_rounds: int = 24,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self._vivaldi_config = vivaldi_config or VivaldiConfig(use_height=False)
+        self._vivaldi_rounds = vivaldi_rounds
+        self._system: VivaldiSystem | None = None
+
+    def _embed_members(self, rng: np.random.Generator) -> dict[int, np.ndarray]:
+        self._system = VivaldiSystem(
+            self.members, config=self._vivaldi_config, seed=rng
+        )
+        self._system.run(self.oracle, rounds=self._vivaldi_rounds)
+        return {
+            int(m): self._system.positions[i].copy()
+            for i, m in enumerate(self.members)
+        }
+
+    def _place_target(self, target: int, rng: np.random.Generator) -> np.ndarray:
+        assert self._system is not None
+        anchors = rng.choice(
+            self.members,
+            size=min(self._placement_probes, self.members.size),
+            replace=False,
+        )
+        rtts = {int(a): self.probe(int(a), target) for a in anchors}
+        position, _height = self._system.place_external(rtts)
+        return position

@@ -1,0 +1,35 @@
+"""Brute-force random probing: the baseline every scheme must beat.
+
+Probes ``budget`` uniformly random members and returns the closest.  Under
+the clustering condition the *informed* algorithms converge to exactly this
+behaviour once the query enters the cluster — which is the paper's thesis —
+so this baseline calibrates how much (or little) their intelligence buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.util.validate import require_positive
+
+
+class RandomProbeSearch(NearestPeerAlgorithm):
+    """Uniform random probing with a fixed budget."""
+
+    name = "random-probe"
+
+    def __init__(self, budget: int = 32) -> None:
+        super().__init__()
+        require_positive(budget, "budget")
+        self._budget = budget
+
+    def _build(self, rng: np.random.Generator) -> None:
+        pass  # nothing to index
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        members = self.members[self.members != target]
+        count = min(self._budget, members.size)
+        picks = rng.choice(members, size=count, replace=False)
+        measured = {int(m): self.probe(int(m), target) for m in picks}
+        return self.result(target, measured, hops=0)

@@ -1,0 +1,115 @@
+"""Tapestry-style identifier-based sampling with proximity neighbour selection.
+
+Each member gets a random hex identifier.  Level ``l`` of a node's routing
+table holds, for each hex digit, the latency-closest members whose ids share
+an ``l``-digit prefix with the node — built top-down as in Hildrum et al.'s
+construction, assuming a growth-restricted metric.  The nearest-neighbour
+search walks down the levels, at each level probing the current candidate
+set and keeping the closest; in a growth-restricted space the candidate at
+the last level is the true nearest neighbour.
+
+Under the clustering condition the level structure is uninformative: the
+cluster's peers are spread uniformly over identifier space, so the search's
+per-level candidate sets are effectively random cluster samples — the paper:
+"the only way the new peer would select the correct peer is by first picking
+as its neighbor a peer that has the desired peer as a neighbor in the
+appropriate level, and the likelihood of this latter event ... is small".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.util.validate import require_positive
+
+_HEX_DIGITS = 16
+
+
+class TapestrySearch(NearestPeerAlgorithm):
+    """Prefix-routing nearest-neighbour search."""
+
+    name = "tapestry"
+
+    def __init__(
+        self,
+        id_digits: int = 8,
+        neighbors_per_entry: int = 3,
+        probe_budget_per_level: int = 16,
+    ) -> None:
+        super().__init__()
+        require_positive(id_digits, "id_digits")
+        self._id_digits = id_digits
+        self._neighbors_per_entry = neighbors_per_entry
+        self._probe_budget_per_level = probe_budget_per_level
+        self._ids: dict[int, tuple[int, ...]] = {}
+        # node -> level -> list of neighbour member ids (all digits merged)
+        self._tables: dict[int, list[np.ndarray]] = {}
+
+    def _shared_prefix(self, a: tuple[int, ...], b: tuple[int, ...]) -> int:
+        shared = 0
+        for da, db in zip(a, b):
+            if da != db:
+                break
+            shared += 1
+        return shared
+
+    def _build(self, rng: np.random.Generator) -> None:
+        members = self.members
+        self._ids = {
+            int(m): tuple(rng.integers(0, _HEX_DIGITS, size=self._id_digits))
+            for m in members
+        }
+        self._tables = {}
+        for node in members:
+            node = int(node)
+            distances = self.offline_distances_from(node)
+            node_id = self._ids[node]
+            levels: list[np.ndarray] = []
+            for level in range(self._id_digits):
+                # Members sharing an `level`-digit prefix, grouped by their
+                # next digit; keep the latency-closest few per digit (PNS).
+                chosen: list[int] = []
+                for digit in range(_HEX_DIGITS):
+                    eligible = [
+                        i
+                        for i, m in enumerate(members)
+                        if int(m) != node
+                        and self._shared_prefix(node_id, self._ids[int(m)]) >= level
+                        and self._ids[int(m)][level] == digit
+                    ]
+                    if not eligible:
+                        continue
+                    eligible.sort(key=lambda i: distances[i])
+                    chosen.extend(
+                        int(members[i])
+                        for i in eligible[: self._neighbors_per_entry]
+                    )
+                levels.append(np.asarray(chosen, dtype=int))
+                if not chosen:
+                    break
+            self._tables[node] = levels
+        self._members_by_prefix_built = True
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        current = int(rng.choice(self.members))
+        measured = {current: self.probe(current, target)}
+        path = [current]
+        for level in range(self._id_digits):
+            table = self._tables[current]
+            if level >= len(table) or table[level].size == 0:
+                break
+            candidates = table[level]
+            if candidates.size > self._probe_budget_per_level:
+                candidates = rng.choice(
+                    candidates, size=self._probe_budget_per_level, replace=False
+                )
+            for member in candidates:
+                member = int(member)
+                if member not in measured and member != target:
+                    measured[member] = self.probe(member, target)
+            best = min(measured, key=measured.get)
+            if best != current:
+                current = best
+                path.append(current)
+        return self.result(target, measured, hops=len(path) - 1, path=path)

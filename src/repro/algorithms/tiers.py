@@ -1,0 +1,120 @@
+"""Tiers-style hierarchical nearest-peer search (Banerjee et al., 2002).
+
+A proximity hierarchy: level 0 holds all members grouped into latency-based
+clusters; each cluster elects its representative into the level above; the
+top level is a single cluster.  A query starts at the top, probes the
+members of the current cluster, picks the closest, and descends into that
+member's cluster one level down — "the nearest peer in the [lowest-level]
+cluster is chosen as the nearest peer overall".
+
+Clusters are formed by greedy leader election (farthest-point leaders,
+members join the nearest leader), the standard Tiers construction.  Under
+the clustering condition the descent "essentially reduces to random choices
+at each step" because sibling representatives are equidistant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.util.validate import require_positive
+
+
+@dataclass
+class _Level:
+    """One level of the hierarchy."""
+
+    # cluster id -> member node ids at this level
+    clusters: dict[int, np.ndarray] = field(default_factory=dict)
+    # representative node id -> cluster id it represents (one level down)
+    represents: dict[int, int] = field(default_factory=dict)
+
+
+class TiersSearch(NearestPeerAlgorithm):
+    """Hierarchical cluster descent."""
+
+    name = "tiers"
+
+    def __init__(self, branching: int = 12, max_levels: int = 12) -> None:
+        super().__init__()
+        require_positive(branching, "branching")
+        self._branching = branching
+        self._max_levels = max_levels
+        self._levels: list[_Level] = []
+
+    def _cluster_nodes(
+        self, nodes: np.ndarray, rng: np.random.Generator
+    ) -> dict[int, np.ndarray]:
+        """Greedy leader election + nearest-leader assignment."""
+        n_clusters = max(1, int(np.ceil(nodes.size / self._branching)))
+        if n_clusters == 1:
+            return {0: nodes}
+        # Farthest-point leader selection over build-time distances.
+        leaders = [int(rng.choice(nodes))]
+        leader_distances = [self.offline_distances_from(leaders[0])]
+        node_index = {int(m): i for i, m in enumerate(self.members)}
+        rows = np.array([node_index[int(n)] for n in nodes])
+        while len(leaders) < n_clusters:
+            min_dist = np.min(
+                np.stack([d[rows] for d in leader_distances]), axis=0
+            )
+            next_leader = int(nodes[int(np.argmax(min_dist))])
+            if next_leader in leaders:
+                break
+            leaders.append(next_leader)
+            leader_distances.append(self.offline_distances_from(next_leader))
+        assignment = np.argmin(
+            np.stack([d[rows] for d in leader_distances]), axis=0
+        )
+        return {
+            c: nodes[assignment == c]
+            for c in range(len(leaders))
+            if np.any(assignment == c)
+        }
+
+    def _build(self, rng: np.random.Generator) -> None:
+        self._levels = []
+        current_nodes = self.members.copy()
+        for _ in range(self._max_levels):
+            level = _Level(clusters=self._cluster_nodes(current_nodes, rng))
+            representatives = []
+            for cluster_id, nodes in level.clusters.items():
+                representative = int(rng.choice(nodes))
+                level.represents[representative] = cluster_id
+                representatives.append(representative)
+            self._levels.append(level)
+            if len(level.clusters) == 1:
+                break
+            current_nodes = np.asarray(representatives, dtype=int)
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        measured: dict[int, float] = {}
+        path: list[int] = []
+        # Start at the single top-level cluster and descend.
+        level_index = len(self._levels) - 1
+        cluster_id = next(iter(self._levels[level_index].clusters))
+        while level_index >= 0:
+            level = self._levels[level_index]
+            nodes = level.clusters[cluster_id]
+            for node in nodes:
+                node = int(node)
+                if node not in measured and node != target:
+                    measured[node] = self.probe(node, target)
+            in_cluster = {
+                int(n): measured[int(n)] for n in nodes if int(n) in measured
+            }
+            if not in_cluster:
+                break
+            best = min(in_cluster, key=in_cluster.get)
+            path.append(best)
+            if level_index == 0:
+                break
+            # Descend into the cluster the chosen representative leads.
+            cluster_id = self._levels[level_index - 1].represents.get(best)
+            if cluster_id is None:
+                break
+            level_index -= 1
+        return self.result(target, measured, hops=len(path), path=path)

@@ -1,0 +1,30 @@
+"""Statistical analysis and presentation helpers.
+
+The paper presents results as CDFs (Figs 3, 5, 6, 7), binned percentile
+scatter plots (Figs 4, 10), and simple x/y series with error ranges
+(Figs 8, 9, 11).  This package implements those exact presentation forms so
+experiment drivers can emit the same rows/series the paper reports, plus
+ASCII renderings for terminal inspection and comparison records for
+EXPERIMENTS.md.
+"""
+
+from repro.analysis.binning import BinnedPercentiles, binned_percentiles, log_bins
+from repro.analysis.cdf import Cdf, EmpiricalCdf
+from repro.analysis.compare import Comparison, ShapeCheck, format_comparisons
+from repro.analysis.plotting import ascii_cdf, ascii_series
+from repro.analysis.tables import format_table, series_table
+
+__all__ = [
+    "Cdf",
+    "EmpiricalCdf",
+    "BinnedPercentiles",
+    "binned_percentiles",
+    "log_bins",
+    "Comparison",
+    "ShapeCheck",
+    "format_comparisons",
+    "ascii_cdf",
+    "ascii_series",
+    "format_table",
+    "series_table",
+]

@@ -1,0 +1,112 @@
+"""Binned percentile scatter plots.
+
+Figures 4 and 10 of the paper are "binned scatter-plots": sample points with
+nearby x values are grouped into a bin represented by one x value, and the
+5th/25th/50th/75th/95th percentiles of the y values in each bin are shown.
+:func:`binned_percentiles` reproduces that reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+#: The percentile set shown in the paper's binned plots.
+PAPER_PERCENTILES = (5, 25, 50, 75, 95)
+
+
+@dataclass(frozen=True)
+class BinnedPercentiles:
+    """Result of a binned-percentile reduction.
+
+    ``centers[i]`` is the representative x of bin ``i``; ``counts[i]`` the
+    number of samples in it; ``percentiles[p][i]`` the p-th percentile of the
+    y values in bin ``i``.
+    """
+
+    centers: np.ndarray
+    counts: np.ndarray
+    percentiles: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def medians(self) -> np.ndarray:
+        """Convenience accessor for the 50th-percentile series."""
+        if 50 not in self.percentiles:
+            raise DataError("median was not among the requested percentiles")
+        return self.percentiles[50]
+
+    def rows(self) -> list[dict[str, float]]:
+        """Flatten to a list of per-bin dicts (for table rendering)."""
+        out = []
+        for i, center in enumerate(self.centers):
+            row: dict[str, float] = {"x": float(center), "count": int(self.counts[i])}
+            for p, series in sorted(self.percentiles.items()):
+                row[f"p{p}"] = float(series[i])
+            out.append(row)
+        return out
+
+
+def log_bins(low: float, high: float, bins_per_decade: int = 4) -> np.ndarray:
+    """Logarithmically spaced bin edges covering [low, high].
+
+    The paper's latency axes are log-scale; binning in log space keeps each
+    bin's relative width constant.
+    """
+    if low <= 0 or high <= low:
+        raise DataError(f"need 0 < low < high, got low={low}, high={high}")
+    decades = np.log10(high / low)
+    n_edges = max(2, int(np.ceil(decades * bins_per_decade)) + 1)
+    return np.geomspace(low, high, n_edges)
+
+
+def binned_percentiles(
+    x: Sequence[float],
+    y: Sequence[float],
+    edges: Sequence[float],
+    percentiles: Sequence[int] = PAPER_PERCENTILES,
+    min_count: int = 1,
+) -> BinnedPercentiles:
+    """Group (x, y) samples into bins of x and summarise y per bin.
+
+    Bins with fewer than ``min_count`` samples are dropped (the paper's plots
+    omit sparse bins rather than show noisy percentiles).  Bin centers are
+    the geometric mean of the edges, matching log-scale axes.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise DataError(f"x and y lengths differ: {xa.shape} vs {ya.shape}")
+    if xa.size == 0:
+        raise DataError("cannot bin an empty sample")
+    edges_arr = np.asarray(edges, dtype=float)
+    if edges_arr.ndim != 1 or edges_arr.size < 2:
+        raise DataError("edges must be a 1-D array of at least two values")
+    if np.any(np.diff(edges_arr) <= 0):
+        raise DataError("edges must be strictly increasing")
+
+    indices = np.digitize(xa, edges_arr) - 1
+    centers: list[float] = []
+    counts: list[int] = []
+    per_p: dict[int, list[float]] = {p: [] for p in percentiles}
+    for b in range(edges_arr.size - 1):
+        mask = indices == b
+        n = int(np.count_nonzero(mask))
+        if n < min_count:
+            continue
+        lo, hi = edges_arr[b], edges_arr[b + 1]
+        center = float(np.sqrt(lo * hi)) if lo > 0 else (lo + hi) / 2.0
+        centers.append(center)
+        counts.append(n)
+        ys = ya[mask]
+        for p in percentiles:
+            per_p[p].append(float(np.percentile(ys, p)))
+
+    return BinnedPercentiles(
+        centers=np.asarray(centers),
+        counts=np.asarray(counts),
+        percentiles={p: np.asarray(v) for p, v in per_p.items()},
+    )

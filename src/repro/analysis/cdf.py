@@ -1,0 +1,101 @@
+"""Empirical cumulative distribution functions.
+
+Half of the paper's figures are CDFs (Fig 3 is a *cumulative count*, Figs 5-7
+are CDFs / cumulative counts of latencies).  :class:`EmpiricalCdf` supports
+both normalised (probability) and raw cumulative-count evaluation, plus
+quantiles, so experiment drivers can report e.g. "fraction of pairs with
+prediction measure in [0.5, 2]" exactly as Section 3.1 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+#: Interface alias used in type hints; an EmpiricalCdf is the only
+#: implementation today but the alias keeps call sites honest.
+Cdf = "EmpiricalCdf"
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical CDF over a fixed sample.
+
+    Stores the sorted sample; evaluation is a binary search.  Instances are
+    immutable — build a new one to add data.
+    """
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "EmpiricalCdf":
+        """Build a CDF from any iterable of finite values."""
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise DataError("cannot build a CDF from an empty sample")
+        if not np.all(np.isfinite(arr)):
+            raise DataError("CDF sample contains non-finite values")
+        return cls(sorted_values=np.sort(arr))
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return int(self.sorted_values.size)
+
+    def probability_at_or_below(self, x: float) -> float:
+        """P(X <= x) under the empirical distribution."""
+        return float(np.searchsorted(self.sorted_values, x, side="right")) / self.n
+
+    def count_at_or_below(self, x: float) -> int:
+        """Number of sample points <= x (the paper's 'cumulative count')."""
+        return int(np.searchsorted(self.sorted_values, x, side="right"))
+
+    def fraction_in_range(self, low: float, high: float) -> float:
+        """Fraction of the sample in the closed interval [low, high].
+
+        Section 3.1 reports "about 65% of the tested pairs have prediction
+        measure between the range of 0.5 and 2" — this is that computation.
+        """
+        if high < low:
+            raise DataError(f"empty range [{low}, {high}]")
+        below_low = np.searchsorted(self.sorted_values, low, side="left")
+        below_high = np.searchsorted(self.sorted_values, high, side="right")
+        return float(below_high - below_low) / self.n
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at ``q`` in [0, 1] (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise DataError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.sorted_values, q))
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.quantile(0.5)
+
+    def evaluate(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorised P(X <= x) over ``xs``."""
+        arr = np.asarray(xs, dtype=float)
+        return np.searchsorted(self.sorted_values, arr, side="right") / self.n
+
+    def support(self) -> tuple[float, float]:
+        """(min, max) of the sample."""
+        return float(self.sorted_values[0]), float(self.sorted_values[-1])
+
+    def as_series(self, points: int = 100, log_x: bool = False) -> tuple[np.ndarray, np.ndarray]:
+        """Return (xs, P(X<=xs)) suitable for plotting.
+
+        ``log_x`` spaces the evaluation grid logarithmically, matching the
+        paper's log-scale latency axes (Figs 5, 6, 7).
+        """
+        lo, hi = self.support()
+        if log_x:
+            lo = max(lo, 1e-6)
+            xs = np.geomspace(lo, max(hi, lo * (1 + 1e-9)), points)
+        else:
+            xs = np.linspace(lo, hi, points)
+        return xs, self.evaluate(xs)

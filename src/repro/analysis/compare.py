@@ -1,0 +1,69 @@
+"""Paper-vs-measured comparison records.
+
+We are not expected to match the paper's absolute numbers (our substrate is a
+synthetic Internet, not the authors' 2008 testbed), but the *shape* of every
+result must hold: who wins, by roughly what factor, where peaks and
+crossovers fall.  :class:`ShapeCheck` encodes one such qualitative claim with
+a machine-checkable predicate; :class:`Comparison` pairs a paper-reported
+value with our measured one for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-reported quantity next to our measured value."""
+
+    experiment: str
+    quantity: str
+    paper_value: str
+    measured_value: str
+    note: str = ""
+
+
+@dataclass
+class ShapeCheck:
+    """A qualitative claim from the paper, evaluated against measured data.
+
+    Example: "Fig 8: P(correct closest) peaks at an intermediate cluster size
+    and declines at 250 end-networks/cluster".
+    """
+
+    experiment: str
+    claim: str
+    predicate: Callable[[], bool]
+    result: bool | None = field(default=None)
+
+    def evaluate(self) -> bool:
+        """Run the predicate once and cache the outcome."""
+        if self.result is None:
+            self.result = bool(self.predicate())
+        return self.result
+
+
+def format_comparisons(comparisons: list[Comparison]) -> str:
+    """Render comparison records as a table for EXPERIMENTS.md."""
+    return format_table(
+        ["experiment", "quantity", "paper", "measured", "note"],
+        [
+            [c.experiment, c.quantity, c.paper_value, c.measured_value, c.note]
+            for c in comparisons
+        ],
+    )
+
+
+def format_shape_checks(checks: list[ShapeCheck]) -> str:
+    """Render shape-check outcomes as a PASS/FAIL table."""
+    return format_table(
+        ["experiment", "claim", "holds"],
+        [
+            [c.experiment, c.claim, "PASS" if c.evaluate() else "FAIL"]
+            for c in checks
+        ],
+    )

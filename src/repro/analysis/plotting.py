@@ -1,0 +1,97 @@
+"""ASCII plotting for terminal-friendly experiment output.
+
+The benchmark harness runs headless; these renderers let EXPERIMENTS.md and
+bench output show the *shape* of each figure (where a curve peaks, where two
+curves cross) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+
+def _scale(values: np.ndarray, out_max: int) -> np.ndarray:
+    lo, hi = float(np.min(values)), float(np.max(values))
+    if hi <= lo:
+        return np.zeros(values.size, dtype=int)
+    return np.round((values - lo) / (hi - lo) * out_max).astype(int)
+
+
+def ascii_series(
+    x: Sequence[float],
+    ys: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more y series against a shared x axis as ASCII art.
+
+    Each series gets a distinct glyph; the legend maps glyphs to names.
+    The x axis is rank-spaced (one column per sample when they fit), which
+    matches the paper's habit of log/categorical x axes.
+    """
+    xa = np.asarray(x, dtype=float)
+    if xa.size == 0:
+        raise DataError("cannot plot an empty series")
+    glyphs = "*o+x#@%&"
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in ys.values()])
+    if all_y.size == 0:
+        raise DataError("no y data to plot")
+    y_lo, y_hi = float(np.min(all_y)), float(np.max(all_y))
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(np.arange(xa.size, dtype=float), width - 1)
+    for si, (name, series) in enumerate(ys.items()):
+        ya = np.asarray(series, dtype=float)
+        if ya.shape != xa.shape:
+            raise DataError(f"series {name!r} length {ya.size} != x length {xa.size}")
+        rows = np.round((ya - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyphs[si % len(glyphs)]
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"x: {xa[0]:.4g} .. {xa[-1]:.4g}   "
+        + "  ".join(f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(ys))
+    )
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    samples_by_name: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render empirical CDFs of one or more samples on a shared axis."""
+    from repro.analysis.cdf import EmpiricalCdf
+
+    cleaned = {k: np.asarray(v, dtype=float) for k, v in samples_by_name.items()}
+    if not cleaned:
+        raise DataError("no samples to plot")
+    lo = min(float(np.min(v)) for v in cleaned.values())
+    hi = max(float(np.max(v)) for v in cleaned.values())
+    if log_x:
+        lo = max(lo, 1e-6)
+        xs = np.geomspace(lo, max(hi, lo * 1.001), width)
+    else:
+        xs = np.linspace(lo, hi, width)
+    ys = {
+        name: EmpiricalCdf.from_values(vals).evaluate(xs)
+        for name, vals in cleaned.items()
+    }
+    return ascii_series(xs, ys, width=width, height=height, title=title)

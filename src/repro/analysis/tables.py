@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.util.errors import DataError
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a monospace table with a header rule.
+
+    Column widths adapt to content; numeric cells are compactly formatted.
+    """
+    if not headers:
+        raise DataError("table needs at least one column")
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise DataError(
+                f"row {i} has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[j]) for j, c in enumerate(cells)).rstrip()
+
+    lines = [render_row(list(headers)), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def series_table(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+) -> str:
+    """Render parallel series as a table with x as the first column."""
+    headers = [x_name] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[Any] = [x]
+        for name in series:
+            column = series[name]
+            if len(column) != len(x_values):
+                raise DataError(
+                    f"series {name!r} has {len(column)} values, expected {len(x_values)}"
+                )
+            row.append(column[i])
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,31 @@
+"""Network coordinate systems.
+
+The paper's Section 2.2 argues coordinate schemes (Vivaldi, GNP, PIC,
+Mithos) cannot embed a clustered latency space with few dimensions, so
+coordinate-driven nearest-peer search fails under the clustering condition.
+This package implements the two canonical embedding styles used by those
+systems:
+
+* :mod:`repro.coords.vivaldi` — the decentralised spring-relaxation
+  algorithm (Dabek et al., SIGCOMM 2004), with adaptive timestep and error
+  estimates;
+* :mod:`repro.coords.gnp` — landmark-based global embedding (Ng & Zhang,
+  INFOCOM 2002) via scipy least squares.
+
+:mod:`repro.coords.errors` quantifies embedding quality, including the
+paper's diagnostic: relative error *within* a cluster stays ~1 no matter
+how many dimensions are spent.
+"""
+
+from repro.coords.errors import embedding_error_stats, pairwise_coordinate_distances
+from repro.coords.gnp import GnpConfig, GnpEmbedding
+from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
+
+__all__ = [
+    "VivaldiConfig",
+    "VivaldiSystem",
+    "GnpConfig",
+    "GnpEmbedding",
+    "embedding_error_stats",
+    "pairwise_coordinate_distances",
+]

@@ -1,0 +1,61 @@
+"""Embedding-quality metrics.
+
+The paper's low-dimensionality argument (Section 2.2) predicts that within
+a cluster "all peers ... end up having almost the same coordinates"; the
+relative-error statistics here make that quantitative, and the tests assert
+it: global embedding error can be small while the error *restricted to
+intra-cluster pairs* stays near 1 (coordinates carry no information at that
+scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+
+@dataclass(frozen=True)
+class EmbeddingErrorStats:
+    """Relative-error summary of an embedding over a pair population."""
+
+    n_pairs: int
+    median_relative_error: float
+    p90_relative_error: float
+    median_absolute_error_ms: float
+
+
+def pairwise_coordinate_distances(
+    pairs: Sequence[tuple[int, int]],
+    coordinate_distance: Callable[[int, int], float],
+) -> np.ndarray:
+    """Predicted RTTs for a list of pairs under an embedding."""
+    return np.array([coordinate_distance(a, b) for a, b in pairs])
+
+
+def embedding_error_stats(
+    pairs: Sequence[tuple[int, int]],
+    coordinate_distance: Callable[[int, int], float],
+    true_latency: Callable[[int, int], float],
+) -> EmbeddingErrorStats:
+    """Relative/absolute error of an embedding over given pairs.
+
+    Relative error is ``|predicted - actual| / actual`` — the standard
+    metric in the coordinate-systems literature.
+    """
+    if not pairs:
+        raise DataError("need at least one pair to evaluate an embedding")
+    predicted = pairwise_coordinate_distances(pairs, coordinate_distance)
+    actual = np.array([true_latency(a, b) for a, b in pairs])
+    if np.any(actual <= 0):
+        raise DataError("true latencies must be positive for relative error")
+    relative = np.abs(predicted - actual) / actual
+    return EmbeddingErrorStats(
+        n_pairs=len(pairs),
+        median_relative_error=float(np.median(relative)),
+        p90_relative_error=float(np.percentile(relative, 90)),
+        median_absolute_error_ms=float(np.median(np.abs(predicted - actual))),
+    )

@@ -1,0 +1,151 @@
+"""GNP-style landmark coordinates (Ng & Zhang, INFOCOM 2002).
+
+A small set of landmarks measure each other and solve a global embedding;
+every other node then measures the landmarks and solves its own coordinate
+against the fixed landmark positions.  Both solves are plain least squares
+on relative error, via :func:`scipy.optimize.least_squares`.
+
+PIC's "fixed-point" placement strategy is the same computation with peers
+as landmarks, so :class:`GnpEmbedding` doubles as PIC's embedding engine in
+:mod:`repro.algorithms.pic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.topology.oracle import LatencyOracle
+from repro.util.errors import DataError
+from repro.util.rng import make_rng
+from repro.util.validate import require_positive
+
+
+@dataclass(frozen=True)
+class GnpConfig:
+    """Embedding parameters."""
+
+    dimensions: int = 5
+    n_landmarks: int = 12
+
+    def __post_init__(self) -> None:
+        require_positive(self.dimensions, "dimensions")
+        if self.n_landmarks <= self.dimensions:
+            raise DataError(
+                f"need more landmarks ({self.n_landmarks}) than dimensions "
+                f"({self.dimensions})"
+            )
+
+
+def _solve_point(
+    anchors: np.ndarray, rtts: np.ndarray, x0: np.ndarray
+) -> np.ndarray:
+    """Least-squares position of one point given distances to anchors."""
+
+    def residuals(x: np.ndarray) -> np.ndarray:
+        predicted = np.linalg.norm(anchors - x[None, :], axis=1)
+        return (predicted - rtts) / np.maximum(rtts, 1e-3)
+
+    return least_squares(residuals, x0, method="lm", max_nfev=200).x
+
+
+class GnpEmbedding:
+    """Landmark-based coordinates for a set of member nodes."""
+
+    def __init__(
+        self,
+        config: GnpConfig,
+        landmark_ids: np.ndarray,
+        landmark_positions: np.ndarray,
+        positions: dict[int, np.ndarray],
+    ) -> None:
+        self.config = config
+        self.landmark_ids = landmark_ids
+        self.landmark_positions = landmark_positions
+        self._positions = positions
+
+    @classmethod
+    def build(
+        cls,
+        oracle: LatencyOracle,
+        member_ids: np.ndarray | list[int],
+        config: GnpConfig | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> "GnpEmbedding":
+        """Embed all ``member_ids`` (landmarks drawn from among them)."""
+        config = config or GnpConfig()
+        rng = make_rng(seed)
+        members = np.asarray(member_ids, dtype=int)
+        if members.size < config.n_landmarks:
+            raise DataError(
+                f"population {members.size} smaller than landmark count "
+                f"{config.n_landmarks}"
+            )
+        landmarks = rng.choice(members, size=config.n_landmarks, replace=False)
+
+        # Stage 1: landmark-landmark embedding (joint least squares).
+        lm_rtts = np.array(
+            [
+                [oracle.latency_ms(int(a), int(b)) for b in landmarks]
+                for a in landmarks
+            ]
+        )
+        L, d = config.n_landmarks, config.dimensions
+        x0 = rng.normal(0.0, np.median(lm_rtts) / 2.0 + 1e-3, size=L * d)
+
+        iu = np.triu_indices(L, k=1)
+
+        def landmark_residuals(flat: np.ndarray) -> np.ndarray:
+            pos = flat.reshape(L, d)
+            diff = pos[iu[0]] - pos[iu[1]]
+            predicted = np.linalg.norm(diff, axis=1)
+            actual = lm_rtts[iu]
+            return (predicted - actual) / np.maximum(actual, 1e-3)
+
+        lm_positions = least_squares(
+            landmark_residuals, x0, method="lm", max_nfev=2000
+        ).x.reshape(L, d)
+
+        # Stage 2: every member against the fixed landmarks.
+        positions: dict[int, np.ndarray] = {}
+        landmark_set = {int(l) for l in landmarks}
+        for i, lm in enumerate(landmarks):
+            positions[int(lm)] = lm_positions[i]
+        centroid = lm_positions.mean(axis=0)
+        for node in members:
+            node = int(node)
+            if node in landmark_set:
+                continue
+            rtts = np.array([oracle.latency_ms(node, int(l)) for l in landmarks])
+            positions[node] = _solve_point(lm_positions, rtts, centroid)
+        return cls(
+            config=config,
+            landmark_ids=landmarks,
+            landmark_positions=lm_positions,
+            positions=positions,
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def position(self, node_id: int) -> np.ndarray:
+        try:
+            return self._positions[int(node_id)]
+        except KeyError as exc:
+            raise DataError(f"node {node_id} was not embedded") from exc
+
+    def coordinate_distance(self, a: int, b: int) -> float:
+        """Predicted RTT between two embedded nodes."""
+        return float(np.linalg.norm(self.position(a) - self.position(b)))
+
+    def place_external(self, rtts_to_landmarks: np.ndarray) -> np.ndarray:
+        """Embed an outside node from its measured landmark RTTs."""
+        rtts = np.asarray(rtts_to_landmarks, dtype=float)
+        if rtts.shape != (self.config.n_landmarks,):
+            raise DataError(
+                f"expected {self.config.n_landmarks} landmark RTTs, got {rtts.shape}"
+            )
+        return _solve_point(
+            self.landmark_positions, rtts, self.landmark_positions.mean(axis=0)
+        )

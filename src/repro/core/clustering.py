@@ -1,0 +1,169 @@
+"""Detecting the clustering condition in a latency dataset.
+
+Section 2.1 defines the condition by three requirements: (1) many peers in
+different end-networks, (2) inter-end-network traffic crosses a common hub,
+and (3) all end-networks sit at about the same latency from the hub.  Given
+only a latency matrix (no topology ground truth), the detector recovers the
+structure the condition implies:
+
+* **end-networks** — maximal groups of mutually near peers (latency under
+  ``en_threshold_ms``; the paper's same-network latencies are two orders of
+  magnitude below inter-network ones, so any threshold in the gap works);
+* **clusters** — connected components of end-networks linked when their
+  representative latency is below ``cluster_threshold_ms`` (inside a
+  cluster, pairwise latency ≈ hub+hub ≈ 10 ms; across clusters it includes
+  the wide-area core, ≈ 65 ms median);
+* the **condition check** — a cluster satisfies the condition when it has
+  at least ``min_end_networks`` end-networks and its inter-EN latencies are
+  within a ``band_factor`` of one another (requirement 3's "about the same
+  latency", the paper prunes at 1.5x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import DataError
+from repro.util.validate import require_positive
+
+
+@dataclass(frozen=True)
+class ClusteringConditionConfig:
+    """Detector thresholds (see module docstring)."""
+
+    en_threshold_ms: float = 1.0
+    cluster_threshold_ms: float = 25.0
+    band_factor: float = 1.5
+    min_end_networks: int = 10
+
+    def __post_init__(self) -> None:
+        require_positive(self.en_threshold_ms, "en_threshold_ms")
+        require_positive(self.cluster_threshold_ms, "cluster_threshold_ms")
+        if self.band_factor <= 1.0:
+            raise DataError("band_factor must exceed 1")
+
+
+@dataclass
+class ClusterReport:
+    """One detected cluster and its condition diagnosis."""
+
+    peer_ids: list[int]
+    end_networks: list[list[int]]
+    median_intra_cluster_ms: float
+    latency_band_ratio: float  # max/min inter-EN latency within the cluster
+    satisfies_condition: bool
+    expected_search_probes: float  # the Section 2 lower bound for this cluster
+
+    @property
+    def n_end_networks(self) -> int:
+        return len(self.end_networks)
+
+    @property
+    def n_peers(self) -> int:
+        return len(self.peer_ids)
+
+
+def _connected_components(adjacency: list[set[int]]) -> list[list[int]]:
+    """Components of an adjacency-set graph (iterative DFS)."""
+    n = len(adjacency)
+    seen = [False] * n
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        component = []
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbour in adjacency[node]:
+                if not seen[neighbour]:
+                    seen[neighbour] = True
+                    stack.append(neighbour)
+        components.append(sorted(component))
+    return components
+
+
+def _group_end_networks(
+    matrix: np.ndarray, config: ClusteringConditionConfig
+) -> list[list[int]]:
+    n = matrix.shape[0]
+    near = matrix <= config.en_threshold_ms
+    adjacency = [
+        {int(j) for j in np.flatnonzero(near[i]) if j != i} for i in range(n)
+    ]
+    return _connected_components(adjacency)
+
+
+def detect_clusters(
+    matrix: np.ndarray,
+    config: ClusteringConditionConfig | None = None,
+) -> list[ClusterReport]:
+    """Run the detector over a dense latency matrix.
+
+    Returns one report per cluster (of any size); check
+    ``report.satisfies_condition`` for the paper's condition.
+    """
+    config = config or ClusteringConditionConfig()
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise DataError(f"latency matrix must be square, got {arr.shape}")
+
+    end_networks = _group_end_networks(arr, config)
+    n_en = len(end_networks)
+    representatives = [en[0] for en in end_networks]
+
+    # EN-level representative latency matrix.
+    rep = np.array(representatives)
+    en_matrix = arr[np.ix_(rep, rep)]
+
+    linked = en_matrix <= config.cluster_threshold_ms
+    adjacency = [
+        {int(j) for j in np.flatnonzero(linked[i]) if j != i} for i in range(n_en)
+    ]
+    components = _connected_components(adjacency)
+
+    reports: list[ClusterReport] = []
+    for component in components:
+        member_ens = [end_networks[i] for i in component]
+        peer_ids = sorted(p for en in member_ens for p in en)
+        if len(component) >= 2:
+            sub = en_matrix[np.ix_(component, component)]
+            cross = sub[np.triu_indices(len(component), k=1)]
+            median = float(np.median(cross))
+            band = float(cross.max() / max(cross.min(), 1e-9))
+        else:
+            median = 0.0
+            band = 1.0
+        satisfied = (
+            len(component) >= config.min_end_networks
+            and band <= config.band_factor
+        )
+        reports.append(
+            ClusterReport(
+                peer_ids=peer_ids,
+                end_networks=member_ens,
+                median_intra_cluster_ms=median,
+                latency_band_ratio=band,
+                satisfies_condition=satisfied,
+                expected_search_probes=(len(component) + 1) / 2.0,
+            )
+        )
+    return reports
+
+
+def condition_summary(reports: list[ClusterReport]) -> dict[str, float]:
+    """Population-level summary: how much of the peer set is affected."""
+    total_peers = sum(r.n_peers for r in reports)
+    affected = sum(r.n_peers for r in reports if r.satisfies_condition)
+    return {
+        "clusters": float(len(reports)),
+        "clusters_satisfying": float(
+            sum(1 for r in reports if r.satisfies_condition)
+        ),
+        "peers": float(total_peers),
+        "peers_affected_fraction": affected / total_peers if total_peers else 0.0,
+    }

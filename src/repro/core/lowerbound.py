@@ -1,0 +1,94 @@
+"""The Section 2 cost model: brute force inside the cluster.
+
+"The query, if it does eventually reach A1, will have traversed through, on
+average, a number of peers equal to the number of end-networks in the
+cluster ... This translates to a lower bound on the number of latency
+probes performed as well."
+
+We provide both sampling disciplines (a search that remembers probed
+end-networks samples without replacement; one that does not, with) plus a
+two-phase model of the whole query: cheap geometric descent outside the
+cluster, then brute force inside.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.errors import DataError
+
+
+def expected_probes_without_replacement(n_end_networks: int) -> float:
+    """Expected probes to hit the one correct end-network, no repeats.
+
+    Uniform sampling without replacement over ``n`` end-networks finds the
+    single correct one after ``(n + 1) / 2`` draws in expectation.
+    """
+    if n_end_networks < 1:
+        raise DataError("need at least one end-network")
+    return (n_end_networks + 1) / 2.0
+
+
+def expected_probes_with_replacement(n_end_networks: int) -> float:
+    """Expected probes when the search cannot avoid re-probing (memoryless).
+
+    Geometric with success probability ``1/n``: mean ``n``.
+    """
+    if n_end_networks < 1:
+        raise DataError("need at least one end-network")
+    return float(n_end_networks)
+
+
+def descent_probes(
+    population: int, probes_per_hop: int = 16, reduction: float = 0.5
+) -> float:
+    """Probes spent *outside* the cluster by a geometric-descent search.
+
+    A Meridian-style query halves its distance each hop, so it takes
+    ``O(log(population))`` hops of ``probes_per_hop`` each before entering
+    the cluster.
+    """
+    if population < 2:
+        return 0.0
+    hops = math.log(population) / math.log(1.0 / reduction)
+    return probes_per_hop * max(1.0, hops)
+
+
+def phase_transition_probes(
+    n_end_networks: int,
+    population: int,
+    probes_per_hop: int = 16,
+    with_replacement: bool = False,
+) -> float:
+    """Total expected probes: descent phase + in-cluster brute force.
+
+    The paper's "phase transition": the first term grows with ``log`` of
+    the population, the second *linearly* with the cluster's end-network
+    count — so for large clusters the brute-force term dominates and the
+    search cost decouples from how clever the algorithm is.
+    """
+    inside = (
+        expected_probes_with_replacement(n_end_networks)
+        if with_replacement
+        else expected_probes_without_replacement(n_end_networks)
+    )
+    return descent_probes(population, probes_per_hop) + inside
+
+
+def success_probability_with_budget(
+    n_end_networks: int, probe_budget: int, with_replacement: bool = False
+) -> float:
+    """P(find the correct end-network) under a fixed in-cluster probe budget.
+
+    Without replacement this is ``min(1, budget / n)``; with replacement
+    ``1 - (1 - 1/n)^budget``.  This is the quantity that collapses in
+    Fig 8's right half: a ~16-probe budget against 125-250 end-networks.
+    """
+    if probe_budget < 0:
+        raise DataError("probe budget must be non-negative")
+    n = n_end_networks
+    if n < 1:
+        raise DataError("need at least one end-network")
+    if with_replacement:
+        return 1.0 - (1.0 - 1.0 / n) ** probe_budget
+    return min(1.0, probe_budget / n)

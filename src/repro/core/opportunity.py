@@ -1,0 +1,64 @@
+"""Opportunity cost of missing the same-network peer.
+
+The introduction's motivation: "Peers that share the same extended LAN have
+latencies an order of magnitude smaller, and bandwidths an order of
+magnitude larger, than those in different networks.  The ability to
+discover peers in the same extended LAN therefore translates to a similar
+order of magnitude improvement in performance."
+
+:func:`opportunity_cost` turns a batch of search outcomes into those
+multipliers, so example applications (gaming, swarming) can report what the
+clustering condition costs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+
+@dataclass(frozen=True)
+class OpportunityCost:
+    """Aggregate cost of the found-vs-true-nearest gap."""
+
+    n_queries: int
+    exact_rate: float
+    median_latency_ratio: float  # found / true-nearest latency
+    p90_latency_ratio: float
+    median_excess_latency_ms: float
+    estimated_bandwidth_factor: float  # throughput multiplier lost (median)
+
+
+def opportunity_cost(
+    found_latencies_ms: Sequence[float],
+    true_nearest_latencies_ms: Sequence[float],
+    rtt_bandwidth_exponent: float = 1.0,
+) -> OpportunityCost:
+    """Compare search outcomes against ground truth.
+
+    ``rtt_bandwidth_exponent`` models TCP throughput ~ 1/RTT^e (e = 1 for
+    the canonical bandwidth-delay relation), turning latency ratios into a
+    bandwidth-loss factor.
+    """
+    found = np.asarray(found_latencies_ms, dtype=float)
+    true = np.asarray(true_nearest_latencies_ms, dtype=float)
+    if found.shape != true.shape or found.size == 0:
+        raise DataError("found/true latency arrays must be equal non-empty shapes")
+    if np.any(true <= 0):
+        raise DataError("true nearest latencies must be positive")
+    ratio = found / true
+    exact = float(np.mean(ratio <= 1.0 + 1e-9))
+    return OpportunityCost(
+        n_queries=int(found.size),
+        exact_rate=exact,
+        median_latency_ratio=float(np.median(ratio)),
+        p90_latency_ratio=float(np.percentile(ratio, 90)),
+        median_excess_latency_ms=float(np.median(found - true)),
+        estimated_bandwidth_factor=float(
+            np.median(ratio**rtt_bandwidth_exponent)
+        ),
+    )

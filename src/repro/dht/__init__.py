@@ -1,0 +1,25 @@
+"""Chord DHT substrate.
+
+Section 5's UCL and IP-prefix mechanisms "require a key-value mapping
+infrastructure ... the participant peers can themselves host the key-value
+maps, using one of several distributed hash table designs (Chord, CAN,
+Pastry)".  This package provides that substrate: consistent hashing, a
+Chord ring with finger tables / successor lists / iterative lookup /
+join-stabilise churn handling, and a replicated multi-value key-value store
+on top (IP addresses hash to keys, per the paper's note that raw IPs are
+not uniformly distributed).
+"""
+
+from repro.dht.chord import ChordNode, ChordRing
+from repro.dht.hashing import hash_key, hash_node, ring_distance
+from repro.dht.kvstore import DhtKeyValueStore, LookupStats
+
+__all__ = [
+    "ChordRing",
+    "ChordNode",
+    "hash_key",
+    "hash_node",
+    "ring_distance",
+    "DhtKeyValueStore",
+    "LookupStats",
+]

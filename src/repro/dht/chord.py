@@ -1,0 +1,165 @@
+"""Chord (Stoica et al., SIGCOMM 2001): ring, fingers, lookup, churn.
+
+The ring maps hashed node ids to :class:`ChordNode` s carrying finger
+tables and successor lists.  Lookups are iterative — the caller hops from
+node to node, as a peer-hosted key-value service would — and report hop
+counts so mechanism evaluations can account for lookup cost.
+
+Churn is supported through :meth:`ChordRing.join` / :meth:`ChordRing.leave`
+followed by :meth:`ChordRing.stabilize`, which repairs successors and
+refreshes fingers exactly as Chord's periodic stabilisation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dht.hashing import RING_BITS, hash_node, in_interval, ring_distance
+from repro.util.errors import DataError
+
+#: Successor-list length (tolerates that many consecutive failures).
+SUCCESSOR_LIST_LENGTH = 4
+
+
+@dataclass
+class ChordNode:
+    """One DHT participant."""
+
+    node_id: int  # application-level id (host id)
+    ring_id: int  # position on the ring
+    fingers: list[int] = field(default_factory=list)  # ring positions' owners
+    successors: list[int] = field(default_factory=list)  # node_ids, nearest first
+    predecessor: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.fingers:
+            self.fingers = [self.node_id] * RING_BITS
+
+
+class ChordRing:
+    """A Chord ring over a set of participant node ids."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, ChordNode] = {}
+        self._sorted_ring: list[tuple[int, int]] = []  # (ring_id, node_id)
+        self._dirty = True
+
+    # -- membership -----------------------------------------------------------
+
+    @property
+    def node_ids(self) -> list[int]:
+        return list(self._nodes)
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> ChordNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise DataError(f"node {node_id} is not in the ring") from exc
+
+    @classmethod
+    def build(cls, node_ids: list[int]) -> "ChordRing":
+        """Construct a stabilised ring over ``node_ids`` directly."""
+        ring = cls()
+        for node_id in node_ids:
+            ring._insert(node_id)
+        ring.stabilize()
+        return ring
+
+    def _insert(self, node_id: int) -> None:
+        if node_id in self._nodes:
+            raise DataError(f"node {node_id} already joined")
+        self._nodes[node_id] = ChordNode(node_id=node_id, ring_id=hash_node(node_id))
+        self._dirty = True
+
+    def join(self, node_id: int) -> None:
+        """Add a node; call :meth:`stabilize` to repair pointers."""
+        self._insert(node_id)
+
+    def leave(self, node_id: int) -> None:
+        """Remove a node (ungraceful departure); stabilise afterwards."""
+        if node_id not in self._nodes:
+            raise DataError(f"node {node_id} is not in the ring")
+        del self._nodes[node_id]
+        self._dirty = True
+
+    # -- pointer maintenance -----------------------------------------------------
+
+    def _refresh_sorted(self) -> None:
+        if self._dirty:
+            self._sorted_ring = sorted(
+                (node.ring_id, node.node_id) for node in self._nodes.values()
+            )
+            self._dirty = False
+
+    def successor_of_position(self, position: int) -> int:
+        """The node owning ring position ``position``."""
+        if not self._nodes:
+            raise DataError("the ring is empty")
+        self._refresh_sorted()
+        import bisect
+
+        index = bisect.bisect_left(self._sorted_ring, (position, -1))
+        if index == len(self._sorted_ring):
+            index = 0
+        return self._sorted_ring[index][1]
+
+    def stabilize(self) -> None:
+        """Repair successors/predecessors and refresh all finger tables.
+
+        Equivalent to running Chord's periodic stabilisation to quiescence
+        for the current membership.
+        """
+        if not self._nodes:
+            return
+        self._refresh_sorted()
+        ring = self._sorted_ring
+        n = len(ring)
+        for index, (_ring_id, node_id) in enumerate(ring):
+            node = self._nodes[node_id]
+            node.successors = [
+                ring[(index + 1 + k) % n][1]
+                for k in range(min(SUCCESSOR_LIST_LENGTH, n - 1))
+            ] or [node_id]
+            node.predecessor = ring[(index - 1) % n][1]
+            node.fingers = [
+                self.successor_of_position((node.ring_id + (1 << k)) % (1 << RING_BITS))
+                for k in range(RING_BITS)
+            ]
+
+    # -- lookup -------------------------------------------------------------------
+
+    def closest_preceding_node(self, from_node: int, key_position: int) -> int:
+        """The finger of ``from_node`` most closely preceding ``key_position``."""
+        node = self.node(from_node)
+        for finger_owner in reversed(node.fingers):
+            if finger_owner == from_node or finger_owner not in self._nodes:
+                continue
+            finger_ring = self._nodes[finger_owner].ring_id
+            if in_interval(finger_ring, node.ring_id, key_position, inclusive_right=False):
+                return finger_owner
+        return node.successors[0] if node.successors else from_node
+
+    def lookup(self, start_node: int, key_position: int, max_hops: int = 128) -> tuple[int, int]:
+        """Iteratively resolve ``key_position`` from ``start_node``.
+
+        Returns ``(owner_node_id, hops)``.  Raises if routing loops beyond
+        ``max_hops`` (a stabilisation bug, not expected in practice).
+        """
+        current = start_node
+        hops = 0
+        for _ in range(max_hops):
+            node = self.node(current)
+            successor = node.successors[0] if node.successors else current
+            successor_ring = self._nodes[successor].ring_id
+            if in_interval(key_position, node.ring_id, successor_ring):
+                return successor, hops + 1
+            nxt = self.closest_preceding_node(current, key_position)
+            if nxt == current:
+                return current, hops
+            current = nxt
+            hops += 1
+        raise DataError(f"lookup exceeded {max_hops} hops — ring not stabilised?")

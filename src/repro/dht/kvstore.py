@@ -1,0 +1,90 @@
+"""A replicated multi-value key-value store over the Chord ring.
+
+The UCL mechanism stores, under each upstream router's key, "the IP
+addresses of the peers that have the router in their UCLs" — i.e. each key
+accumulates a *set* of values.  Values are replicated on the owner's
+successor list so the mapping survives node departures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dht.chord import ChordRing
+from repro.dht.hashing import hash_key
+from repro.util.errors import DataError
+from repro.util.rng import make_rng
+
+
+@dataclass
+class LookupStats:
+    """Aggregate DHT traffic counters."""
+
+    lookups: int = 0
+    total_hops: int = 0
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.lookups if self.lookups else 0.0
+
+
+class DhtKeyValueStore:
+    """Multi-value put/get with successor-list replication."""
+
+    def __init__(self, ring: ChordRing, replicas: int = 2, seed: int | None = None) -> None:
+        if ring.size == 0:
+            raise DataError("cannot build a store on an empty ring")
+        self._ring = ring
+        self._replicas = max(1, replicas)
+        self._rng = make_rng(seed)
+        # node_id -> key -> set of values
+        self._storage: dict[int, dict[int, set]] = {n: {} for n in ring.node_ids}
+        self.stats = LookupStats()
+
+    def _owner_chain(self, key_position: int, start_node: int) -> list[int]:
+        owner, hops = self._ring.lookup(start_node, key_position)
+        self.stats.lookups += 1
+        self.stats.total_hops += hops
+        chain = [owner]
+        for successor in self._ring.node(owner).successors:
+            if len(chain) >= self._replicas:
+                break
+            if successor not in chain:
+                chain.append(successor)
+        return chain
+
+    def _random_start(self) -> int:
+        return int(self._rng.choice(self._ring.node_ids))
+
+    def put(self, key: str | bytes | int, value, start_node: int | None = None) -> None:
+        """Append ``value`` to the set stored under ``key``."""
+        position = hash_key(key)
+        for node in self._owner_chain(position, start_node or self._random_start()):
+            store = self._storage.setdefault(node, {})
+            store.setdefault(position, set()).add(value)
+
+    def get(self, key: str | bytes | int, start_node: int | None = None) -> set:
+        """All values stored under ``key`` (empty set when absent)."""
+        position = hash_key(key)
+        chain = self._owner_chain(position, start_node or self._random_start())
+        for node in chain:
+            values = self._storage.get(node, {}).get(position)
+            if values:
+                return set(values)
+        return set()
+
+    def remove(self, key: str | bytes | int, value, start_node: int | None = None) -> None:
+        """Remove one value from a key's set (peer departure)."""
+        position = hash_key(key)
+        for node in self._owner_chain(position, start_node or self._random_start()):
+            values = self._storage.get(node, {}).get(position)
+            if values is not None:
+                values.discard(value)
+
+    def handle_node_loss(self, node_id: int) -> None:
+        """Drop a node's storage and re-stabilise (crash simulation)."""
+        self._storage.pop(node_id, None)
+        self._ring.leave(node_id)
+        self._ring.stabilize()
+        for node in self._ring.node_ids:
+            self._storage.setdefault(node, {})

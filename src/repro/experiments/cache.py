@@ -1,0 +1,42 @@
+"""Shared expensive artefacts (worlds, pipeline runs) across experiments.
+
+Figures 3-5 share one DNS study; Figures 6, 7, 10 and 11 share one Azureus
+world/study.  Caching keeps ``run_all`` and the benchmark suite from
+regenerating multi-second artefacts per figure.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.measurement.azureus_pipeline import AzureusStudy, AzureusStudyResult
+from repro.measurement.datasets import (
+    generate_azureus_population,
+    generate_dns_server_population,
+)
+from repro.measurement.dns_pipeline import DnsStudy, DnsStudyResult
+from repro.topology.internet import SyntheticInternet
+
+
+@lru_cache(maxsize=4)
+def dns_internet(seed: int, paper_scale: bool) -> SyntheticInternet:
+    """The Internet hosting the Section 3.1 DNS-server population."""
+    return generate_dns_server_population(seed=seed, paper_scale=paper_scale)
+
+
+@lru_cache(maxsize=4)
+def dns_study(seed: int, paper_scale: bool) -> DnsStudyResult:
+    """The completed Section 3.1 pipeline (Figures 3, 4, 5)."""
+    return DnsStudy(dns_internet(seed, paper_scale), seed=seed).run()
+
+
+@lru_cache(maxsize=4)
+def azureus_internet(seed: int, paper_scale: bool) -> SyntheticInternet:
+    """The Internet hosting the Section 3.2 Azureus-like population."""
+    return generate_azureus_population(seed=seed, paper_scale=paper_scale)
+
+
+@lru_cache(maxsize=4)
+def azureus_study(seed: int, paper_scale: bool) -> AzureusStudyResult:
+    """The completed Section 3.2 pipeline (Figures 6, 7)."""
+    return AzureusStudy(azureus_internet(seed, paper_scale), seed=seed).run()

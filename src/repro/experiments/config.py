@@ -1,0 +1,48 @@
+"""Experiment scales and shared parameter sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Global scale switch threaded through every experiment driver."""
+
+    paper_scale: bool = False
+    seed: int = 2008  # the venue year; any integer works
+
+    # Meridian simulation sizing (Figs 8, 9).
+    meridian_queries: int = 600
+    meridian_seeds: int = 2
+    meridian_targets: int = 100
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """The paper's exact experiment sizes (slow: minutes per figure)."""
+        return cls(
+            paper_scale=True,
+            meridian_queries=5000,
+            meridian_seeds=3,
+            meridian_targets=100,
+        )
+
+
+#: Fig 8's x axis: "end-networks in cluster".
+FIG8_END_NETWORKS = (5, 25, 50, 125, 250)
+
+#: Cluster counts giving ~2500 peers at 2 peers/end-network, as the paper.
+FIG8_CLUSTER_COUNTS = {5: 250, 25: 50, 50: 25, 125: 10, 250: 5}
+
+#: Fig 9's x axis: the intra-cluster latency variation delta.
+FIG9_DELTAS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Fig 9 runs at 125 end-networks per cluster.
+FIG9_END_NETWORKS = 125
+FIG9_CLUSTER_COUNT = 10
+
+#: Fig 11's x axis: matching prefix lengths in bits.
+FIG11_PREFIX_LENGTHS = (8, 10, 12, 14, 16, 18, 20, 22, 24)
+
+#: The paper's close/far latency threshold for Figs 10 and 11.
+CLOSE_PEER_THRESHOLD_MS = 10.0

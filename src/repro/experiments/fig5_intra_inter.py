@@ -1,0 +1,106 @@
+"""Figure 5: intra-domain vs inter-domain latency distributions.
+
+Paper: "intra-domain latencies are indeed much smaller (by about an order
+of magnitude) than the inter-domain latencies"; also the inter-domain
+predicted distribution "matches the measured latency distribution
+reasonably well", and tightening the hop filter from 10 to 5 changes the
+intra-domain curve only modestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.compare import Comparison, ShapeCheck
+from repro.analysis.plotting import ascii_cdf
+from repro.experiments.cache import dns_study
+from repro.experiments.config import ExperimentScale
+from repro.util.errors import DataError
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """The four curves of Figure 5."""
+
+    intra_domain_predicted_5: np.ndarray
+    intra_domain_predicted_10: np.ndarray
+    inter_domain_predicted_10: np.ndarray
+    inter_domain_measured_10: np.ndarray
+
+    def medians(self) -> dict[str, float]:
+        return {
+            "samedomain-5hops": float(np.median(self.intra_domain_predicted_5)),
+            "samedomain-10hops": float(np.median(self.intra_domain_predicted_10)),
+            "difdomains-predicted": float(np.median(self.inter_domain_predicted_10)),
+            "difdomains-king": float(np.median(self.inter_domain_measured_10)),
+        }
+
+    def order_of_magnitude_gap(self) -> float:
+        """inter / intra median ratio (the paper's headline gap)."""
+        med = self.medians()
+        return med["difdomains-king"] / max(med["samedomain-10hops"], 1e-9)
+
+    def render(self) -> str:
+        plot = ascii_cdf(
+            {
+                "intra(5h)": self.intra_domain_predicted_5,
+                "intra(10h)": self.intra_domain_predicted_10,
+                "inter-pred": self.inter_domain_predicted_10,
+                "inter-king": self.inter_domain_measured_10,
+            },
+            title="Fig 5: intra- vs inter-domain latency CDFs (log x)",
+            log_x=True,
+        )
+        med = self.medians()
+        lines = [f"  median {name} = {value:.3g} ms" for name, value in med.items()]
+        return plot + "\n" + "\n".join(lines)
+
+    def comparisons(self) -> list[Comparison]:
+        return [
+            Comparison(
+                "Fig 5",
+                "inter-domain / intra-domain median latency ratio",
+                "~10x (order of magnitude)",
+                f"{self.order_of_magnitude_gap():.1f}x",
+                "",
+            )
+        ]
+
+    def shape_checks(self) -> list[ShapeCheck]:
+        med = self.medians()
+        return [
+            ShapeCheck(
+                "Fig 5",
+                "intra-domain latencies are much smaller than inter-domain",
+                lambda: self.order_of_magnitude_gap() >= 4.0,
+            ),
+            ShapeCheck(
+                "Fig 5",
+                "5-hop and 10-hop intra-domain curves are close",
+                lambda: med["samedomain-5hops"]
+                >= 0.5 * med["samedomain-10hops"],
+            ),
+            ShapeCheck(
+                "Fig 5",
+                "inter-domain predicted matches King-measured reasonably",
+                lambda: 0.5
+                <= med["difdomains-predicted"] / med["difdomains-king"]
+                <= 2.0,
+            ),
+        ]
+
+
+def run(scale: ExperimentScale | None = None) -> Fig5Result:
+    """Regenerate Figure 5."""
+    scale = scale or ExperimentScale()
+    study = dns_study(scale.seed, scale.paper_scale)
+    if not study.intra_domain_predicted_5:
+        raise DataError("no intra-domain pairs survived the filters")
+    return Fig5Result(
+        intra_domain_predicted_5=np.asarray(study.intra_domain_predicted_5),
+        intra_domain_predicted_10=np.asarray(study.intra_domain_predicted_10),
+        inter_domain_predicted_10=np.asarray(study.inter_domain_predicted_10),
+        inter_domain_measured_10=np.asarray(study.inter_domain_measured_10),
+    )

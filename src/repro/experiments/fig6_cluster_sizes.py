@@ -1,0 +1,87 @@
+"""Figure 6: cumulative peer count by cluster size, pruned and unpruned.
+
+Paper: 5,904 responsive, consistent-upstream peers; "about 16% of the peers
+are in (pruned) clusters of size 25 or larger".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.compare import Comparison, ShapeCheck
+from repro.analysis.tables import format_table
+from repro.experiments.cache import azureus_study
+from repro.experiments.config import ExperimentScale
+from repro.measurement.azureus_pipeline import AzureusStudyResult
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Cluster-size distributions from the Section 3.2 pipeline."""
+
+    study: AzureusStudyResult
+
+    def render(self) -> str:
+        rows = []
+        for size_threshold in (1, 2, 5, 10, 25, 50, 100, 200):
+            unpruned = sum(
+                s for s in self.study.cluster_sizes(pruned=False) if s <= size_threshold
+            )
+            pruned = sum(
+                s for s in self.study.cluster_sizes(pruned=True) if s <= size_threshold
+            )
+            rows.append([size_threshold, unpruned, pruned])
+        table = format_table(
+            ["cluster size <=", "cumulative peers (unpruned)", "cumulative peers (pruned)"],
+            rows,
+        )
+        return (
+            "Fig 6: distribution of cluster sizes\n"
+            f"{table}\n"
+            f"peers retained = {self.study.peers_retained} "
+            f"(of {self.study.peers_total}); "
+            f"fraction in pruned clusters >= 25: "
+            f"{self.study.fraction_in_large_clusters():.2f}"
+        )
+
+    def comparisons(self) -> list[Comparison]:
+        return [
+            Comparison(
+                "Fig 6",
+                "fraction of peers in pruned clusters of size >= 25",
+                "~16% (5,904 peers retained of 156,658)",
+                f"{self.study.fraction_in_large_clusters():.2f} "
+                f"({self.study.peers_retained} retained of {self.study.peers_total})",
+                "population scaled down ~7x",
+            )
+        ]
+
+    def shape_checks(self) -> list[ShapeCheck]:
+        study = self.study
+        return [
+            ShapeCheck(
+                "Fig 6",
+                "a non-negligible fraction (>5%) of peers sits in clusters >= 25",
+                lambda: study.fraction_in_large_clusters() > 0.05,
+            ),
+            ShapeCheck(
+                "Fig 6",
+                "pruning shrinks but does not destroy the large clusters",
+                lambda: max(study.cluster_sizes(pruned=True), default=0)
+                >= 0.25 * max(study.cluster_sizes(pruned=False), default=1),
+            ),
+            ShapeCheck(
+                "Fig 6",
+                "most clusters are small (median size < 10)",
+                lambda: sorted(study.cluster_sizes(pruned=True))[
+                    len(study.cluster_sizes(pruned=True)) // 2
+                ]
+                < 10,
+            ),
+        ]
+
+
+def run(scale: ExperimentScale | None = None) -> Fig6Result:
+    """Regenerate Figure 6."""
+    scale = scale or ExperimentScale()
+    return Fig6Result(study=azureus_study(scale.seed, scale.paper_scale))

@@ -1,0 +1,95 @@
+"""Figure 7: hub-to-peer latency distributions of the 5 largest clusters.
+
+Paper: cluster sizes 235, 139, 113, 79, 73; "the latency distribution shown
+here indicates that most peers in the displayed clusters are in different
+end-networks" — i.e. hub latencies are milliseconds, far above the 100 µs
+same-network scale, and similar within a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.compare import Comparison, ShapeCheck
+from repro.analysis.plotting import ascii_cdf
+from repro.analysis.tables import format_table
+from repro.experiments.cache import azureus_study
+from repro.experiments.config import ExperimentScale
+from repro.measurement.pipeline_types import ClusterOfPeers
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """The top clusters and their hub-latency samples."""
+
+    clusters: list[ClusterOfPeers]
+
+    def render(self) -> str:
+        rows = []
+        for rank, cluster in enumerate(self.clusters, start=1):
+            lat = np.asarray(cluster.latencies())
+            rows.append(
+                [
+                    rank,
+                    cluster.size,
+                    float(np.percentile(lat, 5)),
+                    float(np.median(lat)),
+                    float(np.percentile(lat, 95)),
+                ]
+            )
+        table = format_table(
+            ["cluster", "size", "hub-lat p5 (ms)", "median", "p95"], rows
+        )
+        plot = ascii_cdf(
+            {
+                f"#{rank}": np.asarray(c.latencies())
+                for rank, c in enumerate(self.clusters, start=1)
+            },
+            title="Fig 7: intra-cluster hub-latency CDFs, 5 largest clusters",
+            log_x=True,
+        )
+        return f"{table}\n{plot}"
+
+    def comparisons(self) -> list[Comparison]:
+        sizes = [c.size for c in self.clusters]
+        return [
+            Comparison(
+                "Fig 7",
+                "sizes of the five largest pruned clusters",
+                "235, 139, 113, 79, 73",
+                ", ".join(str(s) for s in sizes),
+                "same decaying shape at ~7x smaller population",
+            )
+        ]
+
+    def shape_checks(self) -> list[ShapeCheck]:
+        latencies = [np.asarray(c.latencies()) for c in self.clusters]
+        return [
+            ShapeCheck(
+                "Fig 7",
+                "hub latencies are millisecond-scale (different end-networks)",
+                lambda: all(float(np.median(lat)) > 0.5 for lat in latencies),
+            ),
+            ShapeCheck(
+                "Fig 7",
+                "within each cluster, hub latencies sit in the pruning band",
+                lambda: all(
+                    float(lat.max()) <= 1.5 * float(lat.min()) + 1e-6
+                    for lat in latencies
+                ),
+            ),
+            ShapeCheck(
+                "Fig 7",
+                "the top clusters hold tens of peers each",
+                lambda: all(c.size >= 10 for c in self.clusters),
+            ),
+        ]
+
+
+def run(scale: ExperimentScale | None = None, top: int = 5) -> Fig7Result:
+    """Regenerate Figure 7."""
+    scale = scale or ExperimentScale()
+    study = azureus_study(scale.seed, scale.paper_scale)
+    return Fig7Result(clusters=study.top_clusters(top))

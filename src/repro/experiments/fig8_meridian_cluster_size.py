@@ -1,0 +1,174 @@
+"""Figure 8: Meridian accuracy vs end-networks per cluster.
+
+Paper setup: ~2.5k peers (2 per end-network), ~2.4k in the overlay, 100
+held-out targets, 5,000 queries, beta = 0.5, 16 nodes/ring, delta = 0.2,
+three simulation runs per point (median/min/max plotted).
+
+Claims reproduced: P(correct closest peer) rises to a peak at 25
+end-networks/cluster then collapses as the clustering condition emerges;
+P(correct cluster) rises monotonically toward 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.compare import Comparison, ShapeCheck
+from repro.analysis.plotting import ascii_series
+from repro.analysis.tables import series_table
+from repro.experiments.config import (
+    ExperimentScale,
+    FIG8_CLUSTER_COUNTS,
+    FIG8_END_NETWORKS,
+)
+from repro.latency.builder import build_clustered_oracle
+from repro.meridian.overlay import MeridianConfig
+from repro.meridian.simulator import run_meridian_trial, summarize_trials
+from repro.topology.clustered import ClusteredConfig
+from repro.util.rng import spawn_seeds
+
+
+@dataclass(frozen=True)
+class Fig8Point:
+    """One x value of Figure 8 (median/min/max across runs)."""
+
+    end_networks: int
+    closest_median: float
+    closest_min: float
+    closest_max: float
+    cluster_median: float
+    cluster_min: float
+    cluster_max: float
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """The full Figure 8 sweep."""
+
+    points: list[Fig8Point] = field(default_factory=list)
+
+    def x(self) -> list[int]:
+        return [p.end_networks for p in self.points]
+
+    def closest_series(self) -> list[float]:
+        return [p.closest_median for p in self.points]
+
+    def cluster_series(self) -> list[float]:
+        return [p.cluster_median for p in self.points]
+
+    def render(self) -> str:
+        table = series_table(
+            "end-networks/cluster",
+            self.x(),
+            {
+                "P(correct closest)": [f"{v:.3f}" for v in self.closest_series()],
+                "P(correct cluster)": [f"{v:.3f}" for v in self.cluster_series()],
+            },
+        )
+        plot = ascii_series(
+            [float(x) for x in self.x()],
+            {
+                "closest": self.closest_series(),
+                "cluster": self.cluster_series(),
+            },
+            title="Fig 8: Meridian success vs end-networks per cluster",
+        )
+        return f"{table}\n{plot}"
+
+    def comparisons(self) -> list[Comparison]:
+        closest = self.closest_series()
+        peak_x = self.x()[int(np.argmax(closest))]
+        return [
+            Comparison(
+                "Fig 8",
+                "x of the P(correct closest) peak",
+                "25 end-networks/cluster",
+                str(peak_x),
+                "",
+            ),
+            Comparison(
+                "Fig 8",
+                "P(correct closest) collapse from peak to 250 EN/cluster",
+                "~0.5 -> ~0.1 (5x drop)",
+                f"{max(closest):.2f} -> {closest[-1]:.2f} "
+                f"({max(closest) / max(closest[-1], 1e-9):.0f}x drop)",
+                "",
+            ),
+            Comparison(
+                "Fig 8",
+                "P(correct cluster) range",
+                "~0.55 rising to ~1.0",
+                f"{self.cluster_series()[0]:.2f} rising to "
+                f"{self.cluster_series()[-1]:.2f}",
+                "",
+            ),
+        ]
+
+    def shape_checks(self) -> list[ShapeCheck]:
+        closest = self.closest_series()
+        cluster = self.cluster_series()
+        return [
+            ShapeCheck(
+                "Fig 8",
+                "closest-peer accuracy peaks at an intermediate cluster size",
+                lambda: 0 < int(np.argmax(closest)) < len(closest) - 1,
+            ),
+            ShapeCheck(
+                "Fig 8",
+                "accuracy collapses (>=3x) from peak to the largest clusters",
+                lambda: max(closest) >= 3.0 * closest[-1],
+            ),
+            ShapeCheck(
+                "Fig 8",
+                "P(correct cluster) rises monotonically toward 1",
+                lambda: all(
+                    cluster[i] <= cluster[i + 1] + 0.03
+                    for i in range(len(cluster) - 1)
+                )
+                and cluster[-1] > 0.9,
+            ),
+        ]
+
+
+def run(scale: ExperimentScale | None = None) -> Fig8Result:
+    """Regenerate Figure 8 (the heavy Meridian sweep)."""
+    scale = scale or ExperimentScale()
+    config = MeridianConfig()
+    points = []
+    for en in FIG8_END_NETWORKS:
+        n_clusters = FIG8_CLUSTER_COUNTS[en]
+        closest, cluster = [], []
+        for seed in spawn_seeds(scale.seed + en, scale.meridian_seeds):
+            world = build_clustered_oracle(
+                ClusteredConfig(
+                    n_clusters=n_clusters,
+                    end_networks_per_cluster=en,
+                    delta=0.2,
+                ),
+                seed=seed,
+            )
+            trial = run_meridian_trial(
+                world,
+                n_targets=scale.meridian_targets,
+                n_queries=scale.meridian_queries,
+                config=config,
+                seed=seed,
+            )
+            closest.append(trial.correct_closest_rate)
+            cluster.append(trial.correct_cluster_rate)
+        s_closest = summarize_trials(closest)
+        s_cluster = summarize_trials(cluster)
+        points.append(
+            Fig8Point(
+                end_networks=en,
+                closest_median=s_closest.median,
+                closest_min=s_closest.minimum,
+                closest_max=s_closest.maximum,
+                cluster_median=s_cluster.median,
+                cluster_min=s_cluster.minimum,
+                cluster_max=s_cluster.maximum,
+            )
+        )
+    return Fig8Result(points=points)

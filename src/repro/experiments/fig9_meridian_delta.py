@@ -1,0 +1,146 @@
+"""Figure 9: Meridian accuracy vs delta, the intra-cluster latency spread.
+
+Paper setup: 125 end-networks/cluster, delta swept 0..1.  Claims: accuracy
+in finding the closest peer improves significantly as delta grows (the
+clustering condition weakens), while the median hub-latency of the peers
+found in *unsuccessful* queries falls — Meridian preferentially returns
+peers near the hub, concentrating load on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.compare import Comparison, ShapeCheck
+from repro.analysis.plotting import ascii_series
+from repro.analysis.tables import series_table
+from repro.experiments.config import (
+    ExperimentScale,
+    FIG9_CLUSTER_COUNT,
+    FIG9_DELTAS,
+    FIG9_END_NETWORKS,
+)
+from repro.latency.builder import build_clustered_oracle
+from repro.meridian.overlay import MeridianConfig
+from repro.meridian.simulator import run_meridian_trial, summarize_trials
+from repro.topology.clustered import ClusteredConfig
+from repro.util.rng import spawn_seeds
+
+
+@dataclass(frozen=True)
+class Fig9Point:
+    """One delta value's outcomes."""
+
+    delta: float
+    closest_median: float
+    found_hub_latency_median_ms: float
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """The full Figure 9 sweep."""
+
+    points: list[Fig9Point] = field(default_factory=list)
+
+    def deltas(self) -> list[float]:
+        return [p.delta for p in self.points]
+
+    def closest_series(self) -> list[float]:
+        return [p.closest_median for p in self.points]
+
+    def hub_latency_series(self) -> list[float]:
+        return [p.found_hub_latency_median_ms for p in self.points]
+
+    def render(self) -> str:
+        table = series_table(
+            "delta",
+            self.deltas(),
+            {
+                "P(correct closest)": [f"{v:.3f}" for v in self.closest_series()],
+                "found-peer hub latency (ms)": [
+                    f"{v:.2f}" for v in self.hub_latency_series()
+                ],
+            },
+        )
+        plot = ascii_series(
+            self.deltas(),
+            {
+                "closest": self.closest_series(),
+                "hub-lat": [
+                    v / max(self.hub_latency_series()) for v in self.hub_latency_series()
+                ],
+            },
+            title="Fig 9: accuracy and found-peer hub latency vs delta "
+            "(hub-lat normalised)",
+        )
+        return f"{table}\n{plot}"
+
+    def comparisons(self) -> list[Comparison]:
+        return [
+            Comparison(
+                "Fig 9",
+                "P(correct closest) at delta=0 vs delta=1",
+                "~0.05 -> ~0.42",
+                f"{self.closest_series()[0]:.2f} -> {self.closest_series()[-1]:.2f}",
+                "",
+            ),
+            Comparison(
+                "Fig 9",
+                "median hub latency of found (wrong) peer, delta=0 vs 1",
+                "~5.2 ms -> ~1.7 ms",
+                f"{self.hub_latency_series()[0]:.1f} ms -> "
+                f"{self.hub_latency_series()[-1]:.1f} ms",
+                "",
+            ),
+        ]
+
+    def shape_checks(self) -> list[ShapeCheck]:
+        closest = self.closest_series()
+        hub = self.hub_latency_series()
+        return [
+            ShapeCheck(
+                "Fig 9",
+                "accuracy improves significantly (>=2x) from delta=0 to 1",
+                lambda: closest[-1] >= 2.0 * max(closest[0], 1e-9),
+            ),
+            ShapeCheck(
+                "Fig 9",
+                "found-peer hub latency falls (>=2x) from delta=0 to 1",
+                lambda: hub[0] >= 2.0 * hub[-1],
+            ),
+        ]
+
+
+def run(scale: ExperimentScale | None = None) -> Fig9Result:
+    """Regenerate Figure 9."""
+    scale = scale or ExperimentScale()
+    config = MeridianConfig()
+    points = []
+    for delta in FIG9_DELTAS:
+        closest, hub = [], []
+        for seed in spawn_seeds(scale.seed + int(delta * 100), scale.meridian_seeds):
+            world = build_clustered_oracle(
+                ClusteredConfig(
+                    n_clusters=FIG9_CLUSTER_COUNT,
+                    end_networks_per_cluster=FIG9_END_NETWORKS,
+                    delta=delta,
+                ),
+                seed=seed,
+            )
+            trial = run_meridian_trial(
+                world,
+                n_targets=scale.meridian_targets,
+                n_queries=scale.meridian_queries,
+                config=config,
+                seed=seed,
+            )
+            closest.append(trial.correct_closest_rate)
+            hub.append(trial.median_found_hub_latency_ms)
+        points.append(
+            Fig9Point(
+                delta=delta,
+                closest_median=summarize_trials(closest).median,
+                found_hub_latency_median_ms=summarize_trials(hub).median,
+            )
+        )
+    return Fig9Result(points=points)

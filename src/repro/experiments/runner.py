@@ -1,0 +1,94 @@
+"""Run every experiment and emit the EXPERIMENTS.md comparison report."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.compare import (
+    Comparison,
+    ShapeCheck,
+    format_comparisons,
+    format_shape_checks,
+)
+from repro.experiments import (
+    ext_condition_extent,
+    fig3_prediction_cdf,
+    fig4_prediction_bins,
+    fig5_intra_inter,
+    fig6_cluster_sizes,
+    fig7_intra_cluster,
+    fig8_meridian_cluster_size,
+    fig9_meridian_delta,
+    fig10_ucl_hops,
+    fig11_prefix_rates,
+    table1_vantage,
+)
+from repro.experiments.config import ExperimentScale
+
+#: Every experiment driver, in paper order (plus the future-work extension).
+ALL_EXPERIMENTS = (
+    ("Table 1", table1_vantage),
+    ("Fig 3", fig3_prediction_cdf),
+    ("Fig 4", fig4_prediction_bins),
+    ("Fig 5", fig5_intra_inter),
+    ("Fig 6", fig6_cluster_sizes),
+    ("Fig 7", fig7_intra_cluster),
+    ("Fig 8", fig8_meridian_cluster_size),
+    ("Fig 9", fig9_meridian_delta),
+    ("Fig 10", fig10_ucl_hops),
+    ("Fig 11", fig11_prefix_rates),
+    ("Ext (extent)", ext_condition_extent),
+)
+
+
+@dataclass
+class RunReport:
+    """Everything ``run_all`` produces."""
+
+    renders: dict[str, str] = field(default_factory=dict)
+    comparisons: list[Comparison] = field(default_factory=list)
+    shape_checks: list[ShapeCheck] = field(default_factory=list)
+    durations: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        return all(check.evaluate() for check in self.shape_checks)
+
+    def render(self) -> str:
+        sections = []
+        for name, text in self.renders.items():
+            sections.append(f"## {name}  ({self.durations[name]:.1f}s)\n\n{text}\n")
+        sections.append("## Paper vs measured\n\n" + format_comparisons(self.comparisons))
+        sections.append("\n## Shape checks\n\n" + format_shape_checks(self.shape_checks))
+        return "\n".join(sections)
+
+
+def run_all(
+    scale: ExperimentScale | None = None,
+    only: tuple[str, ...] | None = None,
+) -> RunReport:
+    """Run all (or a named subset of) experiments."""
+    scale = scale or ExperimentScale()
+    report = RunReport()
+    for name, module in ALL_EXPERIMENTS:
+        if only is not None and name not in only:
+            continue
+        start = time.perf_counter()
+        result = module.run(scale)
+        report.durations[name] = time.perf_counter() - start
+        report.renders[name] = result.render()
+        report.comparisons.extend(result.comparisons())
+        report.shape_checks.extend(result.shape_checks())
+    return report
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    """CLI: python -m repro.experiments.runner"""
+    report = run_all()
+    print(report.render())
+    print(f"\nall shape checks hold: {report.all_shapes_hold}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,21 @@
+"""Latency dataset substrate.
+
+The paper drives its Meridian simulations from the Meridian DNS-server
+latency dataset ("DNS-server pairs in the Meridian dataset have a median
+latency of around 65 ms").  That dataset is not redistributable, so
+:mod:`repro.latency.synthetic` generates a statistically comparable stand-in
+(geographic embedding + access penalties + jitter, calibrated to the same
+median), and :mod:`repro.latency.builder` assembles full inter-peer matrices
+per the Section 4 recipe.
+"""
+
+from repro.latency.builder import build_clustered_oracle
+from repro.latency.matrix import LatencyMatrix
+from repro.latency.synthetic import SyntheticCoreConfig, synthetic_core_matrix
+
+__all__ = [
+    "LatencyMatrix",
+    "SyntheticCoreConfig",
+    "synthetic_core_matrix",
+    "build_clustered_oracle",
+]

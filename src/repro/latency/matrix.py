@@ -1,0 +1,97 @@
+"""Validated dense latency matrices.
+
+:class:`LatencyMatrix` wraps a numpy array with the invariants every latency
+dataset must satisfy (square, symmetric, zero diagonal, non-negative,
+finite), plus summary statistics and persistence.  Simulators index the raw
+array directly via :attr:`values` for speed; everything else goes through
+the checked constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+
+@dataclass(frozen=True)
+class LatencyMatrix:
+    """A symmetric RTT matrix in milliseconds."""
+
+    values: np.ndarray
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, check_symmetry: bool = True) -> "LatencyMatrix":
+        """Validate and wrap ``array``.
+
+        ``check_symmetry=False`` skips the O(n^2) symmetry check for large
+        matrices that are symmetric by construction.
+        """
+        arr = np.asarray(array, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise DataError(f"latency matrix must be square, got shape {arr.shape}")
+        if not np.all(np.isfinite(arr)):
+            raise DataError("latency matrix contains non-finite entries")
+        if np.any(arr < 0):
+            raise DataError("latency matrix contains negative entries")
+        if not np.allclose(np.diag(arr), 0.0):
+            raise DataError("latency matrix diagonal must be zero")
+        if check_symmetry and not np.allclose(arr, arr.T):
+            raise DataError("latency matrix must be symmetric")
+        return cls(values=arr)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.values.shape[0]
+
+    def off_diagonal(self) -> np.ndarray:
+        """All pairwise latencies (upper triangle, flattened)."""
+        iu = np.triu_indices(self.n, k=1)
+        return self.values[iu]
+
+    @property
+    def median_ms(self) -> float:
+        """Median pairwise latency."""
+        return float(np.median(self.off_diagonal()))
+
+    def submatrix(self, ids: np.ndarray) -> "LatencyMatrix":
+        """Restrict to the given node ids (in the given order)."""
+        idx = np.asarray(ids, dtype=int)
+        return LatencyMatrix(values=self.values[np.ix_(idx, idx)])
+
+    def triangle_violation_fraction(self, samples: int = 2000, seed: int = 0) -> float:
+        """Fraction of sampled triangles violating the triangle inequality.
+
+        Real latency datasets violate the triangle inequality; synthetic
+        stand-ins should too (the paper's argument does not rely on
+        metricity, and Meridian is robust to mild violations).
+        """
+        rng = np.random.default_rng(seed)
+        if self.n < 3:
+            return 0.0
+        triples = rng.integers(0, self.n, size=(samples, 3))
+        ok = (triples[:, 0] != triples[:, 1]) & (triples[:, 1] != triples[:, 2])
+        ok &= triples[:, 0] != triples[:, 2]
+        triples = triples[ok]
+        if triples.size == 0:
+            return 0.0
+        a, b, c = triples[:, 0], triples[:, 1], triples[:, 2]
+        direct = self.values[a, c]
+        via = self.values[a, b] + self.values[b, c]
+        return float(np.mean(direct > via * (1 + 1e-9)))
+
+    def save(self, path: str | Path) -> None:
+        """Persist to a compressed ``.npz`` file."""
+        np.savez_compressed(Path(path), values=self.values)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LatencyMatrix":
+        """Load a matrix previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            if "values" not in data:
+                raise DataError(f"{path} is not a LatencyMatrix archive")
+            return cls.from_array(data["values"], check_symmetry=False)

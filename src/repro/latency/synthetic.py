@@ -1,0 +1,144 @@
+"""Synthetic stand-in for the Meridian DNS-server latency dataset.
+
+The paper samples cluster-hub positions from the Meridian dataset, whose
+"DNS-server pairs have a median latency of around 65 ms".  We generate a
+statistically comparable matrix:
+
+* nodes are placed on a 2-D geographic plane with a few population centres
+  (continents), so the latency distribution is multi-modal like real
+  wide-area RTTs (intra-continent ~10-50 ms, trans-continent ~100-250 ms);
+* each node carries an access penalty (last-mile delay) added to every RTT;
+* each pair gets lognormal jitter plus occasional inflation (circuitous
+  routes), so the triangle inequality is violated at realistic low rates;
+* the whole matrix is rescaled so the median pairwise RTT matches the
+  requested target (65 ms by default).
+
+Only the distribution's scale and rough shape matter to the paper's
+experiments — hubs just need to be "far apart relative to intra-cluster
+latencies".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.validate import require_in_range, require_positive
+
+#: Median RTT of the real Meridian dataset per the paper.
+MERIDIAN_MEDIAN_MS = 65.0
+
+
+@dataclass(frozen=True)
+class SyntheticCoreConfig:
+    """Parameters of the synthetic wide-area latency generator."""
+
+    n_nodes: int
+    median_ms: float = MERIDIAN_MEDIAN_MS
+    n_continents: int = 4
+    continent_spread_ms: float = 18.0  # one-way geographic spread inside a continent
+    inter_continent_ms: float = 55.0  # one-way distance scale between continents
+    # Nodes clump into metro areas (DNS servers concentrate in cities); the
+    # real Meridian dataset has many near-co-located servers, which is what
+    # creates confusable "twin clusters" when many hubs are sampled.
+    nodes_per_metro: float = 8.0
+    metro_spread_ms: float = 1.2  # one-way scatter of nodes within a metro
+    access_penalty_low_ms: float = 0.25
+    access_penalty_high_ms: float = 3.0
+    jitter_sigma: float = 0.10
+    inflation_probability: float = 0.05
+    inflation_factor_high: float = 1.8
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_nodes, "n_nodes")
+        require_positive(self.median_ms, "median_ms")
+        require_positive(self.n_continents, "n_continents")
+        require_in_range(self.inflation_probability, "inflation_probability", 0.0, 1.0)
+
+
+def _node_positions(config: SyntheticCoreConfig, rng: np.random.Generator) -> np.ndarray:
+    """Place nodes around continent centres on a 2-D plane (one-way-ms units)."""
+    angles = np.linspace(0.0, 2.0 * np.pi, config.n_continents, endpoint=False)
+    centres = config.inter_continent_ms * np.stack(
+        [np.cos(angles), np.sin(angles)], axis=1
+    )
+    # Continents have unequal populations, like the real Internet.
+    weights = rng.dirichlet(np.full(config.n_continents, 2.0))
+    n_metros = max(4, int(round(config.n_nodes / config.nodes_per_metro)))
+    metro_continent = rng.choice(config.n_continents, size=n_metros, p=weights)
+    metro_scatter = rng.normal(0.0, config.continent_spread_ms, size=(n_metros, 2))
+    metro_positions = centres[metro_continent] + metro_scatter
+    node_metro = rng.choice(n_metros, size=config.n_nodes)
+    node_scatter = rng.normal(0.0, config.metro_spread_ms, size=(config.n_nodes, 2))
+    return metro_positions[node_metro] + node_scatter
+
+
+def synthetic_core_matrix(
+    n_nodes: int,
+    seed: int | np.random.Generator | None = None,
+    config: SyntheticCoreConfig | None = None,
+) -> np.ndarray:
+    """Generate an ``n_nodes`` x ``n_nodes`` wide-area RTT matrix.
+
+    Returns a plain numpy array (symmetric, zero diagonal) so callers can
+    wrap it in :class:`~repro.latency.matrix.LatencyMatrix` or slice it
+    directly for cluster-hub placement.
+    """
+    if config is None:
+        config = SyntheticCoreConfig(n_nodes=n_nodes)
+    elif config.n_nodes != n_nodes:
+        config = SyntheticCoreConfig(**{**config.__dict__, "n_nodes": n_nodes})
+    rng = make_rng(seed)
+
+    positions = _node_positions(config, rng)
+    diff = positions[:, None, :] - positions[None, :, :]
+    geographic_one_way = np.sqrt(np.sum(diff * diff, axis=2))
+    rtt = 2.0 * geographic_one_way
+
+    access = rng.uniform(
+        config.access_penalty_low_ms, config.access_penalty_high_ms, size=n_nodes
+    )
+    rtt += access[:, None] + access[None, :]
+
+    jitter = rng.normal(0.0, config.jitter_sigma, size=(n_nodes, n_nodes))
+    jitter = np.triu(jitter, k=1)
+    jitter = jitter + jitter.T  # symmetric jitter
+    rtt *= np.exp(jitter)
+
+    inflate = rng.random(size=(n_nodes, n_nodes)) < config.inflation_probability
+    inflate = np.triu(inflate, k=1)
+    inflate = inflate | inflate.T
+    factors = rng.uniform(1.1, config.inflation_factor_high, size=(n_nodes, n_nodes))
+    factors = np.triu(factors, k=1)
+    factors = factors + factors.T + np.eye(n_nodes)
+    rtt = np.where(inflate, rtt * factors, rtt)
+
+    np.fill_diagonal(rtt, 0.0)
+
+    # Rescale to the target median.
+    iu = np.triu_indices(n_nodes, k=1)
+    if iu[0].size:
+        current_median = float(np.median(rtt[iu]))
+        if current_median > 0:
+            rtt *= config.median_ms / current_median
+    return rtt
+
+
+def sample_hub_latencies(
+    core: np.ndarray,
+    n_hubs: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Pick ``n_hubs`` random rows/columns of a core matrix for cluster-hubs.
+
+    Mirrors the paper's "each cluster-hub is represented by a randomly
+    picked DNS server from the dataset".  Sampling is without replacement
+    when possible.
+    """
+    rng = make_rng(seed)
+    n = core.shape[0]
+    replace = n_hubs > n
+    ids = rng.choice(n, size=n_hubs, replace=replace)
+    return core[np.ix_(ids, ids)]

@@ -1,0 +1,46 @@
+"""Simulated re-creation of the paper's Section 3 measurement methodology.
+
+The paper's measurements ran over the live Internet: rockettrace from a
+measurement host, the King technique between recursive DNS servers, and
+TCP pings to Azureus peers from seven PlanetLab vantage points.  This
+package reimplements each tool against the synthetic Internet of
+:mod:`repro.topology.internet`, with the error sources the paper discusses
+(DNS server lag, alternate paths, misnamed routers, unresponsive hosts)
+modelled explicitly, and then reproduces both measurement pipelines:
+
+* :mod:`repro.measurement.dns_pipeline` — Section 3.1 (Figures 3, 4, 5);
+* :mod:`repro.measurement.azureus_pipeline` — Section 3.2 (Figures 6, 7).
+"""
+
+from repro.measurement.king import KingConfig, KingEstimator
+from repro.measurement.ping import Pinger
+from repro.measurement.pipeline_types import (
+    ClusterOfPeers,
+    DnsPairMeasurement,
+    TracerouteHop,
+    TracerouteResult,
+)
+from repro.measurement.tcpping import TcpPinger
+from repro.measurement.traceroute import Rockettrace, TracerouteConfig, last_common_router
+from repro.measurement.vantage import (
+    TABLE1_VANTAGE_CITIES,
+    TABLE1_VANTAGE_POINTS,
+    VantagePoint,
+)
+
+__all__ = [
+    "KingConfig",
+    "KingEstimator",
+    "Pinger",
+    "TcpPinger",
+    "Rockettrace",
+    "TracerouteConfig",
+    "last_common_router",
+    "TracerouteHop",
+    "TracerouteResult",
+    "DnsPairMeasurement",
+    "ClusterOfPeers",
+    "VantagePoint",
+    "TABLE1_VANTAGE_CITIES",
+    "TABLE1_VANTAGE_POINTS",
+]

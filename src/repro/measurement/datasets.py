@@ -1,0 +1,97 @@
+"""Synthetic stand-ins for the paper's external datasets.
+
+The paper consumes two third-party datasets we cannot access offline:
+
+* ~22,000 recursive DNS servers (Ballani et al., IMC 2006) — Section 3.1;
+* 156,658 Azureus client IPs (Ledlie et al., NSDI 2007) — Section 3.2.
+
+Both become *populations inside the synthetic Internet*; this module holds
+the Internet configurations sized for each study (scaled down by default so
+the harness runs on a laptop, with ``paper_scale=True`` restoring the
+original orders of magnitude) plus convenience accessors.
+"""
+
+from __future__ import annotations
+
+from repro.topology.internet import InternetConfig, SyntheticInternet
+
+
+def dns_study_internet_config(paper_scale: bool = False) -> InternetConfig:
+    """An Internet sized for the Section 3.1 DNS study.
+
+    DNS servers appear in campus networks; the default yields a few
+    thousand servers (the paper had ~22k).
+    """
+    if paper_scale:
+        return InternetConfig(
+            n_isps=12,
+            pops_per_isp_low=8,
+            pops_per_isp_high=16,
+            en_per_pop_low=40,
+            en_per_pop_high=220,
+            home_en_fraction=0.35,
+            dns_probability_campus=0.75,
+            max_dns_per_en=3,
+        )
+    return InternetConfig(
+        n_isps=8,
+        pops_per_isp_low=4,
+        pops_per_isp_high=9,
+        en_per_pop_low=16,
+        en_per_pop_high=80,
+        home_en_fraction=0.4,
+        dns_probability_campus=0.7,
+        max_dns_per_en=2,
+    )
+
+
+def azureus_study_internet_config(paper_scale: bool = False) -> InternetConfig:
+    """An Internet sized for the Section 3.2 Azureus study.
+
+    Peers are mostly home users funnelled through shared aggregation; the
+    big clusters of Fig 6/7 come from PoPs with dense home populations.
+    """
+    if paper_scale:
+        return InternetConfig(
+            n_isps=12,
+            pops_per_isp_low=6,
+            pops_per_isp_high=14,
+            en_per_pop_low=150,
+            en_per_pop_high=1600,
+            home_en_fraction=0.78,
+            agg_depth_weights=(0.12, 0.66, 0.22),
+            end_networks_per_l1_agg=260,
+            tcp_response_rate=0.35,
+        )
+    # Home lines funnel into a few fat aggregation routers per PoP (the
+    # BRAS/DSLAM concentrators behind the paper's 100+-peer clusters).
+    # A few dominant consumer ISPs, as in the 2008 Azureus population.
+    return InternetConfig(
+        n_isps=4,
+        pops_per_isp_low=5,
+        pops_per_isp_high=12,
+        en_per_pop_low=80,
+        en_per_pop_high=1100,
+        home_en_fraction=0.75,
+        agg_depth_weights=(0.15, 0.65, 0.2),
+        end_networks_per_l1_agg=450,
+        tcp_response_rate=0.45,
+    )
+
+
+def generate_dns_server_population(
+    seed: int = 0, paper_scale: bool = False
+) -> SyntheticInternet:
+    """A ready Internet whose DNS servers stand in for the Ballani set."""
+    return SyntheticInternet.generate(
+        dns_study_internet_config(paper_scale), seed=seed
+    )
+
+
+def generate_azureus_population(
+    seed: int = 0, paper_scale: bool = False
+) -> SyntheticInternet:
+    """A ready Internet whose peers stand in for the Ledlie Azureus set."""
+    return SyntheticInternet.generate(
+        azureus_study_internet_config(paper_scale), seed=seed
+    )

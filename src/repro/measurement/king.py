@@ -1,0 +1,97 @@
+"""Simulated King technique (Gummadi et al., SIGCOMM 2002).
+
+King estimates the latency between two *recursive* DNS servers by issuing,
+from a measurement host, (1) a direct query to server A and (2) a recursive
+query through A for a name that B is authoritative for, then subtracting.
+
+The simulation reproduces King's observable error structure, which drives
+the shape of the paper's Figures 3 and 4:
+
+* **server lag**: "at low latencies, the lag involved at the DNS servers
+  executing the King measurements is likely to constitute a non-negligible
+  part of the measured latency" — each server adds an exponential
+  processing delay, inflating short measurements;
+* **alternate paths**: "at large latencies, it gets more likely that there
+  are alternate paths between the DNS servers that do not traverse the
+  common upstream router" — with probability growing in the true latency,
+  the measured RTT is discounted below the tree-routed prediction (DNS
+  servers are well connected, so this is common for them);
+* **same-domain failure**: servers sharing a domain are likely authoritative
+  for the same names, so the recursive query is answered locally and King
+  is unusable — :meth:`KingEstimator.measure` returns ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.internet import SyntheticInternet
+from repro.util.rng import make_rng
+from repro.util.validate import require_in_range, require_non_negative
+
+
+@dataclass(frozen=True)
+class KingConfig:
+    """Noise/error parameters of the King simulation."""
+
+    server_lag_scale_ms: float = 1.2
+    noise_sigma: float = 0.45
+    # P(alternate path) = min(cap, base + slope * true_latency_ms)
+    alternate_path_base: float = 0.15
+    alternate_path_slope_per_ms: float = 0.01
+    alternate_path_cap: float = 0.8
+    alternate_discount_low: float = 0.3
+    alternate_discount_high: float = 0.9
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.server_lag_scale_ms, "server_lag_scale_ms")
+        require_in_range(self.alternate_path_cap, "alternate_path_cap", 0.0, 1.0)
+
+
+class KingEstimator:
+    """Latency estimation between recursive DNS servers via King."""
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        config: KingConfig | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self._internet = internet
+        self._config = config or KingConfig()
+        self._rng = make_rng(seed)
+
+    def usable(self, server_a: int, server_b: int) -> bool:
+        """King works only across different domains (see module docstring)."""
+        rec_a = self._internet.host(server_a)
+        rec_b = self._internet.host(server_b)
+        if rec_a.domain is None or rec_b.domain is None:
+            return False
+        return rec_a.domain != rec_b.domain
+
+    def measure(self, server_a: int, server_b: int) -> float | None:
+        """King's estimate of the RTT between two DNS servers, or ``None``."""
+        if not self.usable(server_a, server_b):
+            return None
+        cfg = self._config
+        rng = self._rng
+        true = self._internet.route(server_a, server_b).latency_ms
+        # Alternate (non-tree) path between well-connected servers.
+        p_alternate = min(
+            cfg.alternate_path_cap,
+            cfg.alternate_path_base + cfg.alternate_path_slope_per_ms * true,
+        )
+        effective = true
+        if rng.random() < p_alternate:
+            effective = true * float(
+                rng.uniform(cfg.alternate_discount_low, cfg.alternate_discount_high)
+            )
+        # Recursive-query processing lag at both servers.
+        lag = float(rng.exponential(cfg.server_lag_scale_ms)) + float(
+            rng.exponential(cfg.server_lag_scale_ms)
+        )
+        measured = effective + lag
+        measured *= float(np.exp(rng.normal(0.0, cfg.noise_sigma)))
+        return measured

@@ -1,0 +1,45 @@
+"""Simulated TCP-ping.
+
+Azureus peers "do not respond to either ping or traceroute with valid
+latencies", so the paper measures "the time it takes to complete a TCP
+'connect' to the [well-known] port at the peer".  Our model: a peer
+responds only if its simulated client is running and reachable
+(``responds_to_tcp_ping``); a successful connect measures the true RTT plus
+SYN/accept processing delay and noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.internet import SyntheticInternet
+from repro.util.rng import make_rng
+
+#: The well-known Azureus port the paper probes.
+AZUREUS_PORT = 6881
+
+
+class TcpPinger:
+    """TCP-connect RTT probes against the synthetic Internet."""
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        seed: int | np.random.Generator | None = None,
+        syn_processing_scale_ms: float = 0.35,
+        noise_sigma: float = 0.04,
+    ) -> None:
+        self._internet = internet
+        self._rng = make_rng(seed)
+        self._syn_processing_scale_ms = syn_processing_scale_ms
+        self._noise_sigma = noise_sigma
+
+    def measure(self, src_host: int, dst_host: int) -> float | None:
+        """TCP-connect RTT, or ``None`` when the peer is not reachable."""
+        record = self._internet.host(dst_host)
+        if not record.responds_to_tcp_ping:
+            return None
+        true = self._internet.route(src_host, dst_host).latency_ms
+        processing = float(self._rng.exponential(self._syn_processing_scale_ms))
+        factor = float(np.exp(self._rng.normal(0.0, self._noise_sigma)))
+        return true * factor + processing

@@ -1,0 +1,42 @@
+"""The measurement vantage points of the paper's Table 1.
+
+Seven PlanetLab hosts spread across three continents; the paper argues this
+spread ensures a peer's common upstream router (as seen from *all* vantage
+points) really is on the path between cluster peers.  We place synthetic
+vantage hosts at the same cities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One row of Table 1."""
+
+    hostname: str
+    location: str
+    city: str  # the matching repro.topology.cities entry
+
+
+#: Table 1 of the paper, verbatim hostnames/locations, mapped to built-in cities.
+TABLE1_VANTAGE_POINTS: tuple[VantagePoint, ...] = (
+    VantagePoint("planetlab02.cs.washington.edu", "Washington, USA", "Seattle"),
+    VantagePoint("planetlab3.ucsd.edu", "California, USA", "San Diego"),
+    VantagePoint("planetlab5.cs.cornell.edu", "New York, USA", "Ithaca"),
+    VantagePoint("planetlab2.acis.ufl.edu", "Florida, USA", "Gainesville"),
+    VantagePoint("neu1.6planetlab.edu.cn", "Shenyang, China", "Shenyang"),
+    VantagePoint("planetlab2.iii.u-tokyo.ac.jp", "Tokyo, Japan", "Tokyo"),
+    VantagePoint("planetlab2.xeno.cl.cam.ac.uk", "Cambridge, England", "Cambridge UK"),
+)
+
+#: Just the city names, in Table 1 order (what the generator consumes).
+TABLE1_VANTAGE_CITIES: tuple[str, ...] = tuple(
+    vp.city for vp in TABLE1_VANTAGE_POINTS
+)
+
+
+def table1_rows() -> list[list[str]]:
+    """Rows for rendering Table 1 (vantage point, location)."""
+    return [[vp.hostname, vp.location] for vp in TABLE1_VANTAGE_POINTS]

@@ -1,0 +1,48 @@
+"""The paper's Section 5 mechanisms for beating the clustering condition.
+
+Three families, all of which "explicitly or implicitly search for peers
+that are topologically close":
+
+1. **Expanding multicast search** inside the end-network
+   (:mod:`repro.mechanisms.multicast`) — needs IP multicast enabled and can
+   miss peers across VLAN boundaries;
+2. **Per-end-network membership registry**
+   (:mod:`repro.mechanisms.registry`) — centralised, needs enough local
+   peers to justify the server;
+3. **Topology hints over a key-value map** — the decentralised approach the
+   paper evaluates: Upstream Connectivity Lists
+   (:mod:`repro.mechanisms.ucl`, Fig 10) and IP prefixes
+   (:mod:`repro.mechanisms.ipprefix`, Fig 11), both hostable on the Chord
+   substrate in :mod:`repro.dht`.
+
+:mod:`repro.mechanisms.composite` couples a mechanism with a traditional
+nearest-peer algorithm, as the paper recommends; and
+:mod:`repro.mechanisms.proximity` implements the UCL-extended proximity
+addresses suggested for Vivaldi/PIC.
+"""
+
+from repro.mechanisms.composite import CompositeFinder, CompositeResult
+from repro.mechanisms.ipprefix import (
+    PrefixErrorRates,
+    PrefixMap,
+    prefix_error_rates,
+)
+from repro.mechanisms.multicast import MulticastSearch
+from repro.mechanisms.proximity import ProximityAddress, proximity_compare
+from repro.mechanisms.registry import EndNetworkRegistry
+from repro.mechanisms.ucl import UclEntry, UclMap, compute_ucl
+
+__all__ = [
+    "UclMap",
+    "UclEntry",
+    "compute_ucl",
+    "PrefixMap",
+    "PrefixErrorRates",
+    "prefix_error_rates",
+    "MulticastSearch",
+    "EndNetworkRegistry",
+    "CompositeFinder",
+    "CompositeResult",
+    "ProximityAddress",
+    "proximity_compare",
+]

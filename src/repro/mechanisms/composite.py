@@ -1,0 +1,112 @@
+"""Coupling mechanisms with traditional nearest-peer algorithms.
+
+The paper: "the three approaches listed above would be used in conjunction
+with existing near-peer finding algorithms (and with one another) to obtain
+maximum accuracy" — and for UCL specifically, "if the closest peer happens
+to be significantly farther away ... we suggest coupling the above approach
+with traditional nearest-peer algorithms".
+
+:class:`CompositeFinder` runs a mechanism cascade (multicast → registry →
+UCL → prefix, any subset) and falls back to a latency-only algorithm when
+no mechanism produces a near candidate; the result records which stage
+answered, so evaluations can attribute wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm
+from repro.mechanisms.ipprefix import PrefixMap
+from repro.mechanisms.multicast import MulticastSearch
+from repro.mechanisms.registry import EndNetworkRegistry
+from repro.mechanisms.ucl import UclEntry, UclMap, compute_ucl
+from repro.topology.internet import SyntheticInternet
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class CompositeResult:
+    """Outcome of a composite search."""
+
+    target: int
+    found: int | None
+    latency_ms: float | None
+    stage: str  # "multicast" | "registry" | "ucl" | "prefix" | "fallback" | "none"
+    probes: int
+
+
+class CompositeFinder:
+    """Mechanism cascade with algorithmic fallback."""
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        multicast: MulticastSearch | None = None,
+        registry: EndNetworkRegistry | None = None,
+        ucl_map: UclMap | None = None,
+        prefix_map: PrefixMap | None = None,
+        fallback: NearestPeerAlgorithm | None = None,
+        ucl_max_estimate_ms: float = 10.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self._internet = internet
+        self._multicast = multicast
+        self._registry = registry
+        self._ucl_map = ucl_map
+        self._prefix_map = prefix_map
+        self._fallback = fallback
+        self._ucl_max_estimate_ms = ucl_max_estimate_ms
+        self._rng = make_rng(seed)
+        self._peer_set: set[int] = set()
+
+    def register_peer(self, peer_id: int, ucl: list[UclEntry] | None = None) -> None:
+        """A peer joins: publish it through every configured mechanism."""
+        self._peer_set.add(peer_id)
+        if self._registry is not None:
+            self._registry.join(peer_id)
+        if self._ucl_map is not None:
+            if ucl is None:
+                ucl = compute_ucl(self._internet, peer_id, seed=self._rng)
+            self._ucl_map.insert_peer(peer_id, ucl)
+        if self._prefix_map is not None:
+            self._prefix_map.insert_peer(peer_id)
+
+    def find_nearest(self, target: int) -> CompositeResult:
+        """Run the cascade for a joining peer ``target``."""
+        if self._multicast is not None:
+            found, latency = self._multicast.find_nearest(target, self._peer_set)
+            if found is not None:
+                return CompositeResult(target, found, latency, "multicast", probes=0)
+        if self._registry is not None:
+            found, latency = self._registry.find_nearest(target)
+            if found is not None:
+                return CompositeResult(target, found, latency, "registry", probes=0)
+        if self._ucl_map is not None:
+            ucl = compute_ucl(self._internet, target, seed=self._rng)
+            found, latency, stats = self._ucl_map.find_nearest(
+                target,
+                ucl,
+                max_estimate_ms=self._ucl_max_estimate_ms,
+                seed=self._rng,
+            )
+            if found is not None:
+                return CompositeResult(target, found, latency, "ucl", stats.probes)
+        if self._prefix_map is not None:
+            found, latency, probes = self._prefix_map.find_nearest(
+                target, probe_budget=32, seed=self._rng
+            )
+            if found is not None and latency is not None and latency <= 2 * self._ucl_max_estimate_ms:
+                return CompositeResult(target, found, latency, "prefix", probes)
+        if self._fallback is not None:
+            outcome = self._fallback.query(target, seed=self._rng)
+            return CompositeResult(
+                target,
+                outcome.found,
+                outcome.found_latency_ms,
+                "fallback",
+                outcome.probes,
+            )
+        return CompositeResult(target, None, None, "none", probes=0)

@@ -1,0 +1,196 @@
+"""The IP-prefix heuristic and its Fig 11 error analysis.
+
+Peers are keyed by a fixed-length prefix of their IP address; a joining
+peer retrieves everyone sharing its prefix and probes them.  The paper
+finds "no clear sweet-spot": short prefixes drown the peer in false
+positives, long prefixes miss most genuinely close peers.
+:func:`prefix_error_rates` reproduces that trade-off exactly as defined in
+the paper:
+
+* per-peer **false-positive rate** — peers sharing the prefix but farther
+  than the threshold, over all peers farther than the threshold;
+* per-peer **false-negative rate** — peers *not* sharing the prefix but
+  closer than the threshold, over all peers closer than the threshold
+  (computed only for peers that have at least one close peer);
+* the figure plots the medians across peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.internet import SyntheticInternet
+from repro.topology.ip import prefixes_array
+from repro.util.errors import DataError
+from repro.util.rng import make_rng
+
+
+class PrefixMap:
+    """prefix-value -> peers key-value mapping (the deployable heuristic)."""
+
+    def __init__(
+        self, internet: SyntheticInternet, prefix_length: int = 24, backend=None
+    ) -> None:
+        from repro.mechanisms.ucl import DictBackend
+
+        if not 0 < prefix_length <= 32:
+            raise DataError(f"prefix_length must be in (0, 32], got {prefix_length}")
+        self._internet = internet
+        self._prefix_length = prefix_length
+        self._backend = backend if backend is not None else DictBackend()
+
+    def _key(self, peer_id: int) -> int:
+        ip = self._internet.host(peer_id).ip
+        return int(prefixes_array(np.array([ip]), self._prefix_length)[0])
+
+    def insert_peer(self, peer_id: int) -> None:
+        self._backend.put(self._key(peer_id), peer_id)
+
+    def candidates(self, peer_id: int) -> set[int]:
+        """Peers sharing the prefix (excluding the peer itself)."""
+        found = set(self._backend.get(self._key(peer_id)))
+        found.discard(peer_id)
+        return found
+
+    def find_nearest(
+        self,
+        new_peer: int,
+        probe_budget: int | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> tuple[int | None, float | None, int]:
+        """Probe prefix-mates; returns (peer, latency, probes_used).
+
+        Unlike the UCL map there is no latency annotation to pre-filter
+        with, so every retrieved candidate costs a probe — the
+        false-positive cost the paper highlights.  Probes run over the P2P
+        protocol itself (participating peers are mutually reachable).
+        """
+        rng = make_rng(seed)
+        candidates = list(self.candidates(new_peer))
+        rng.shuffle(candidates)
+        if probe_budget is not None:
+            candidates = candidates[:probe_budget]
+        best_peer, best_latency = None, None
+        probes = 0
+        for candidate in candidates:
+            true = self._internet.route(new_peer, candidate).latency_ms
+            measured = true * float(np.exp(rng.normal(0.0, 0.02))) + float(
+                rng.exponential(0.05)
+            )
+            probes += 1
+            if best_latency is None or measured < best_latency:
+                best_peer, best_latency = candidate, measured
+        return best_peer, best_latency, probes
+
+
+@dataclass(frozen=True)
+class PrefixErrorRates:
+    """Fig 11's y values for one prefix length."""
+
+    prefix_length: int
+    median_false_positive_rate: float
+    median_false_negative_rate: float
+    peers_evaluated: int
+    peers_with_close_peer: int
+
+
+def prefix_error_rates(
+    ips: np.ndarray,
+    close_pairs: set[tuple[int, int]],
+    prefix_lengths: list[int],
+) -> list[PrefixErrorRates]:
+    """Evaluate the heuristic over a peer population.
+
+    ``ips[i]`` is peer i's address; ``close_pairs`` holds index pairs
+    ``(i, j), i < j`` whose latency is under the threshold (10 ms in the
+    paper).  All other pairs count as far.  Complexity is O(peers) per
+    prefix length via prefix-group counting — no all-pairs scan.
+    """
+    n = ips.shape[0]
+    if n < 2:
+        raise DataError("need at least two peers")
+    close_neighbors: dict[int, set[int]] = {i: set() for i in range(n)}
+    for i, j in close_pairs:
+        if not (0 <= i < n and 0 <= j < n) or i == j:
+            raise DataError(f"bad close pair ({i}, {j})")
+        close_neighbors[i].add(j)
+        close_neighbors[j].add(i)
+
+    results = []
+    for length in prefix_lengths:
+        prefixes = prefixes_array(ips, length)
+        # Count peers per prefix group.
+        unique, inverse, counts = np.unique(
+            prefixes, return_inverse=True, return_counts=True
+        )
+        sharing = counts[inverse] - 1  # peers (other than self) sharing
+        false_positive_rates = []
+        false_negative_rates = []
+        peers_with_close = 0
+        for i in range(n):
+            close = close_neighbors[i]
+            n_close = len(close)
+            close_sharing = sum(
+                1 for j in close if prefixes[j] == prefixes[i]
+            )
+            far_total = (n - 1) - n_close
+            far_sharing = int(sharing[i]) - close_sharing
+            if far_total > 0:
+                false_positive_rates.append(far_sharing / far_total)
+            if n_close > 0:
+                peers_with_close += 1
+                false_negative_rates.append((n_close - close_sharing) / n_close)
+        results.append(
+            PrefixErrorRates(
+                prefix_length=length,
+                median_false_positive_rate=float(np.median(false_positive_rates)),
+                median_false_negative_rate=(
+                    float(np.median(false_negative_rates))
+                    if false_negative_rates
+                    else 0.0
+                ),
+                peers_evaluated=n,
+                peers_with_close_peer=peers_with_close,
+            )
+        )
+    return results
+
+
+def close_pairs_from_internet(
+    internet: SyntheticInternet,
+    peer_ids: list[int],
+    threshold_ms: float = 10.0,
+    max_pairs_per_city: int = 200_000,
+    seed: int | np.random.Generator | None = None,
+) -> set[tuple[int, int]]:
+    """Index pairs (into ``peer_ids``) closer than ``threshold_ms``.
+
+    Close pairs can only occur between peers whose PoPs share a city (hub
+    latencies alone exceed the threshold otherwise), so enumeration is
+    per-city.
+    """
+    rng = make_rng(seed)
+    index_of = {peer: i for i, peer in enumerate(peer_ids)}
+    by_city: dict[str, list[int]] = {}
+    for peer in peer_ids:
+        city = internet.pop(internet.host(peer).pop_id).city
+        by_city.setdefault(city, []).append(peer)
+    close: set[tuple[int, int]] = set()
+    for peers in by_city.values():
+        if len(peers) < 2:
+            continue
+        pairs = [
+            (peers[i], peers[j])
+            for i in range(len(peers))
+            for j in range(i + 1, len(peers))
+        ]
+        if len(pairs) > max_pairs_per_city:
+            picks = rng.choice(len(pairs), size=max_pairs_per_city, replace=False)
+            pairs = [pairs[int(k)] for k in picks]
+        for a, b in pairs:
+            if internet.route(a, b).latency_ms < threshold_ms:
+                ia, ib = index_of[a], index_of[b]
+                close.add((min(ia, ib), max(ia, ib)))
+    return close

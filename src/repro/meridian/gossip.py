@@ -1,0 +1,161 @@
+"""Gossip-based Meridian ring maintenance on the event simulator.
+
+The direct overlay constructor in :mod:`repro.meridian.overlay` reproduces
+Meridian's *converged* state; this module runs the actual protocol dynamics:
+each node periodically picks a random acquaintance, requests a sample of its
+ring members, probes the returned nodes and files them into rings.  Used by
+tests (to show the direct construction approximates the protocol's fixed
+point) and by the quickstart example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.meridian.overlay import MeridianConfig, MeridianNode, MeridianOverlay
+from repro.netsim.engine import EventLoop
+from repro.netsim.network import Message, Network, SimNode
+from repro.topology.oracle import LatencyOracle
+from repro.util.errors import DataError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Protocol timing and sizing."""
+
+    period_ms: float = 2_000.0  # ring-maintenance interval
+    exchange_size: int = 16  # members shared per gossip exchange
+    initial_contacts: int = 8  # bootstrap acquaintances per node
+    jitter_ms: float = 500.0  # desynchronises the periodic timers
+
+
+class GossipMeridianNode(SimNode):
+    """A Meridian node whose rings are fed by gossip exchanges."""
+
+    def __init__(
+        self,
+        node_id: int,
+        meridian_config: MeridianConfig,
+        gossip_config: GossipConfig,
+        probe_oracle: LatencyOracle,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(node_id)
+        self.state = MeridianNode(node_id, meridian_config)
+        self._gossip = gossip_config
+        self._probe_oracle = probe_oracle
+        self._rng = rng
+
+    # -- protocol ----------------------------------------------------------
+
+    def attached(self, network: Network) -> None:
+        delay = float(self._rng.uniform(0.0, self._gossip.jitter_ms))
+        self.set_timer(delay, "tick")
+
+    def _learn(self, member: int) -> None:
+        if member == self.node_id:
+            return
+        if member in self.state.all_members():
+            return
+        latency = self._probe_oracle.latency_ms(self.node_id, member)
+        self.state.insert(member, latency)
+        self._cap_ring(self.state.ring_of(latency))
+
+    def _cap_ring(self, ring_index: int) -> None:
+        """Evict a random member when a ring overflows.
+
+        Random eviction (rather than full diversity re-selection on every
+        insert) matches Meridian's incremental behaviour; the periodic
+        re-selection happens in :func:`run_gossip_overlay`'s final pass.
+        """
+        ring = self.state.rings[ring_index]
+        limit = 2 * self.state.config.ring_size
+        if len(ring) > limit:
+            victim = self._rng.choice(list(ring))
+            del ring[int(victim)]
+
+    def _sample_members(self, count: int) -> list[int]:
+        members = list(self.state.all_members())
+        if not members:
+            return []
+        count = min(count, len(members))
+        return [int(m) for m in self._rng.choice(members, size=count, replace=False)]
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "tick":
+            members = list(self.state.all_members())
+            if members:
+                partner = int(self._rng.choice(members))
+                self.send(partner, "ring_request")
+            self.set_timer(self._gossip.period_ms, "tick")
+        elif message.kind == "ring_request":
+            sample = self._sample_members(self._gossip.exchange_size)
+            self.send(message.src, "ring_reply", payload=sample)
+        elif message.kind == "ring_reply":
+            for member in message.payload:
+                self._learn(member)
+
+
+def run_gossip_overlay(
+    oracle: LatencyOracle,
+    member_ids: np.ndarray | list[int],
+    meridian_config: MeridianConfig | None = None,
+    gossip_config: GossipConfig | None = None,
+    rounds: int = 12,
+    seed: int | np.random.Generator | None = None,
+) -> MeridianOverlay:
+    """Run the gossip protocol and return the resulting overlay.
+
+    The event simulation runs for ``rounds`` maintenance periods, after
+    which each over-full ring is reduced by the configured diversity
+    selection — Meridian's periodic ring re-selection.
+    """
+    meridian_config = meridian_config or MeridianConfig()
+    gossip_config = gossip_config or GossipConfig()
+    rng = make_rng(seed)
+    members = np.asarray(member_ids, dtype=int)
+    if members.size < 2:
+        raise DataError("an overlay needs at least two members")
+
+    loop = EventLoop()
+    network = Network(loop, oracle, seed=rng)
+    nodes: dict[int, GossipMeridianNode] = {}
+    for node_id in members:
+        node = GossipMeridianNode(
+            int(node_id), meridian_config, gossip_config, oracle, rng
+        )
+        nodes[int(node_id)] = node
+        network.attach(node)
+    # Bootstrap: everyone knows a few random contacts.
+    for node_id, node in nodes.items():
+        others = members[members != node_id]
+        contacts = rng.choice(
+            others,
+            size=min(gossip_config.initial_contacts, others.size),
+            replace=False,
+        )
+        for contact in contacts:
+            node._learn(int(contact))
+
+    loop.run_until(rounds * gossip_config.period_ms)
+
+    # Final diversity pass, then freeze into a plain overlay.
+    from repro.meridian.overlay import _select_ring_members
+    from repro.topology.oracle import MatrixOracle
+
+    matrix = oracle.matrix if isinstance(oracle, MatrixOracle) else None
+    frozen: dict[int, MeridianNode] = {}
+    for node_id, node in nodes.items():
+        state = node.state
+        for index, ring in enumerate(state.rings):
+            if len(ring) <= meridian_config.ring_size:
+                continue
+            candidates = np.fromiter(ring.keys(), dtype=int)
+            keep = _select_ring_members(candidates, meridian_config, matrix, oracle)
+            kept = {int(candidates[i]) for i in keep}
+            state.rings[index] = {m: lat for m, lat in ring.items() if m in kept}
+        frozen[node_id] = state
+    return MeridianOverlay(config=meridian_config, member_ids=members, nodes=frozen)

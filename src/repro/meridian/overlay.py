@@ -1,0 +1,231 @@
+"""Meridian overlay: per-node ring membership over a latency oracle.
+
+The paper runs "the Meridian simulator used in the Meridian paper", which
+populates each node's rings from the full latency matrix and keeps at most
+``ring_size`` diverse members per ring.  :meth:`MeridianOverlay.build`
+reproduces that converged state directly:
+
+* every other member is a ring candidate (``knowledge_sample=None``), or a
+  uniform sample of them (modelling an under-gossiped overlay — used by the
+  ablation benchmarks);
+* each over-full ring is first subsampled to ``candidate_pool`` entries
+  (gossip only ever surfaces a bounded candidate set per ring) and then
+  reduced to ``ring_size`` members by diversity selection
+  (:mod:`repro.meridian.selection`).
+
+A live gossip protocol on the event simulator lives in
+:mod:`repro.meridian.gossip`; it converges toward the same structure and is
+exercised by tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.meridian.rings import RingStructure
+from repro.meridian.selection import select_hypervolume, select_maxmin
+from repro.topology.oracle import LatencyOracle, MatrixOracle
+from repro.util.errors import ConfigurationError, DataError
+from repro.util.rng import make_rng
+from repro.util.validate import require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class MeridianConfig:
+    """Overlay and query parameters (paper defaults where stated)."""
+
+    rings: RingStructure = field(default_factory=RingStructure)
+    ring_size: int = 16  # paper: "number of neighbors per ring set to 16"
+    beta: float = 0.5  # paper: "β set to 0.5"
+    candidate_pool: int = 48  # ring candidates surfaced before selection
+    # What fraction of the membership a node has ever heard of.  Meridian's
+    # gossip gives each node a partial view; 0.2 reproduces the paper's
+    # accuracy regime (Fig 8's rise-to-peak-at-25-then-collapse).  Set to
+    # None (with knowledge_sample=None) for an idealised full-knowledge
+    # overlay.
+    knowledge_fraction: float | None = 0.2
+    knowledge_sample: int | None = None  # absolute override of the fraction
+    selection: str = "maxmin"  # or "hypervolume"
+    max_hops: int = 64
+
+    def __post_init__(self) -> None:
+        require_positive(self.ring_size, "ring_size")
+        require_in_range(self.beta, "beta", 0.0, 1.0)
+        require_positive(self.candidate_pool, "candidate_pool")
+        if self.candidate_pool < self.ring_size:
+            raise ConfigurationError("candidate_pool must be >= ring_size")
+        if self.knowledge_sample is not None:
+            require_positive(self.knowledge_sample, "knowledge_sample")
+        if self.knowledge_fraction is not None:
+            require_in_range(self.knowledge_fraction, "knowledge_fraction", 0.0, 1.0)
+        if self.selection not in ("maxmin", "hypervolume"):
+            raise ConfigurationError(
+                f"selection must be 'maxmin' or 'hypervolume', got {self.selection!r}"
+            )
+
+    def knowledge_size(self, n_members: int) -> int | None:
+        """How many members one node knows of, or ``None`` for all."""
+        if self.knowledge_sample is not None:
+            return min(self.knowledge_sample, n_members - 1)
+        if self.knowledge_fraction is not None and self.knowledge_fraction < 1.0:
+            return max(
+                self.ring_size, int(round(self.knowledge_fraction * (n_members - 1)))
+            )
+        return None
+
+
+class MeridianNode:
+    """One overlay member: rings mapping member id -> measured latency."""
+
+    def __init__(self, node_id: int, config: MeridianConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.rings: list[dict[int, float]] = [
+            {} for _ in range(config.rings.ring_count)
+        ]
+
+    def ring_of(self, latency_ms: float) -> int:
+        return self.config.rings.ring_index(latency_ms)
+
+    def insert(self, member: int, latency_ms: float) -> None:
+        """Place ``member`` in the ring its latency dictates (uncapped)."""
+        if member == self.node_id:
+            raise DataError("a node cannot be its own ring member")
+        self.rings[self.ring_of(latency_ms)][member] = latency_ms
+
+    def all_members(self) -> dict[int, float]:
+        """Union of all rings: member -> latency."""
+        merged: dict[int, float] = {}
+        for ring in self.rings:
+            merged.update(ring)
+        return merged
+
+    def members_within(self, low_ms: float, high_ms: float) -> list[int]:
+        """Ring members whose measured latency lies in ``[low, high]``.
+
+        This is the query-time band ``(1 ± beta) * d``; only rings
+        overlapping the band are scanned.
+        """
+        result = []
+        structure = self.config.rings
+        for index, ring in enumerate(self.rings):
+            inner, outer = structure.ring_bounds(index)
+            if outer < low_ms or inner > high_ms:
+                continue
+            result.extend(m for m, lat in ring.items() if low_ms <= lat <= high_ms)
+        return result
+
+    def member_count(self) -> int:
+        return sum(len(r) for r in self.rings)
+
+
+class MeridianOverlay:
+    """A set of Meridian nodes built over a latency oracle."""
+
+    def __init__(
+        self,
+        config: MeridianConfig,
+        member_ids: np.ndarray,
+        nodes: dict[int, MeridianNode],
+    ) -> None:
+        self.config = config
+        self.member_ids = member_ids
+        self.nodes = nodes
+
+    @property
+    def n_members(self) -> int:
+        return int(self.member_ids.size)
+
+    def node(self, node_id: int) -> MeridianNode:
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        oracle: LatencyOracle,
+        member_ids: np.ndarray | list[int],
+        config: MeridianConfig | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> "MeridianOverlay":
+        """Construct the converged overlay (see module docstring)."""
+        config = config or MeridianConfig()
+        rng = make_rng(seed)
+        members = np.asarray(member_ids, dtype=int)
+        if members.size < 2:
+            raise DataError("an overlay needs at least two members")
+        matrix = oracle.matrix if isinstance(oracle, MatrixOracle) else None
+        ring_count = config.rings.ring_count
+        # Ring edges for vectorised assignment: index i covers (edge[i-1], edge[i]].
+        edges = np.array(
+            [config.rings.ring_bounds(i)[1] for i in range(ring_count - 1)]
+        )
+
+        nodes: dict[int, MeridianNode] = {}
+        knowledge = config.knowledge_size(members.size)
+        for position, node_id in enumerate(members):
+            node = MeridianNode(int(node_id), config)
+            others = np.delete(members, position)
+            if knowledge is not None and knowledge < others.size:
+                others = rng.choice(others, size=knowledge, replace=False)
+            if matrix is not None:
+                latencies = matrix[node_id, others]
+            else:
+                latencies = np.array(
+                    [oracle.latency_ms(int(node_id), int(o)) for o in others]
+                )
+            ring_index = np.searchsorted(edges, latencies, side="left")
+            for ring in range(ring_count):
+                mask = ring_index == ring
+                count = int(np.count_nonzero(mask))
+                if count == 0:
+                    continue
+                candidates = others[mask]
+                cand_lat = latencies[mask]
+                if count > config.candidate_pool:
+                    pick = rng.choice(count, size=config.candidate_pool, replace=False)
+                    candidates = candidates[pick]
+                    cand_lat = cand_lat[pick]
+                keep = _select_ring_members(
+                    candidates, config, matrix, oracle
+                )
+                for idx in keep:
+                    node.rings[ring][int(candidates[idx])] = float(cand_lat[idx])
+            nodes[int(node_id)] = node
+        return cls(config=config, member_ids=members, nodes=nodes)
+
+    def average_ring_occupancy(self) -> float:
+        """Mean members per non-empty ring (diagnostic)."""
+        counts = [
+            len(ring)
+            for node in self.nodes.values()
+            for ring in node.rings
+            if ring
+        ]
+        return float(np.mean(counts)) if counts else 0.0
+
+
+def _select_ring_members(
+    candidates: np.ndarray,
+    config: MeridianConfig,
+    matrix: np.ndarray | None,
+    oracle: LatencyOracle,
+) -> list[int]:
+    """Indices (into ``candidates``) of the members a ring retains."""
+    if candidates.size <= config.ring_size:
+        return list(range(candidates.size))
+    if matrix is not None:
+        pairwise = matrix[np.ix_(candidates, candidates)]
+    else:
+        pairwise = np.array(
+            [
+                [oracle.latency_ms(int(a), int(b)) for b in candidates]
+                for a in candidates
+            ]
+        )
+    if config.selection == "maxmin":
+        return select_maxmin(pairwise, config.ring_size)
+    return select_hypervolume(pairwise, config.ring_size)

@@ -1,0 +1,53 @@
+"""Meridian's concentric ring geometry.
+
+Ring ``i`` (for ``i >= 1``) holds nodes at latency in
+``(alpha * base^(i-1), alpha * base^i]``; ring 0 holds ``[0, alpha]``; the
+outermost ring is unbounded.  Meridian's defaults — 1 ms inner radius,
+doubling radii — are kept.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validate import require_positive
+
+
+@dataclass(frozen=True)
+class RingStructure:
+    """The ring radius schedule shared by every node of an overlay."""
+
+    alpha_ms: float = 1.0
+    base: float = 2.0
+    n_rings: int = 9  # rings 1..n_rings; ring n_rings+... collapse into the last
+
+    def __post_init__(self) -> None:
+        require_positive(self.alpha_ms, "alpha_ms")
+        if self.base <= 1.0:
+            require_positive(self.base - 1.0, "base - 1")
+        require_positive(self.n_rings, "n_rings")
+
+    @property
+    def ring_count(self) -> int:
+        """Total rings including the innermost (index 0)."""
+        return self.n_rings + 1
+
+    def ring_index(self, latency_ms: float) -> int:
+        """Ring index for a node measured at ``latency_ms``."""
+        if latency_ms <= self.alpha_ms:
+            return 0
+        index = math.ceil(math.log(latency_ms / self.alpha_ms, self.base))
+        return min(index, self.n_rings)
+
+    def ring_bounds(self, index: int) -> tuple[float, float]:
+        """(inner, outer] latency bounds of ring ``index``.
+
+        The outermost ring's outer bound is ``inf``.
+        """
+        if index <= 0:
+            return 0.0, self.alpha_ms
+        inner = self.alpha_ms * self.base ** (index - 1)
+        if index >= self.n_rings:
+            return inner, math.inf
+        return inner, self.alpha_ms * self.base**index

@@ -1,0 +1,132 @@
+"""Batch Meridian simulations matching the paper's Section 4 protocol.
+
+The paper: "latency matrices with about 2500 peers, out of which about 2400
+randomly picked peers are picked to build a Meridian overlay.  The 100
+remaining peers are used as target nodes ... 5000 Meridian closest-neighbor
+queries are launched to find the closest peer to randomly chosen target
+nodes."  Success metrics:
+
+* **correct closest peer** — the query returned the overlay member with the
+  (true) minimum latency to the target;
+* **correct cluster** — the returned member is in the same cluster as the
+  target;
+* for incorrect results, the **latency from the found peer to its
+  cluster-hub** (Fig 9's second axis).
+
+Each experiment point is run over several independent worlds (the paper
+uses three) and summarised as median/min/max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.latency.builder import ClusteredWorld
+from repro.meridian.overlay import MeridianConfig, MeridianOverlay
+from repro.meridian.query import closest_node_query
+from repro.topology.oracle import LatencyOracle
+from repro.util.errors import DataError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class MeridianTrialResult:
+    """Aggregated outcome of one batch of queries on one world."""
+
+    n_queries: int
+    correct_closest_rate: float
+    correct_cluster_rate: float
+    median_found_hub_latency_ms: float  # over queries that missed the closest
+    mean_probes_per_query: float
+    mean_hops_per_query: float
+
+
+def run_meridian_trial(
+    world: ClusteredWorld,
+    n_targets: int = 100,
+    n_queries: int = 5000,
+    config: MeridianConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+    probe_oracle: LatencyOracle | None = None,
+) -> MeridianTrialResult:
+    """Run one full trial (overlay build + query batch) on ``world``."""
+    config = config or MeridianConfig()
+    rng = make_rng(seed)
+    topology = world.topology
+    n = topology.n_nodes
+    if n_targets >= n:
+        raise DataError(f"n_targets={n_targets} must be < population {n}")
+
+    all_ids = np.arange(n)
+    targets = rng.choice(all_ids, size=n_targets, replace=False)
+    target_set = set(int(t) for t in targets)
+    members = np.array([i for i in all_ids if int(i) not in target_set])
+
+    overlay = MeridianOverlay.build(world.oracle, members, config=config, seed=rng)
+    oracle = probe_oracle or world.oracle
+    matrix = world.matrix.values
+
+    # Ground truth: the true closest overlay member per target.
+    truth_closest: dict[int, set[int]] = {}
+    for t in targets:
+        row = matrix[t, members]
+        best = float(row.min())
+        # All members tied at the minimum count as correct (end-network
+        # mates are mutually 100 us from the target).
+        truth_closest[int(t)] = {
+            int(members[i]) for i in np.flatnonzero(row <= best + 1e-12)
+        }
+
+    correct_closest = 0
+    correct_cluster = 0
+    wrong_hub_latencies: list[float] = []
+    probes: list[int] = []
+    hops: list[int] = []
+    for _ in range(n_queries):
+        target = int(rng.choice(targets))
+        result = closest_node_query(overlay, oracle, target, seed=rng)
+        probes.append(result.probe_count)
+        hops.append(result.hops)
+        if result.found in truth_closest[target]:
+            correct_closest += 1
+        else:
+            wrong_hub_latencies.append(
+                float(topology.host_hub_latency_ms[result.found])
+            )
+        if topology.same_cluster(result.found, target):
+            correct_cluster += 1
+
+    return MeridianTrialResult(
+        n_queries=n_queries,
+        correct_closest_rate=correct_closest / n_queries,
+        correct_cluster_rate=correct_cluster / n_queries,
+        median_found_hub_latency_ms=(
+            float(np.median(wrong_hub_latencies)) if wrong_hub_latencies else 0.0
+        ),
+        mean_probes_per_query=float(np.mean(probes)),
+        mean_hops_per_query=float(np.mean(hops)),
+    )
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Median/min/max of a metric across repeated trials (the paper plots
+    exactly these three for its three simulation runs)."""
+
+    median: float
+    minimum: float
+    maximum: float
+
+
+def summarize_trials(values: list[float]) -> TrialSummary:
+    """Summarise one metric across trials."""
+    if not values:
+        raise DataError("cannot summarise zero trials")
+    arr = np.asarray(values, dtype=float)
+    return TrialSummary(
+        median=float(np.median(arr)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,14 @@
+"""A small discrete-event network simulator.
+
+Protocol components that need *time* — gossip-based overlay maintenance,
+Chord stabilisation, expanding-ring multicast searches — run on this engine.
+Messages between simulated nodes are delivered after half the oracle RTT
+(one-way delay); timers fire on the same clock.  The engine is deliberately
+minimal: a binary-heap event queue with deterministic tie-breaking, which is
+all the paper's protocols require.
+"""
+
+from repro.netsim.engine import EventLoop
+from repro.netsim.network import Message, Network, SimNode
+
+__all__ = ["EventLoop", "Network", "SimNode", "Message"]

@@ -1,0 +1,115 @@
+"""The event loop: a monotonic clock plus a heap of scheduled callbacks."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by :meth:`EventLoop.schedule`; allows cancellation."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time (ms)."""
+        return self._event.time
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    Time is in **milliseconds** (matching the library's latency unit).
+    Events scheduled at equal times fire in scheduling order, so simulations
+    are exactly reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_Event] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in ms."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self, delay_ms: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay_ms`` of simulated time."""
+        if delay_ms < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay_ms}")
+        event = _Event(
+            time=self._now + delay_ms,
+            sequence=next(self._sequence),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def _pop_and_run(self) -> None:
+        event = heapq.heappop(self._queue)
+        if event.cancelled:
+            return
+        if event.time < self._now:
+            raise SimulationError(
+                f"event at t={event.time} fired after clock reached {self._now}"
+            )
+        self._now = event.time
+        self._processed += 1
+        event.callback(*event.args)
+
+    def run(self, max_events: int | None = None) -> None:
+        """Drain the queue, optionally stopping after ``max_events``."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            self._pop_and_run()
+            executed += 1
+
+    def run_until(self, time_ms: float) -> None:
+        """Run all events with firing time <= ``time_ms``, then set the clock.
+
+        The clock ends at ``time_ms`` even if the queue drains earlier, so
+        periodic protocols can resume cleanly.
+        """
+        if time_ms < self._now:
+            raise SimulationError(
+                f"cannot run backwards: now={self._now}, requested {time_ms}"
+            )
+        while self._queue and self._queue[0].time <= time_ms:
+            self._pop_and_run()
+        self._now = time_ms

@@ -1,0 +1,123 @@
+"""Simulated nodes and latency-faithful message delivery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.netsim.engine import EventHandle, EventLoop
+from repro.topology.oracle import LatencyOracle
+from repro.util.errors import SimulationError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight between two simulated nodes."""
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+
+
+class SimNode:
+    """Base class for protocol participants.
+
+    Subclasses override :meth:`on_message`; they send through
+    :attr:`network` and schedule timers via :meth:`set_timer`.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.network: "Network | None" = None
+
+    # -- wiring -------------------------------------------------------------
+
+    def attached(self, network: "Network") -> None:
+        """Called when the node joins a network (override for setup)."""
+
+    def on_message(self, message: Message) -> None:
+        """Handle a delivered message (override)."""
+
+    # -- conveniences ---------------------------------------------------------
+
+    def send(self, dst: int, kind: str, payload: Any = None) -> None:
+        """Send a message; it arrives after the one-way delay to ``dst``."""
+        if self.network is None:
+            raise SimulationError(f"node {self.node_id} is not attached to a network")
+        self.network.send(Message(src=self.node_id, dst=dst, kind=kind, payload=payload))
+
+    def set_timer(self, delay_ms: float, kind: str, payload: Any = None) -> EventHandle:
+        """Deliver a message to *self* after ``delay_ms`` (a local timer)."""
+        if self.network is None:
+            raise SimulationError(f"node {self.node_id} is not attached to a network")
+        return self.network.deliver_later(
+            Message(src=self.node_id, dst=self.node_id, kind=kind, payload=payload),
+            delay_ms,
+        )
+
+
+class Network:
+    """Delivers messages between :class:`SimNode` s using oracle latencies.
+
+    One-way delay is half the oracle RTT; optional loss models flaky links.
+    Local timer deliveries bypass the loss model.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        oracle: LatencyOracle,
+        loss_rate: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.loop = loop
+        self.oracle = oracle
+        self.loss_rate = loss_rate
+        self._rng = make_rng(seed)
+        self._nodes: dict[int, SimNode] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_lost = 0
+
+    def attach(self, node: SimNode) -> None:
+        """Register a node; its id must be unique on this network."""
+        if node.node_id in self._nodes:
+            raise SimulationError(f"duplicate node id {node.node_id}")
+        node.network = self
+        self._nodes[node.node_id] = node
+        node.attached(self)
+
+    def node(self, node_id: int) -> SimNode:
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self) -> list[int]:
+        return list(self._nodes)
+
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery after the one-way delay."""
+        if message.dst not in self._nodes:
+            raise SimulationError(f"unknown destination node {message.dst}")
+        self.messages_sent += 1
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.messages_lost += 1
+            return
+        delay = self.oracle.latency_ms(message.src, message.dst) / 2.0
+        self.loop.schedule(delay, self._deliver, message)
+
+    def deliver_later(self, message: Message, delay_ms: float) -> EventHandle:
+        """Schedule a direct (loss-free) delivery; used for timers."""
+        return self.loop.schedule(delay_ms, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None:  # node departed after the message was sent
+            return
+        self.messages_delivered += 1
+        node.on_message(message)

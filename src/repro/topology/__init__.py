@@ -1,0 +1,63 @@
+"""Topology substrate: the Internet "last hop" that causes the clustering condition.
+
+Two complementary models live here:
+
+* :mod:`repro.topology.clustered` — the paper's Section 4 abstraction:
+  clusters of end-networks hanging off cluster-hubs, with hub latencies
+  ``mean ~ U[4, 6] ms`` scaled by ``(1 ± delta)`` and 100 µs intra-network
+  latency.  This drives the Meridian simulations (Figs 8, 9).
+
+* :mod:`repro.topology.internet` / :mod:`repro.topology.graph` — a full
+  router-level synthetic Internet (ISPs → PoPs → aggregation trees →
+  end-networks → hosts, with IPv4 allocation and router naming) that the
+  measurement pipelines of Section 3 and the mechanism evaluations of
+  Section 5 (Figs 3-7, 10, 11) run against.
+"""
+
+from repro.topology.clustered import ClusteredConfig, ClusteredTopology
+from repro.topology.elements import (
+    EndNetworkRecord,
+    HostKind,
+    HostRecord,
+    IspRecord,
+    PopRecord,
+    RouterKind,
+    RouterRecord,
+)
+from repro.topology.graph import RouterLevelTopology
+from repro.topology.internet import InternetConfig, SyntheticInternet
+from repro.topology.ip import (
+    format_ipv4,
+    ip_prefix,
+    parse_ipv4,
+    prefix_match_length,
+)
+from repro.topology.oracle import (
+    CountingOracle,
+    LatencyOracle,
+    MatrixOracle,
+    NoisyOracle,
+)
+
+__all__ = [
+    "ClusteredConfig",
+    "ClusteredTopology",
+    "RouterKind",
+    "HostKind",
+    "RouterRecord",
+    "HostRecord",
+    "EndNetworkRecord",
+    "PopRecord",
+    "IspRecord",
+    "RouterLevelTopology",
+    "SyntheticInternet",
+    "InternetConfig",
+    "format_ipv4",
+    "parse_ipv4",
+    "ip_prefix",
+    "prefix_match_length",
+    "LatencyOracle",
+    "MatrixOracle",
+    "CountingOracle",
+    "NoisyOracle",
+]

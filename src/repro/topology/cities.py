@@ -1,0 +1,89 @@
+"""A small world map of named cities for PoP placement.
+
+Coordinates are in **one-way milliseconds**: the Euclidean distance between
+two cities approximates the one-way propagation delay of a straight fibre
+path between them (RTT = 2x distance, before detour factors).  The scale is
+calibrated to familiar anchors: US coast-to-coast ~ 35 ms one-way,
+transatlantic ~ 40 ms, transpacific ~ 55 ms.
+
+The seven PlanetLab vantage-point cities of the paper's Table 1 are all
+present so :mod:`repro.measurement.vantage` can place them faithfully.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import DataError
+
+
+@dataclass(frozen=True)
+class City:
+    """A named location on the latency plane."""
+
+    name: str
+    continent: str
+    x: float  # one-way ms, west-east
+    y: float  # one-way ms, south-north
+    is_major: bool = False  # major cities host IXPs
+
+    def distance_ms(self, other: "City") -> float:
+        """One-way propagation delay to ``other`` in ms."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+#: The built-in world.  Table 1 cities are marked in comments.
+WORLD_CITIES: tuple[City, ...] = (
+    # North America, west
+    City("Seattle", "NA", 0.0, 10.0, is_major=True),  # Table 1: U. Washington
+    City("San Francisco", "NA", 1.0, 2.0, is_major=True),
+    City("San Diego", "NA", 4.0, -4.0),  # Table 1: UCSD
+    City("Denver", "NA", 12.0, 3.0),
+    City("Dallas", "NA", 18.0, -6.0, is_major=True),
+    # North America, east
+    City("Chicago", "NA", 24.0, 6.0, is_major=True),
+    City("Atlanta", "NA", 29.0, -5.0),
+    City("Ithaca", "NA", 33.0, 7.0),  # Table 1: Cornell
+    City("New York", "NA", 35.0, 5.0, is_major=True),
+    City("Washington DC", "NA", 34.0, 2.0, is_major=True),
+    City("Gainesville", "NA", 31.0, -11.0),  # Table 1: U. Florida
+    City("Toronto", "NA", 31.0, 10.0),
+    # Europe
+    City("London", "EU", 75.0, 18.0, is_major=True),
+    City("Cambridge UK", "EU", 76.0, 19.0),  # Table 1: U. Cambridge
+    City("Paris", "EU", 78.0, 15.0),
+    City("Amsterdam", "EU", 79.0, 18.0, is_major=True),
+    City("Frankfurt", "EU", 82.0, 16.0, is_major=True),
+    City("Madrid", "EU", 74.0, 8.0),
+    City("Stockholm", "EU", 84.0, 24.0),
+    # Asia / Pacific
+    City("Tokyo", "AS", -55.0, 0.0, is_major=True),  # Table 1: U. Tokyo
+    City("Shenyang", "AS", -68.0, 6.0),  # Table 1: 6planetlab
+    City("Beijing", "AS", -70.0, 4.0, is_major=True),
+    City("Seoul", "AS", -62.0, 2.0),
+    City("Singapore", "AS", -78.0, -22.0, is_major=True),
+    City("Sydney", "OC", -50.0, -42.0),
+)
+
+_BY_NAME = {c.name: c for c in WORLD_CITIES}
+
+
+def city_by_name(name: str) -> City:
+    """Look up a built-in city; raises :class:`DataError` for unknown names."""
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise DataError(f"unknown city {name!r}") from exc
+
+
+def major_cities() -> tuple[City, ...]:
+    """Cities hosting inter-ISP exchange points."""
+    return tuple(c for c in WORLD_CITIES if c.is_major)
+
+
+#: Short lowercase codes used in synthetic router DNS names ("...sea1...").
+def city_code(name: str) -> str:
+    """A rockettrace-style 3-letter city code."""
+    cleaned = name.lower().replace(" ", "")
+    return cleaned[:3]

@@ -1,0 +1,194 @@
+"""The paper's Section 4 clustered latency model.
+
+"To simulate the clustering condition in the inter-peer latency matrix, we
+create clusters of end-networks that in turn contain peers" — this module is
+that construction, verbatim:
+
+* each cluster's mean hub latency is uniform in [4, 6] ms;
+* each end-network's hub latency is uniform in ``(1 - delta) .. (1 + delta)``
+  times its cluster's mean;
+* every end-network holds ``peers_per_end_network`` peers (paper: 2);
+* intra-end-network latency is 100 µs;
+* two peers in different end-networks are separated by
+  ``hub(a) + core(cluster_a, cluster_b) + hub(b)`` where ``core`` comes from
+  a Meridian-dataset-like inter-hub matrix (median ≈ 65 ms) and is zero
+  within a cluster.
+
+The resulting latency assignment "satisfies the expected gradation":
+intra-EN ≪ intra-cluster < inter-cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError, DataError
+from repro.util.rng import make_rng
+from repro.util.units import INTRA_EN_LATENCY_MS
+from repro.util.validate import require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class ClusteredConfig:
+    """Parameters of the Section 4 construction (paper defaults)."""
+
+    n_clusters: int
+    end_networks_per_cluster: int
+    peers_per_end_network: int = 2
+    delta: float = 0.2
+    mean_hub_latency_low_ms: float = 4.0
+    mean_hub_latency_high_ms: float = 6.0
+    intra_en_latency_ms: float = INTRA_EN_LATENCY_MS
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_clusters, "n_clusters")
+        require_positive(self.end_networks_per_cluster, "end_networks_per_cluster")
+        require_positive(self.peers_per_end_network, "peers_per_end_network")
+        require_in_range(self.delta, "delta", 0.0, 1.0)
+        require_positive(self.mean_hub_latency_low_ms, "mean_hub_latency_low_ms")
+        if self.mean_hub_latency_high_ms < self.mean_hub_latency_low_ms:
+            raise ConfigurationError(
+                "mean_hub_latency_high_ms must be >= mean_hub_latency_low_ms"
+            )
+        require_positive(self.intra_en_latency_ms, "intra_en_latency_ms")
+
+    @property
+    def n_end_networks(self) -> int:
+        """Total end-networks across all clusters."""
+        return self.n_clusters * self.end_networks_per_cluster
+
+    @property
+    def n_peers(self) -> int:
+        """Total peers across all clusters."""
+        return self.n_end_networks * self.peers_per_end_network
+
+
+class ClusteredTopology:
+    """A concrete sample of the Section 4 model.
+
+    Hosts are integer ids ``0 .. n_peers-1``; parallel arrays map each host
+    to its end-network and cluster, and each end-network to its hub latency.
+    The class is a :class:`~repro.topology.oracle.LatencyOracle`.
+    """
+
+    def __init__(
+        self,
+        config: ClusteredConfig,
+        en_cluster: np.ndarray,
+        en_hub_latency_ms: np.ndarray,
+        host_en: np.ndarray,
+        core_ms: np.ndarray,
+    ) -> None:
+        if en_cluster.shape != en_hub_latency_ms.shape:
+            raise DataError("en_cluster and en_hub_latency_ms must be parallel")
+        if core_ms.shape != (config.n_clusters, config.n_clusters):
+            raise DataError(
+                f"core matrix shape {core_ms.shape} does not match "
+                f"{config.n_clusters} clusters"
+            )
+        if not np.allclose(np.diag(core_ms), 0.0):
+            raise DataError("core matrix must have a zero diagonal")
+        self.config = config
+        self.en_cluster = en_cluster
+        self.en_hub_latency_ms = en_hub_latency_ms
+        self.host_en = host_en
+        self.host_cluster = en_cluster[host_en]
+        self.host_hub_latency_ms = en_hub_latency_ms[host_en]
+        self.core_ms = core_ms
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        config: ClusteredConfig,
+        core_ms: np.ndarray,
+        seed: int | np.random.Generator | None = None,
+    ) -> "ClusteredTopology":
+        """Sample a topology per the Section 4 recipe.
+
+        ``core_ms`` supplies inter-cluster-hub latencies (use
+        :func:`repro.latency.synthetic.synthetic_core_matrix` for a
+        Meridian-dataset-like one).
+        """
+        rng = make_rng(seed)
+        n_en = config.n_end_networks
+        en_cluster = np.repeat(
+            np.arange(config.n_clusters), config.end_networks_per_cluster
+        )
+        cluster_mean = rng.uniform(
+            config.mean_hub_latency_low_ms,
+            config.mean_hub_latency_high_ms,
+            size=config.n_clusters,
+        )
+        factor = rng.uniform(1.0 - config.delta, 1.0 + config.delta, size=n_en)
+        en_hub_latency = cluster_mean[en_cluster] * factor
+        host_en = np.repeat(np.arange(n_en), config.peers_per_end_network)
+        return cls(
+            config=config,
+            en_cluster=en_cluster,
+            en_hub_latency_ms=en_hub_latency,
+            host_en=host_en,
+            core_ms=np.asarray(core_ms, dtype=float),
+        )
+
+    # -- oracle interface --------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.host_en.size)
+
+    def latency_ms(self, a: int, b: int) -> float:
+        """RTT between hosts ``a`` and ``b`` per the Section 4 path model."""
+        if a == b:
+            return 0.0
+        if self.host_en[a] == self.host_en[b]:
+            return self.config.intra_en_latency_ms
+        hub = self.host_hub_latency_ms[a] + self.host_hub_latency_ms[b]
+        ca, cb = self.host_cluster[a], self.host_cluster[b]
+        return float(hub + self.core_ms[ca, cb])
+
+    def full_matrix(self) -> np.ndarray:
+        """Dense symmetric latency matrix over all hosts (vectorised)."""
+        hub = self.host_hub_latency_ms
+        matrix = hub[:, None] + hub[None, :]
+        matrix += self.core_ms[np.ix_(self.host_cluster, self.host_cluster)]
+        same_en = self.host_en[:, None] == self.host_en[None, :]
+        matrix[same_en] = self.config.intra_en_latency_ms
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    # -- ground-truth helpers ----------------------------------------------
+
+    def same_end_network(self, a: int, b: int) -> bool:
+        """True if two hosts share an end-network (the 'exact-closest' case)."""
+        return bool(self.host_en[a] == self.host_en[b])
+
+    def same_cluster(self, a: int, b: int) -> bool:
+        """True if two hosts hang off the same cluster-hub."""
+        return bool(self.host_cluster[a] == self.host_cluster[b])
+
+    def hosts_in_end_network(self, en_id: int) -> np.ndarray:
+        """All host ids inside end-network ``en_id``."""
+        return np.flatnonzero(self.host_en == en_id)
+
+    def hosts_in_cluster(self, cluster_id: int) -> np.ndarray:
+        """All host ids inside cluster ``cluster_id``."""
+        return np.flatnonzero(self.host_cluster == cluster_id)
+
+    def end_network_mates(self, host: int) -> np.ndarray:
+        """Hosts sharing ``host``'s end-network, excluding ``host`` itself."""
+        mates = self.hosts_in_end_network(int(self.host_en[host]))
+        return mates[mates != host]
+
+    def describe(self) -> str:
+        """One-line summary used in experiment logs."""
+        c = self.config
+        return (
+            f"ClusteredTopology(clusters={c.n_clusters}, "
+            f"en/cluster={c.end_networks_per_cluster}, "
+            f"peers/en={c.peers_per_end_network}, delta={c.delta}, "
+            f"hosts={self.n_nodes})"
+        )

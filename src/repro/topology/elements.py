@@ -1,0 +1,114 @@
+"""Record types for routers, hosts, end-networks, PoPs and ISPs.
+
+These are plain dataclasses — the router-level topology in
+:mod:`repro.topology.graph` stores parallel arrays for the hot paths and
+these records for everything that needs names, kinds and metadata (the
+measurement pipelines mostly consume records).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RouterKind(enum.Enum):
+    """Role of a router in the last-hop hierarchy of Figure 1."""
+
+    POP = "pop"  # a router inside an ISP point-of-presence (the cluster-hub)
+    AGGREGATION = "aggregation"  # between end-networks and the PoP
+    EDGE = "edge"  # inside an end-network (campus/LAN routers)
+    CORE = "core"  # ISP backbone
+    IXP = "ixp"  # inter-ISP peering point
+
+
+class HostKind(enum.Enum):
+    """What a simulated host is used for in the measurement study."""
+
+    PEER = "peer"  # an Azureus-like P2P client
+    DNS_SERVER = "dns"  # a recursive DNS server (Section 3.1)
+    VANTAGE = "vantage"  # a PlanetLab-like vantage point (Table 1)
+    MEASUREMENT = "measurement"  # the single rockettrace measurement host
+
+
+@dataclass(frozen=True)
+class IspRecord:
+    """An ISP owning PoPs and an address block."""
+
+    isp_id: int
+    name: str
+    as_number: int
+
+
+@dataclass(frozen=True)
+class PopRecord:
+    """A point of presence: the star-center of Figure 1.
+
+    A PoP is the *cluster-hub* of the paper's clustering condition; its
+    router set shares one AS and city, which is exactly the heuristic
+    rockettrace-based PoP identification relies on (Section 3.1).
+    """
+
+    pop_id: int
+    isp_id: int
+    city: str
+    router_ids: tuple[int, ...]
+    x: float  # geographic embedding, in one-way-ms units
+    y: float
+
+
+@dataclass(frozen=True)
+class RouterRecord:
+    """A router with rockettrace-visible annotations."""
+
+    router_id: int
+    kind: RouterKind
+    isp_id: int
+    pop_id: int | None  # None for CORE/IXP routers
+    as_name: str
+    city: str
+    dns_name: str  # what rockettrace sees; may be misconfigured
+
+    def annotation(self) -> tuple[str, str]:
+        """The (AS, city) pair rockettrace infers from the router name."""
+        return self.as_name, self.city
+
+
+@dataclass(frozen=True)
+class EndNetworkRecord:
+    """An end-network: LAN / extended LAN / campus network.
+
+    ``hub_latency_ms`` is the round-trip latency from hosts in this network
+    to the PoP router it is served by, i.e. the quantity the paper's
+    clustering condition constrains to be "about the same" across the
+    cluster's end-networks.
+    """
+
+    en_id: int
+    pop_id: int
+    isp_id: int
+    organization: str  # owning org; DNS servers of the org share a domain
+    hub_latency_ms: float
+    attachment_router_ids: tuple[int, ...]  # EN gateway .. up to PoP router
+    attachment_latencies_ms: tuple[float, ...]  # per-link RTT contributions
+    prefix_base: int  # first address of the EN's CIDR block
+    prefix_length: int
+    is_home_network: bool = False  # singleton broadband/DSL attachment
+
+
+@dataclass(frozen=True)
+class HostRecord:
+    """A simulated host (peer, DNS server, vantage or measurement host)."""
+
+    host_id: int
+    kind: HostKind
+    en_id: int
+    pop_id: int
+    isp_id: int
+    ip: int
+    domain: str | None = None  # DNS servers: the domain they serve
+    responds_to_tcp_ping: bool = True
+    responds_to_traceroute: bool = True
+    # Per-host internal hops below the EN gateway (campus switches/routers),
+    # as (router_id, link_latency_ms) pairs from the host outward.
+    internal_path: tuple[tuple[int, float], ...] = field(default_factory=tuple)

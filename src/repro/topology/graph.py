@@ -1,0 +1,241 @@
+"""Router-level topology: storage and routing.
+
+:class:`RouterLevelTopology` holds the generated Internet (see
+:mod:`repro.topology.internet` for the generator) and answers the two
+questions the measurement pipelines need:
+
+* :meth:`route` — the router path and RTT between two hosts, following the
+  paper's path model: up each host's attachment chain to the lowest common
+  router if one exists below/at the PoP, otherwise up to the PoP and across
+  the core.
+* :meth:`upward_chain` — a host's chain of upstream routers with cumulative
+  latencies (the ground truth behind UCLs and traceroute prefixes).
+
+Within a PoP the attachment structure is a forest, so lowest-common-router
+discovery is a linear scan of the two chains; across PoPs routes go through
+a cached-Dijkstra core graph (networkx).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.topology.elements import (
+    EndNetworkRecord,
+    HostKind,
+    HostRecord,
+    IspRecord,
+    PopRecord,
+    RouterRecord,
+)
+from repro.util.errors import DataError, SimulationError
+
+
+@dataclass(frozen=True)
+class Route:
+    """A host-to-host route: the ordered router ids crossed, and the RTT.
+
+    ``cumulative_ms[i]`` is the RTT from the source host to ``routers[i]``;
+    traceroute hop latencies come straight from these.
+    """
+
+    routers: tuple[int, ...]
+    latency_ms: float
+    cumulative_ms: tuple[float, ...] = ()
+
+    @property
+    def hop_length(self) -> int:
+        """Number of links on the path (= routers + 1 for host-host routes).
+
+        This matches the paper's Fig 10 metric: "if all peers tracked
+        upstream routers n hops away, they would be able to discover all
+        peers 2n hops away" — a pair whose route crosses ``2n - 1`` routers
+        is ``2n`` hops apart.
+        """
+        return len(self.routers) + 1
+
+
+class RouterLevelTopology:
+    """The generated router-level Internet (see module docstring)."""
+
+    def __init__(
+        self,
+        isps: list[IspRecord],
+        pops: list[PopRecord],
+        routers: list[RouterRecord],
+        end_networks: list[EndNetworkRecord],
+        hosts: list[HostRecord],
+        core_graph: nx.Graph,
+    ) -> None:
+        self.isps = isps
+        self.pops = pops
+        self.routers = routers
+        self.end_networks = end_networks
+        self.hosts = hosts
+        self.core_graph = core_graph
+        # host_id -> tuple of (router_id, cumulative RTT ms from host),
+        # ordered host-outward and ending at the attachment PoP router.
+        self._upward: dict[int, tuple[tuple[int, float], ...]] = {}
+        self._core_dist_cache: dict[int, dict[int, float]] = {}
+        self._core_path_cache: dict[tuple[int, int], list[int]] = {}
+        self._build_upward_chains()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _build_upward_chains(self) -> None:
+        for host in self.hosts:
+            en = self.end_networks[host.en_id]
+            chain: list[tuple[int, float]] = []
+            cumulative = 0.0
+            for router_id, link_ms in host.internal_path:
+                cumulative += link_ms
+                chain.append((router_id, cumulative))
+            for router_id, link_ms in zip(
+                en.attachment_router_ids, en.attachment_latencies_ms
+            ):
+                cumulative += link_ms
+                chain.append((router_id, cumulative))
+            if not chain:
+                raise DataError(f"host {host.host_id} has an empty upward chain")
+            self._upward[host.host_id] = tuple(chain)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    def host(self, host_id: int) -> HostRecord:
+        return self.hosts[host_id]
+
+    def router(self, router_id: int) -> RouterRecord:
+        return self.routers[router_id]
+
+    def end_network(self, en_id: int) -> EndNetworkRecord:
+        return self.end_networks[en_id]
+
+    def pop(self, pop_id: int) -> PopRecord:
+        return self.pops[pop_id]
+
+    def hosts_of_kind(self, kind: HostKind) -> list[HostRecord]:
+        """All hosts of a given kind (peers, DNS servers, ...)."""
+        return [h for h in self.hosts if h.kind == kind]
+
+    def upward_chain(self, host_id: int) -> tuple[tuple[int, float], ...]:
+        """(router_id, cumulative RTT) pairs from ``host_id`` to its PoP router."""
+        return self._upward[host_id]
+
+    def attachment_pop_router(self, host_id: int) -> int:
+        """The PoP router id a host's chain terminates at."""
+        return self._upward[host_id][-1][0]
+
+    def hub_latency_ms(self, host_id: int) -> float:
+        """RTT from a host to its PoP router (its hub latency)."""
+        return self._upward[host_id][-1][1]
+
+    # -- core routing ----------------------------------------------------------
+
+    def _core_distances_from(self, router_id: int) -> dict[int, float]:
+        if router_id not in self._core_dist_cache:
+            if router_id not in self.core_graph:
+                raise SimulationError(f"router {router_id} is not in the core graph")
+            self._core_dist_cache[router_id] = nx.single_source_dijkstra_path_length(
+                self.core_graph, router_id, weight="latency_ms"
+            )
+        return self._core_dist_cache[router_id]
+
+    def _core_route(self, a: int, b: int) -> tuple[float, list[int]]:
+        """RTT and router path between two core-graph routers."""
+        if a == b:
+            return 0.0, [a]
+        key = (a, b) if a <= b else (b, a)
+        if key not in self._core_path_cache:
+            try:
+                path = nx.dijkstra_path(self.core_graph, key[0], key[1], weight="latency_ms")
+            except nx.NetworkXNoPath as exc:
+                raise SimulationError(f"core graph is disconnected: {a} .. {b}") from exc
+            self._core_path_cache[key] = path
+        path = self._core_path_cache[key]
+        if path[0] != a:
+            path = list(reversed(path))
+        distance = self._core_distances_from(a).get(b)
+        if distance is None:
+            raise SimulationError(f"no core distance between {a} and {b}")
+        return distance, path
+
+    # -- host-to-host routing ----------------------------------------------------
+
+    def route(self, a: int, b: int) -> Route:
+        """Router path and RTT between hosts ``a`` and ``b``.
+
+        Follows the paper's model: if the two attachment chains share a
+        router below or at the PoP, the message turns around at the first
+        (lowest) shared router; otherwise it goes up to each host's PoP
+        router and across the core graph.
+        """
+        if a == b:
+            return Route(routers=(), latency_ms=0.0)
+        chain_a = self._upward[a]
+        chain_b = self._upward[b]
+        position_b = {router: (idx, cum) for idx, (router, cum) in enumerate(chain_b)}
+        for idx_a, (router, cum_a) in enumerate(chain_a):
+            hit = position_b.get(router)
+            if hit is not None:
+                idx_b, lca_cum_b = hit
+                routers = [r for r, _ in chain_a[: idx_a + 1]]
+                cums = [c for _, c in chain_a[: idx_a + 1]]
+                # Descend b's chain from just below the LCA to b's side.
+                for j in range(idx_b - 1, -1, -1):
+                    routers.append(chain_b[j][0])
+                    cums.append(cum_a + (lca_cum_b - chain_b[j][1]))
+                return Route(
+                    routers=tuple(routers),
+                    latency_ms=cum_a + lca_cum_b,
+                    cumulative_ms=tuple(cums),
+                )
+        router_a, cum_a = chain_a[-1]
+        router_b, cum_b = chain_b[-1]
+        core_latency, core_path = self._core_route(router_a, router_b)
+        routers = [r for r, _ in chain_a]
+        cums = [c for _, c in chain_a]
+        running = cum_a
+        for prev, node in zip(core_path, core_path[1:]):
+            running += float(self.core_graph.edges[prev, node]["latency_ms"])
+            routers.append(node)
+            cums.append(running)
+        # ``running`` now sits at b's PoP router; descend b's chain.
+        for j in range(len(chain_b) - 2, -1, -1):
+            routers.append(chain_b[j][0])
+            cums.append(running + (cum_b - chain_b[j][1]))
+        return Route(
+            routers=tuple(routers),
+            latency_ms=cum_a + core_latency + cum_b,
+            cumulative_ms=tuple(cums),
+        )
+
+    def latency_ms(self, a: int, b: int) -> float:
+        """RTT between two hosts (oracle interface)."""
+        return self.route(a, b).latency_ms
+
+    @property
+    def n_nodes(self) -> int:
+        """Oracle interface: hosts are the nodes."""
+        return self.n_hosts
+
+    # -- ground truth helpers ---------------------------------------------------
+
+    def same_end_network(self, a: int, b: int) -> bool:
+        return self.hosts[a].en_id == self.hosts[b].en_id
+
+    def same_pop(self, a: int, b: int) -> bool:
+        return self.hosts[a].pop_id == self.hosts[b].pop_id
+
+    def peers_in_pop(self, pop_id: int) -> list[int]:
+        """Peer host ids whose end-networks hang off ``pop_id``."""
+        return [
+            h.host_id
+            for h in self.hosts
+            if h.pop_id == pop_id and h.kind == HostKind.PEER
+        ]

@@ -1,0 +1,124 @@
+"""IPv4 address arithmetic.
+
+The IP-prefix mechanism (Section 5, Fig 11) keys peers by fixed-length
+prefixes of their addresses, so the library needs fast prefix extraction and
+matching over addresses stored as unsigned 32-bit integers.  We use plain
+ints rather than :mod:`ipaddress` objects because the Fig 11 sweep evaluates
+millions of pairwise prefix matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+IPV4_BITS = 32
+_MAX_IP = 2**32 - 1
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise DataError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise DataError(f"not a dotted quad: {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise DataError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(ip: int) -> str:
+    """Format a 32-bit integer as dotted-quad notation."""
+    if not 0 <= ip <= _MAX_IP:
+        raise DataError(f"IP out of range: {ip}")
+    return ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip_prefix(ip: int, length: int) -> int:
+    """Return the ``length``-bit prefix of ``ip`` (right-aligned).
+
+    The result identifies the prefix *value*; two addresses share a
+    ``length``-bit prefix iff their ``ip_prefix(.., length)`` are equal.
+    """
+    if not 0 <= length <= IPV4_BITS:
+        raise DataError(f"prefix length must be in [0, 32], got {length}")
+    if length == 0:
+        return 0
+    return ip >> (IPV4_BITS - length)
+
+
+def prefix_match_length(a: int, b: int) -> int:
+    """Length in bits of the longest common prefix of two addresses."""
+    diff = (a ^ b) & _MAX_IP
+    if diff == 0:
+        return IPV4_BITS
+    return IPV4_BITS - diff.bit_length()
+
+
+def prefixes_array(ips: np.ndarray, length: int) -> np.ndarray:
+    """Vectorised :func:`ip_prefix` over an array of uint32/uint64 addresses."""
+    if not 0 <= length <= IPV4_BITS:
+        raise DataError(f"prefix length must be in [0, 32], got {length}")
+    arr = np.asarray(ips, dtype=np.uint64)
+    if length == 0:
+        return np.zeros(arr.shape, dtype=np.uint64)
+    return arr >> np.uint64(IPV4_BITS - length)
+
+
+class PrefixAllocator:
+    """Sequential allocator of disjoint CIDR blocks inside a parent block.
+
+    Used by the topology generator to hand ISPs blocks out of a small set of
+    /8s (mirroring how consumer address space concentrates), PoPs sub-blocks
+    of their ISP, and end-networks /24s (or nearby sizes) of their PoP.
+    """
+
+    def __init__(self, base_ip: int, base_length: int) -> None:
+        if not 0 <= base_length <= IPV4_BITS:
+            raise DataError(f"base length must be in [0, 32], got {base_length}")
+        mask_bits = IPV4_BITS - base_length
+        if base_ip & ((1 << mask_bits) - 1):
+            raise DataError("base_ip has bits set below the prefix length")
+        self.base_ip = base_ip
+        self.base_length = base_length
+        self._next_offset = 0
+
+    @property
+    def capacity(self) -> int:
+        """Number of addresses in the parent block."""
+        return 1 << (IPV4_BITS - self.base_length)
+
+    @property
+    def remaining(self) -> int:
+        """Addresses not yet handed out."""
+        return self.capacity - self._next_offset
+
+    def allocate(self, length: int) -> "PrefixAllocator":
+        """Carve the next aligned /``length`` block out of this one."""
+        if length < self.base_length:
+            raise DataError(
+                f"child /{length} cannot be larger than parent /{self.base_length}"
+            )
+        size = 1 << (IPV4_BITS - length)
+        # Align the offset up to a multiple of the child block size.
+        aligned = (self._next_offset + size - 1) & ~(size - 1)
+        if aligned + size > self.capacity:
+            raise DataError(
+                f"parent /{self.base_length} exhausted allocating a /{length}"
+            )
+        self._next_offset = aligned + size
+        return PrefixAllocator(self.base_ip + aligned, length)
+
+    def random_address(self, rng: np.random.Generator) -> int:
+        """Draw a uniform host address inside this block."""
+        return int(self.base_ip + rng.integers(0, self.capacity))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrefixAllocator({format_ipv4(self.base_ip)}/{self.base_length})"

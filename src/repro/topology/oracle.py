@@ -1,0 +1,128 @@
+"""Latency oracles: the ground-truth answer to "what is the RTT between a and b?".
+
+Every nearest-peer algorithm in the library consumes a
+:class:`LatencyOracle`, never a raw matrix, so the same algorithm code runs
+against a dense matrix (Meridian simulations), the routed router-level
+topology (measurement studies), or noisy/counting wrappers (probe accounting
+— the paper's core cost metric is the number of latency probes).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.util.errors import DataError
+from repro.util.rng import make_rng
+
+
+@runtime_checkable
+class LatencyOracle(Protocol):
+    """Interface: round-trip latency in milliseconds between two node ids."""
+
+    def latency_ms(self, a: int, b: int) -> float:
+        """Return the RTT between nodes ``a`` and ``b`` in milliseconds."""
+        ...
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes the oracle knows about (ids are 0..n_nodes-1)."""
+        ...
+
+
+class MatrixOracle:
+    """Oracle backed by a dense symmetric latency matrix."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        arr = np.asarray(matrix, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise DataError(f"latency matrix must be square, got {arr.shape}")
+        self._matrix = arr
+
+    @property
+    def n_nodes(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying matrix (read-only by convention)."""
+        return self._matrix
+
+    def latency_ms(self, a: int, b: int) -> float:
+        return float(self._matrix[a, b])
+
+    def latencies_from(self, a: int) -> np.ndarray:
+        """The full latency row for node ``a`` (fast path for simulators)."""
+        return self._matrix[a]
+
+
+class CountingOracle:
+    """Wrapper that counts probes, deduplicating repeat measurements.
+
+    The paper's lower bound is about *distinct* latency probes ("for a peer
+    to tell if it is the closest peer to A2, it has to first measure its
+    latency to A2"); repeated queries for a cached pair are counted
+    separately so both metrics are available.
+    """
+
+    def __init__(self, inner: LatencyOracle) -> None:
+        self._inner = inner
+        self.total_probes = 0
+        self.unique_probes = 0
+        self._seen: set[tuple[int, int]] = set()
+
+    @property
+    def n_nodes(self) -> int:
+        return self._inner.n_nodes
+
+    def latency_ms(self, a: int, b: int) -> float:
+        self.total_probes += 1
+        key = (a, b) if a <= b else (b, a)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.unique_probes += 1
+        return self._inner.latency_ms(a, b)
+
+    def reset(self) -> None:
+        """Zero the counters (e.g. between queries)."""
+        self.total_probes = 0
+        self.unique_probes = 0
+        self._seen.clear()
+
+
+class NoisyOracle:
+    """Wrapper adding multiplicative measurement noise to each probe.
+
+    Real probes (ping, TCP-ping, King) never return the true RTT; modelling
+    that here lets algorithm evaluations distinguish "fails because of the
+    clustering condition" from "fails because of measurement noise".
+    Noise is lognormal with median 1, i.e. ``measured = true * exp(sigma*Z)``.
+    """
+
+    def __init__(
+        self,
+        inner: LatencyOracle,
+        sigma: float = 0.05,
+        additive_ms: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if sigma < 0:
+            raise DataError(f"sigma must be >= 0, got {sigma}")
+        if additive_ms < 0:
+            raise DataError(f"additive_ms must be >= 0, got {additive_ms}")
+        self._inner = inner
+        self._sigma = sigma
+        self._additive_ms = additive_ms
+        self._rng = make_rng(seed)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._inner.n_nodes
+
+    def latency_ms(self, a: int, b: int) -> float:
+        true = self._inner.latency_ms(a, b)
+        noisy = true * float(np.exp(self._rng.normal(0.0, self._sigma)))
+        if self._additive_ms:
+            noisy += float(self._rng.exponential(self._additive_ms))
+        return noisy

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, topology, or algorithm was configured inconsistently.
+
+    Raised eagerly at construction time: a bad parameter should fail before
+    any simulation work is done, not corrupt results halfway through.
+    """
+
+
+class DataError(ReproError):
+    """Input data (latency matrix, dataset, measurement record) is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached a state that should be impossible.
+
+    This signals an internal invariant violation (e.g. an event scheduled in
+    the past) rather than a user mistake.
+    """

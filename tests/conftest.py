@@ -1,0 +1,46 @@
+"""Shared fixtures: small worlds reused across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.latency.builder import ClusteredWorld, build_clustered_oracle
+from repro.topology.clustered import ClusteredConfig
+from repro.topology.internet import InternetConfig, SyntheticInternet
+
+
+@pytest.fixture(scope="session")
+def small_internet() -> SyntheticInternet:
+    """A compact router-level Internet (seconds to build, shared)."""
+    config = InternetConfig(
+        n_isps=4,
+        pops_per_isp_low=2,
+        pops_per_isp_high=4,
+        en_per_pop_low=6,
+        en_per_pop_high=24,
+    )
+    return SyntheticInternet.generate(config, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def clustered_world() -> ClusteredWorld:
+    """A Section 4 world exhibiting the clustering condition."""
+    return build_clustered_oracle(
+        ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2),
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="session")
+def uniform_matrix() -> np.ndarray:
+    """A latency matrix from points uniform in a 2-D square (no clusters).
+
+    The benign geometry every latency-only algorithm is happy in.
+    """
+    rng = np.random.default_rng(5)
+    points = rng.uniform(0.0, 50.0, size=(160, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    matrix = np.sqrt((diff**2).sum(axis=2))
+    np.fill_diagonal(matrix, 0.0)
+    return matrix

@@ -1,0 +1,105 @@
+"""Tests for binned percentile reduction (the Figs 4/10 plot type)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.binning import binned_percentiles, log_bins
+from repro.util.errors import DataError
+
+
+class TestLogBins:
+    def test_monotone_edges(self):
+        edges = log_bins(0.1, 100.0, bins_per_decade=4)
+        assert np.all(np.diff(edges) > 0)
+        assert edges[0] == pytest.approx(0.1)
+        assert edges[-1] == pytest.approx(100.0)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(DataError):
+            log_bins(0.0, 10.0)
+        with pytest.raises(DataError):
+            log_bins(10.0, 1.0)
+
+
+class TestBinnedPercentiles:
+    def test_simple_two_bins(self):
+        x = [1, 1.5, 5, 6, 7]
+        y = [10, 20, 1, 2, 3]
+        result = binned_percentiles(x, y, edges=[0.5, 2.0, 10.0])
+        assert result.centers.size == 2
+        assert result.counts.tolist() == [2, 3]
+        assert result.medians[0] == pytest.approx(15.0)
+        assert result.medians[1] == pytest.approx(2.0)
+
+    def test_min_count_drops_sparse_bins(self):
+        result = binned_percentiles(
+            [1, 5, 6], [1, 2, 3], edges=[0.5, 2.0, 10.0], min_count=2
+        )
+        assert result.centers.size == 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(DataError):
+            binned_percentiles([1, 2], [1], edges=[0, 1, 2])
+
+    def test_bad_edges(self):
+        with pytest.raises(DataError):
+            binned_percentiles([1], [1], edges=[2, 1])
+        with pytest.raises(DataError):
+            binned_percentiles([1], [1], edges=[1])
+
+    def test_empty_sample(self):
+        with pytest.raises(DataError):
+            binned_percentiles([], [], edges=[0, 1])
+
+    def test_rows_structure(self):
+        result = binned_percentiles([1, 1.2], [3, 4], edges=[0.5, 2.0])
+        rows = result.rows()
+        assert rows[0]["count"] == 2
+        assert "p50" in rows[0]
+
+
+@st.composite
+def xy_samples(draw):
+    n = draw(st.integers(min_value=5, max_value=100))
+    x = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=99.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    y = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return x, y
+
+
+class TestBinningProperties:
+    @given(xy_samples())
+    def test_counts_sum_to_population(self, sample):
+        x, y = sample
+        result = binned_percentiles(x, y, edges=[0.05, 1.0, 10.0, 100.0])
+        assert int(result.counts.sum()) == len(x)
+
+    @given(xy_samples())
+    def test_percentiles_ordered(self, sample):
+        x, y = sample
+        result = binned_percentiles(x, y, edges=[0.05, 1.0, 10.0, 100.0])
+        for i in range(result.centers.size):
+            values = [result.percentiles[p][i] for p in (5, 25, 50, 75, 95)]
+            assert values == sorted(values)
+
+    @given(xy_samples())
+    def test_percentiles_within_y_range(self, sample):
+        x, y = sample
+        result = binned_percentiles(x, y, edges=[0.05, 1.0, 10.0, 100.0])
+        lo, hi = min(y), max(y)
+        for series in result.percentiles.values():
+            assert np.all(series >= lo - 1e-9)
+            assert np.all(series <= hi + 1e-9)

@@ -1,0 +1,94 @@
+"""Tests for empirical CDFs, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.util.errors import DataError
+
+finite_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            EmpiricalCdf.from_values([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(DataError):
+            EmpiricalCdf.from_values([1.0, float("nan")])
+        with pytest.raises(DataError):
+            EmpiricalCdf.from_values([1.0, float("inf")])
+
+
+class TestEvaluation:
+    def test_known_values(self):
+        cdf = EmpiricalCdf.from_values([1, 2, 3, 4])
+        assert cdf.probability_at_or_below(0.5) == 0.0
+        assert cdf.probability_at_or_below(2) == 0.5
+        assert cdf.probability_at_or_below(10) == 1.0
+        assert cdf.count_at_or_below(3) == 3
+
+    def test_fraction_in_range(self):
+        cdf = EmpiricalCdf.from_values([0.3, 0.7, 1.0, 1.5, 3.0])
+        assert cdf.fraction_in_range(0.5, 2.0) == pytest.approx(3 / 5)
+
+    def test_fraction_bad_range(self):
+        cdf = EmpiricalCdf.from_values([1.0])
+        with pytest.raises(DataError):
+            cdf.fraction_in_range(2.0, 1.0)
+
+    def test_median_simple(self):
+        assert EmpiricalCdf.from_values([1, 2, 3]).median == 2
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCdf.from_values([5, 10])
+        with pytest.raises(DataError):
+            cdf.quantile(1.5)
+
+
+class TestProperties:
+    @given(finite_samples)
+    def test_cdf_monotone_nondecreasing(self, sample):
+        cdf = EmpiricalCdf.from_values(sample)
+        xs = np.linspace(min(sample) - 1, max(sample) + 1, 50)
+        ys = cdf.evaluate(xs)
+        assert np.all(np.diff(ys) >= -1e-12)
+
+    @given(finite_samples)
+    def test_cdf_limits(self, sample):
+        cdf = EmpiricalCdf.from_values(sample)
+        assert cdf.probability_at_or_below(min(sample) - 1) == 0.0
+        assert cdf.probability_at_or_below(max(sample) + 1) == 1.0
+
+    @given(finite_samples)
+    def test_quantile_within_support(self, sample):
+        cdf = EmpiricalCdf.from_values(sample)
+        lo, hi = cdf.support()
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert lo - 1e-9 <= cdf.quantile(q) <= hi + 1e-9
+
+    @given(finite_samples, st.floats(min_value=-1e6, max_value=1e6))
+    def test_count_matches_manual(self, sample, x):
+        cdf = EmpiricalCdf.from_values(sample)
+        assert cdf.count_at_or_below(x) == sum(1 for v in sample if v <= x)
+
+    @given(finite_samples)
+    def test_full_range_fraction_is_one(self, sample):
+        cdf = EmpiricalCdf.from_values(sample)
+        assert cdf.fraction_in_range(min(sample), max(sample)) == pytest.approx(1.0)
+
+
+class TestSeries:
+    def test_as_series_log_requires_positive_floor(self):
+        cdf = EmpiricalCdf.from_values([0.001, 1.0, 10.0])
+        xs, ys = cdf.as_series(points=32, log_x=True)
+        assert xs.shape == ys.shape == (32,)
+        assert np.all(xs > 0)
+        assert ys[-1] == pytest.approx(1.0)

@@ -1,0 +1,92 @@
+"""Tests for table rendering, ASCII plots and comparison records."""
+
+import pytest
+
+from repro.analysis.compare import Comparison, ShapeCheck, format_comparisons
+from repro.analysis.compare import format_shape_checks
+from repro.analysis.plotting import ascii_cdf, ascii_series
+from repro.analysis.tables import format_table, series_table
+from repro.util.errors import DataError
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 0.0001]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1] or "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(DataError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_headers(self):
+        with pytest.raises(DataError):
+            format_table([], [])
+
+    def test_float_formatting_compact(self):
+        out = format_table(["v"], [[123456.789]])
+        assert "1.23e+05" in out or "123457" in out or "1.23e+5" in out
+
+
+class TestSeriesTable:
+    def test_alignment(self):
+        out = series_table("x", [1, 2], {"y": [10, 20], "z": [0.5, 0.6]})
+        assert "x" in out and "y" in out and "z" in out
+        assert len(out.splitlines()) == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            series_table("x", [1, 2], {"y": [10]})
+
+
+class TestAsciiPlots:
+    def test_series_contains_legend_and_bounds(self):
+        out = ascii_series([1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "up" in out and "down" in out
+        assert "└" in out
+
+    def test_series_empty_rejected(self):
+        with pytest.raises(DataError):
+            ascii_series([], {})
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(DataError):
+            ascii_series([1, 2], {"y": [1]})
+
+    def test_cdf_plot(self):
+        out = ascii_cdf({"a": [1, 2, 3], "b": [10, 20, 30]}, log_x=True)
+        assert "a" in out and "b" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = ascii_series([1, 2], {"flat": [5, 5]})
+        assert "flat" in out
+
+
+class TestCompare:
+    def test_shape_check_caches_result(self):
+        calls = []
+
+        def predicate():
+            calls.append(1)
+            return True
+
+        check = ShapeCheck("e", "claim", predicate)
+        assert check.evaluate() and check.evaluate()
+        assert len(calls) == 1
+
+    def test_format_comparisons(self):
+        out = format_comparisons(
+            [Comparison("Fig 1", "thing", "1", "2", "note")]
+        )
+        assert "Fig 1" in out and "note" in out
+
+    def test_format_shape_checks_pass_fail(self):
+        out = format_shape_checks(
+            [
+                ShapeCheck("e", "good", lambda: True),
+                ShapeCheck("e", "bad", lambda: False),
+            ]
+        )
+        assert "PASS" in out and "FAIL" in out

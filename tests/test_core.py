@@ -1,0 +1,206 @@
+"""Tests for the core package: detection, assumptions, bounds, finder."""
+
+import numpy as np
+import pytest
+
+from repro.core.assumptions import (
+    doubling_constant,
+    growth_ratios,
+    intrinsic_dimension,
+)
+from repro.core.clustering import (
+    ClusteringConditionConfig,
+    condition_summary,
+    detect_clusters,
+)
+from repro.core.finder import NearestPeerFinder
+from repro.core.lowerbound import (
+    descent_probes,
+    expected_probes_with_replacement,
+    expected_probes_without_replacement,
+    phase_transition_probes,
+    success_probability_with_budget,
+)
+from repro.core.opportunity import opportunity_cost
+from repro.util.errors import ConfigurationError, DataError
+
+
+class TestDetectClusters:
+    def test_recovers_planted_structure(self, clustered_world):
+        world = clustered_world
+        reports = detect_clusters(world.matrix.values)
+        satisfied = [r for r in reports if r.satisfies_condition]
+        assert satisfied, "the planted clusters must be detected"
+        # The planted world has 6 clusters of 20 end-networks.
+        big = [r for r in reports if r.n_end_networks >= 15]
+        assert len(big) >= 4
+
+    def test_end_network_grouping(self, clustered_world):
+        world = clustered_world
+        reports = detect_clusters(world.matrix.values)
+        for report in reports:
+            for en in report.end_networks:
+                for a in en:
+                    for b in en:
+                        if a != b:
+                            assert world.topology.same_end_network(a, b)
+
+    def test_uniform_space_unaffected(self, uniform_matrix):
+        reports = detect_clusters(uniform_matrix)
+        summary = condition_summary(reports)
+        assert summary["peers_affected_fraction"] < 0.2
+
+    def test_rejects_bad_matrix(self):
+        with pytest.raises(DataError):
+            detect_clusters(np.zeros((2, 3)))
+
+    def test_band_factor_validation(self):
+        with pytest.raises(DataError):
+            ClusteringConditionConfig(band_factor=0.9)
+
+    def test_expected_probes_scales_with_en_count(self, clustered_world):
+        reports = detect_clusters(clustered_world.matrix.values)
+        for report in reports:
+            assert report.expected_search_probes == pytest.approx(
+                (report.n_end_networks + 1) / 2
+            )
+
+
+class TestAssumptions:
+    def test_growth_ratio_explodes_under_clustering(
+        self, clustered_world, uniform_matrix
+    ):
+        clustered = growth_ratios(
+            clustered_world.matrix.values, [5.0], sample_size=100, seed=0
+        )[5.0]
+        uniform = growth_ratios(uniform_matrix, [5.0], sample_size=100, seed=0)[5.0]
+        assert np.median(clustered) > 3 * np.median(uniform)
+
+    def test_doubling_constant_scales_with_end_networks(self, clustered_world):
+        constant = doubling_constant(
+            clustered_world.matrix.values, radius_ms=12.0, sample_size=10, seed=1
+        )
+        # The cluster has 20 end-networks; half-radius balls cover ~one each.
+        assert constant >= 8
+
+    def test_doubling_constant_small_in_uniform_space(self, uniform_matrix):
+        constant = doubling_constant(uniform_matrix, radius_ms=12.0, sample_size=10, seed=1)
+        assert constant <= 16
+
+    def test_intrinsic_dimension_reasonable_in_2d(self, uniform_matrix):
+        dim = intrinsic_dimension(uniform_matrix, 5.0, 20.0, seed=0)
+        assert 1.0 < dim < 3.5
+
+    def test_intrinsic_dimension_needs_valid_range(self, uniform_matrix):
+        with pytest.raises(DataError):
+            intrinsic_dimension(uniform_matrix, 10.0, 5.0)
+
+
+class TestLowerBound:
+    def test_formulas(self):
+        assert expected_probes_without_replacement(9) == 5.0
+        assert expected_probes_with_replacement(9) == 9.0
+
+    def test_monte_carlo_without_replacement(self):
+        rng = np.random.default_rng(0)
+        n = 25
+        trials = []
+        for _ in range(4000):
+            order = rng.permutation(n)
+            trials.append(int(np.flatnonzero(order == 0)[0]) + 1)
+        assert np.mean(trials) == pytest.approx(
+            expected_probes_without_replacement(n), rel=0.05
+        )
+
+    def test_monte_carlo_with_replacement(self):
+        rng = np.random.default_rng(1)
+        n = 25
+        trials = rng.geometric(1.0 / n, size=4000)
+        assert np.mean(trials) == pytest.approx(
+            expected_probes_with_replacement(n), rel=0.1
+        )
+
+    def test_phase_transition_dominated_by_cluster_term(self):
+        small = phase_transition_probes(5, population=2500)
+        large = phase_transition_probes(250, population=2500)
+        assert large - small == pytest.approx((250 - 5) / 2.0, rel=0.01)
+
+    def test_descent_probes_logarithmic(self):
+        assert descent_probes(2500) < descent_probes(2500**2) <= 2 * descent_probes(2500) + 1e-9
+
+    def test_budget_success_probability(self):
+        assert success_probability_with_budget(10, 5) == pytest.approx(0.5)
+        assert success_probability_with_budget(10, 20) == 1.0
+        with_repl = success_probability_with_budget(10, 5, with_replacement=True)
+        assert with_repl < 0.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataError):
+            expected_probes_without_replacement(0)
+        with pytest.raises(DataError):
+            success_probability_with_budget(0, 5)
+
+
+class TestOpportunityCost:
+    def test_order_of_magnitude_cost(self):
+        found = [10.0] * 10
+        true = [0.1] * 10
+        cost = opportunity_cost(found, true)
+        assert cost.median_latency_ratio == pytest.approx(100.0)
+        assert cost.exact_rate == 0.0
+        assert cost.estimated_bandwidth_factor == pytest.approx(100.0)
+
+    def test_exact_results(self):
+        cost = opportunity_cost([1.0, 2.0], [1.0, 2.0])
+        assert cost.exact_rate == 1.0
+        assert cost.median_excess_latency_ms == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            opportunity_cost([1.0], [1.0, 2.0])
+        with pytest.raises(DataError):
+            opportunity_cost([1.0], [0.0])
+
+
+class TestNearestPeerFinder:
+    @pytest.fixture(scope="class")
+    def finder_setup(self, small_internet):
+        by_en = {}
+        for peer in small_internet.peer_ids:
+            by_en.setdefault(small_internet.host(peer).en_id, []).append(peer)
+        pair = next(v[:2] for v in by_en.values() if len(v) >= 2)
+        finder = NearestPeerFinder(
+            small_internet, mechanisms=("registry", "ucl", "prefix"), seed=42
+        )
+        member, target = pair
+        others = [p for p in small_internet.peer_ids[:80] if p != target]
+        if member not in others:
+            others.append(member)
+        finder.join_all(others)
+        return finder, member, target
+
+    def test_finds_same_en_mate(self, finder_setup):
+        finder, member, target = finder_setup
+        result = finder.find(target)
+        assert result.found == member
+        assert result.latency_ms < 1.0
+        assert result.stage in ("registry", "ucl", "prefix")
+
+    def test_true_nearest_agrees(self, finder_setup):
+        finder, member, target = finder_setup
+        best, latency = finder.true_nearest(target)
+        assert best == member
+
+    def test_duplicate_join_rejected(self, finder_setup):
+        finder, member, _target = finder_setup
+        with pytest.raises(ConfigurationError):
+            finder.join(member)
+
+    def test_unknown_mechanism_rejected(self, small_internet):
+        with pytest.raises(ConfigurationError):
+            NearestPeerFinder(small_internet, mechanisms=("teleport",))
+
+    def test_find_without_members_rejected(self, small_internet):
+        finder = NearestPeerFinder(small_internet, mechanisms=("registry",), seed=0)
+        with pytest.raises(ConfigurationError):
+            finder.find(small_internet.peer_ids[0])

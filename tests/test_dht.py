@@ -1,0 +1,163 @@
+"""Tests for consistent hashing, the Chord ring and the KV store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.chord import ChordRing
+from repro.dht.hashing import (
+    RING_SIZE,
+    hash_key,
+    hash_node,
+    in_interval,
+    ring_distance,
+)
+from repro.dht.kvstore import DhtKeyValueStore
+from repro.util.errors import DataError
+
+ring_points = st.integers(min_value=0, max_value=RING_SIZE - 1)
+
+
+class TestHashing:
+    def test_hash_key_types(self):
+        assert hash_key("router-5") == hash_key("router-5")
+        assert hash_key(12345) == hash_key(12345)
+        assert hash_key(b"abc") == hash_key(b"abc")
+        with pytest.raises(DataError):
+            hash_key(3.14)
+
+    def test_node_and_key_domains_separated(self):
+        assert hash_node(5) != hash_key(5)
+
+    @given(ring_points, ring_points)
+    def test_ring_distance_antisymmetric(self, a, b):
+        if a != b:
+            assert ring_distance(a, b) + ring_distance(b, a) == RING_SIZE
+        else:
+            assert ring_distance(a, b) == 0
+
+    @given(ring_points, ring_points, ring_points)
+    def test_in_interval_wraps(self, x, left, right):
+        # Membership plus complement covers the ring (excluding endpoints).
+        if x not in (left, right) and left != right:
+            inside = in_interval(x, left, right, inclusive_right=False)
+            outside = in_interval(x, right, left, inclusive_right=False)
+            assert inside != outside
+
+
+def brute_force_owner(ring: ChordRing, position: int) -> int:
+    """The node whose ring id is the first at/after ``position``."""
+    best, best_distance = None, None
+    for node_id in ring.node_ids:
+        node = ring.node(node_id)
+        distance = ring_distance(position, node.ring_id)
+        if best_distance is None or distance < best_distance:
+            best, best_distance = node_id, distance
+    return best
+
+
+class TestChord:
+    def test_lookup_matches_brute_force(self):
+        ring = ChordRing.build(list(range(40)))
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            position = int(rng.integers(0, RING_SIZE, dtype=np.uint64))
+            start = int(rng.choice(ring.node_ids))
+            owner, hops = ring.lookup(start, position)
+            assert owner == brute_force_owner(ring, position)
+
+    def test_lookup_hops_logarithmic(self):
+        ring = ChordRing.build(list(range(128)))
+        rng = np.random.default_rng(1)
+        hops = []
+        for _ in range(50):
+            position = int(rng.integers(0, RING_SIZE, dtype=np.uint64))
+            start = int(rng.choice(ring.node_ids))
+            hops.append(ring.lookup(start, position)[1])
+        assert np.mean(hops) <= 2 * np.log2(128)
+
+    def test_join_then_stabilize_restores_correctness(self):
+        ring = ChordRing.build(list(range(20)))
+        ring.join(500)
+        ring.join(501)
+        ring.stabilize()
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            position = int(rng.integers(0, RING_SIZE, dtype=np.uint64))
+            owner, _ = ring.lookup(500, position)
+            assert owner == brute_force_owner(ring, position)
+
+    def test_leave_then_stabilize(self):
+        ring = ChordRing.build(list(range(20)))
+        ring.leave(3)
+        ring.stabilize()
+        assert 3 not in ring.node_ids
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            position = int(rng.integers(0, RING_SIZE, dtype=np.uint64))
+            owner, _ = ring.lookup(0, position)
+            assert owner == brute_force_owner(ring, position)
+
+    def test_duplicate_join_rejected(self):
+        ring = ChordRing.build([1, 2])
+        with pytest.raises(DataError):
+            ring.join(1)
+
+    def test_unknown_leave_rejected(self):
+        ring = ChordRing.build([1, 2])
+        with pytest.raises(DataError):
+            ring.leave(99)
+
+    def test_single_node_ring(self):
+        ring = ChordRing.build([7])
+        owner, hops = ring.lookup(7, 12345)
+        assert owner == 7
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=10**6), min_size=2, max_size=40))
+    def test_lookup_correct_for_arbitrary_memberships(self, node_ids):
+        ring = ChordRing.build(sorted(node_ids))
+        position = hash_key("probe")
+        start = sorted(node_ids)[0]
+        owner, _ = ring.lookup(start, position)
+        assert owner == brute_force_owner(ring, position)
+
+
+class TestKvStore:
+    def test_put_get_multivalue(self):
+        ring = ChordRing.build(list(range(16)))
+        store = DhtKeyValueStore(ring, seed=0)
+        store.put("router-1", ("peer-a", 1.5))
+        store.put("router-1", ("peer-b", 2.0))
+        assert store.get("router-1") == {("peer-a", 1.5), ("peer-b", 2.0)}
+
+    def test_get_missing_key_empty(self):
+        store = DhtKeyValueStore(ChordRing.build([1, 2, 3]), seed=0)
+        assert store.get("nothing") == set()
+
+    def test_remove(self):
+        store = DhtKeyValueStore(ChordRing.build(list(range(8))), seed=0)
+        store.put("k", 1)
+        store.put("k", 2)
+        store.remove("k", 1)
+        assert store.get("k") == {2}
+
+    def test_replication_survives_owner_loss(self):
+        ring = ChordRing.build(list(range(24)))
+        store = DhtKeyValueStore(ring, replicas=3, seed=0)
+        store.put("k", "value")
+        owner, _ = ring.lookup(0, hash_key("k"))
+        store.handle_node_loss(owner)
+        assert "value" in store.get("k")
+
+    def test_lookup_stats_accumulate(self):
+        store = DhtKeyValueStore(ChordRing.build(list(range(32))), seed=0)
+        for i in range(10):
+            store.put(f"key-{i}", i)
+        assert store.stats.lookups == 10
+        assert store.stats.mean_hops >= 0
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(DataError):
+            DhtKeyValueStore(ChordRing(), seed=0)

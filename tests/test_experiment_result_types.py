@@ -1,0 +1,152 @@
+"""Unit tests for experiment result dataclasses (no simulations needed).
+
+The drivers' aggregation/rendering logic is exercised on hand-built
+points, so regressions in shape-check predicates or series accessors are
+caught without running the underlying experiments.
+"""
+
+import numpy as np
+
+from repro.analysis.binning import BinnedPercentiles
+from repro.experiments.fig8_meridian_cluster_size import Fig8Point, Fig8Result
+from repro.experiments.fig9_meridian_delta import Fig9Point, Fig9Result
+from repro.experiments.fig10_ucl_hops import Fig10Result
+from repro.experiments.fig11_prefix_rates import Fig11Result
+from repro.mechanisms.ipprefix import PrefixErrorRates
+
+
+def fig8(closest, cluster):
+    xs = (5, 25, 50, 125, 250)
+    return Fig8Result(
+        points=[
+            Fig8Point(
+                end_networks=x,
+                closest_median=c,
+                closest_min=c,
+                closest_max=c,
+                cluster_median=k,
+                cluster_min=k,
+                cluster_max=k,
+            )
+            for x, c, k in zip(xs, closest, cluster)
+        ]
+    )
+
+
+class TestFig8Result:
+    def test_paper_shape_passes(self):
+        result = fig8(
+            closest=[0.19, 0.23, 0.15, 0.08, 0.04],
+            cluster=[0.7, 0.99, 1.0, 1.0, 1.0],
+        )
+        assert all(c.evaluate() for c in result.shape_checks())
+
+    def test_monotone_decreasing_fails_peak_check(self):
+        result = fig8(
+            closest=[0.5, 0.4, 0.3, 0.2, 0.1],
+            cluster=[0.7, 0.9, 1.0, 1.0, 1.0],
+        )
+        checks = {c.claim: c.evaluate() for c in result.shape_checks()}
+        peak_claim = next(k for k in checks if "peak" in k)
+        assert not checks[peak_claim]
+
+    def test_no_collapse_fails(self):
+        result = fig8(
+            closest=[0.2, 0.25, 0.24, 0.22, 0.21],
+            cluster=[0.7, 0.9, 1.0, 1.0, 1.0],
+        )
+        checks = {c.claim: c.evaluate() for c in result.shape_checks()}
+        collapse_claim = next(k for k in checks if "collapses" in k)
+        assert not checks[collapse_claim]
+
+    def test_render_contains_table_and_plot(self):
+        result = fig8(
+            closest=[0.1, 0.2, 0.15, 0.08, 0.05],
+            cluster=[0.6, 0.9, 0.95, 1.0, 1.0],
+        )
+        text = result.render()
+        assert "end-networks/cluster" in text
+        assert "closest" in text
+
+
+class TestFig9Result:
+    def make(self, closest, hub):
+        return Fig9Result(
+            points=[
+                Fig9Point(
+                    delta=d, closest_median=c, found_hub_latency_median_ms=h
+                )
+                for d, c, h in zip((0.0, 0.2, 0.4, 0.6, 0.8, 1.0), closest, hub)
+            ]
+        )
+
+    def test_paper_shape_passes(self):
+        result = self.make(
+            closest=[0.05, 0.07, 0.1, 0.15, 0.25, 0.4],
+            hub=[5.2, 5.0, 4.0, 3.0, 2.0, 1.7],
+        )
+        assert all(c.evaluate() for c in result.shape_checks())
+
+    def test_flat_accuracy_fails(self):
+        result = self.make(
+            closest=[0.2, 0.2, 0.2, 0.2, 0.2, 0.2],
+            hub=[5.0, 4.0, 3.0, 2.0, 1.5, 1.0],
+        )
+        assert not all(c.evaluate() for c in result.shape_checks())
+
+
+class TestFig10Result:
+    def make(self):
+        bins = BinnedPercentiles(
+            centers=np.array([0.5, 2.0, 4.0, 8.0]),
+            counts=np.array([50, 80, 120, 60]),
+            percentiles={
+                5: np.array([2, 2, 2, 4]),
+                25: np.array([2, 3, 3, 6]),
+                50: np.array([2, 3, 4, 9]),
+                75: np.array([3, 4, 6, 12]),
+                95: np.array([4, 6, 9, 16]),
+            },
+        )
+        return Fig10Result(bins=bins, n_pairs=310)
+
+    def test_routers_to_track_is_half_hops(self):
+        result = self.make()
+        assert result.routers_to_track(4.0, 50) == 2.0
+        assert result.routers_to_track(8.0, 95) == 8.0
+
+    def test_paper_shape_passes(self):
+        assert all(c.evaluate() for c in self.make().shape_checks())
+
+
+class TestFig11Result:
+    def make(self, fp, fn):
+        lengths = (8, 12, 16, 20, 24)
+        return Fig11Result(
+            rates=[
+                PrefixErrorRates(
+                    prefix_length=l,
+                    median_false_positive_rate=p,
+                    median_false_negative_rate=n,
+                    peers_evaluated=100,
+                    peers_with_close_peer=60,
+                )
+                for l, p, n in zip(lengths, fp, fn)
+            ]
+        )
+
+    def test_no_sweet_spot_detected(self):
+        result = self.make(
+            fp=[0.9, 0.4, 0.15, 0.02, 0.0], fn=[0.0, 0.05, 0.3, 0.8, 0.95]
+        )
+        assert not result.has_sweet_spot()
+        assert all(c.evaluate() for c in result.shape_checks())
+
+    def test_sweet_spot_flagged(self):
+        result = self.make(
+            fp=[0.9, 0.3, 0.05, 0.01, 0.0], fn=[0.0, 0.01, 0.05, 0.6, 0.9]
+        )
+        assert result.has_sweet_spot()
+        checks = {c.claim: c.evaluate() for c in result.shape_checks()}
+        sweet_claim = next(k for k in checks if "sweet" in k)
+        assert not checks[sweet_claim]

@@ -1,0 +1,51 @@
+"""Tests for the extension experiment and the run-all orchestration."""
+
+import pytest
+
+from repro.experiments import ext_condition_extent
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+
+
+class TestConditionExtentExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_condition_extent.run(ExperimentScale())
+
+    def test_fractions_are_probabilities(self, result):
+        assert 0.0 <= result.true_affected_fraction <= 1.0
+        assert 0.0 <= result.estimated_affected_fraction <= 1.0
+        assert 0.0 <= result.pipeline_recall <= 1.0
+
+    def test_pipeline_underestimates(self, result):
+        """The headline extension finding: responsiveness filtering and
+        single-router clustering hide most of the condition's true extent."""
+        assert result.estimated_affected_fraction < result.true_affected_fraction
+
+    def test_shape_checks_hold(self, result):
+        for check in result.shape_checks():
+            assert check.evaluate(), check.claim
+
+    def test_render_and_comparisons(self, result):
+        assert "extent" in result.render().lower()
+        assert result.comparisons()
+
+
+class TestRunner:
+    def test_experiment_registry_covers_the_paper(self):
+        names = [name for name, _ in ALL_EXPERIMENTS]
+        assert names[0] == "Table 1"
+        for figure in range(3, 12):
+            assert f"Fig {figure}" in names
+
+    def test_run_subset(self):
+        report = run_all(ExperimentScale(), only=("Table 1",))
+        assert list(report.renders) == ["Table 1"]
+        assert report.all_shapes_hold
+        assert report.durations["Table 1"] >= 0
+
+    def test_report_renders(self):
+        report = run_all(ExperimentScale(), only=("Table 1",))
+        text = report.render()
+        assert "Paper vs measured" in text
+        assert "Shape checks" in text

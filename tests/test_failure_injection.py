@@ -1,0 +1,138 @@
+"""Failure-injection tests: the system under churn, loss and noise.
+
+A deployable nearest-peer service must tolerate DHT node crashes, lossy
+links during gossip, widespread measurement refusal and heavy probe noise;
+these tests inject each failure and assert graceful degradation rather
+than collapse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dht.chord import ChordRing
+from repro.dht.hashing import hash_key
+from repro.dht.kvstore import DhtKeyValueStore
+from repro.latency.builder import build_clustered_oracle
+from repro.mechanisms.ucl import UclMap, compute_ucl
+from repro.meridian.gossip import GossipConfig, run_gossip_overlay
+from repro.meridian.overlay import MeridianConfig
+from repro.meridian.query import closest_node_query
+from repro.meridian.simulator import run_meridian_trial
+from repro.netsim.engine import EventLoop
+from repro.netsim.network import Network
+from repro.topology.clustered import ClusteredConfig
+from repro.topology.oracle import MatrixOracle, NoisyOracle
+
+
+class TestDhtChurn:
+    def test_ucl_map_survives_storage_node_crashes(self, small_internet):
+        """Replication keeps the UCL mapping usable through DHT churn."""
+        by_en = {}
+        for peer in small_internet.peer_ids:
+            by_en.setdefault(small_internet.host(peer).en_id, []).append(peer)
+        mate, joiner = next(v[:2] for v in by_en.values() if len(v) >= 2)
+
+        ring = ChordRing.build(list(range(24)))
+        store = DhtKeyValueStore(ring, replicas=3, seed=1)
+        ucl_map = UclMap(small_internet, backend=store)
+        ucl = compute_ucl(small_internet, mate, seed=mate)
+        ucl_map.insert_peer(mate, ucl)
+
+        # Crash the owner of every key the mate is stored under.
+        for entry in ucl:
+            owner, _ = ring.lookup(ring.node_ids[0], hash_key(entry.router_id))
+            if owner in ring.node_ids and ring.size > 4:
+                store.handle_node_loss(owner)
+
+        found, _latency, _stats = ucl_map.find_nearest(
+            joiner, compute_ucl(small_internet, joiner, seed=joiner), seed=3
+        )
+        assert found == mate
+
+    def test_mass_crash_loses_data_but_not_service(self):
+        """Crashing beyond the replication factor loses values, not uptime."""
+        ring = ChordRing.build(list(range(12)))
+        store = DhtKeyValueStore(ring, replicas=2, seed=2)
+        store.put("key", "value")
+        for node in list(ring.node_ids)[:8]:
+            store.handle_node_loss(node)
+        # The store still answers (possibly with an empty set).
+        assert isinstance(store.get("key"), set)
+        assert ring.size == 4
+
+
+class TestLossyGossip:
+    def test_gossip_converges_despite_loss(self, uniform_matrix):
+        """30% message loss slows but does not break ring population."""
+        oracle = MatrixOracle(uniform_matrix)
+        members = np.arange(50)
+
+        # Patch in loss by replacing the network the overlay builder uses:
+        # run the protocol manually with a lossy network.
+        from repro.meridian.gossip import GossipMeridianNode
+
+        loop = EventLoop()
+        network = Network(loop, oracle, loss_rate=0.3, seed=3)
+        rng = np.random.default_rng(3)
+        config = MeridianConfig()
+        gossip = GossipConfig(initial_contacts=4)
+        nodes = {}
+        for node_id in members:
+            node = GossipMeridianNode(int(node_id), config, gossip, oracle, rng)
+            nodes[int(node_id)] = node
+            network.attach(node)
+        for node_id, node in nodes.items():
+            for contact in rng.choice(members[members != node_id], size=4, replace=False):
+                node._learn(int(contact))
+        loop.run_until(14 * gossip.period_ms)
+
+        counts = [node.state.member_count() for node in nodes.values()]
+        assert np.mean(counts) > 6
+        assert network.messages_lost > 0
+
+
+class TestMeasurementRefusal:
+    def test_pipeline_handles_total_tcp_refusal(self):
+        from repro.measurement.azureus_pipeline import AzureusStudy
+        from repro.topology.internet import InternetConfig, SyntheticInternet
+
+        internet = SyntheticInternet.generate(
+            InternetConfig(
+                n_isps=2,
+                pops_per_isp_low=2,
+                pops_per_isp_high=3,
+                en_per_pop_low=6,
+                en_per_pop_high=16,
+                tcp_response_rate=0.0,
+                traceroute_response_rate=0.0,
+            ),
+            seed=9,
+        )
+        result = AzureusStudy(internet, seed=9).run()
+        assert result.peers_retained == 0
+        assert result.unpruned_clusters == []
+
+
+class TestHeavyProbeNoise:
+    def test_meridian_accuracy_degrades_gracefully(self):
+        """50% probe noise halves accuracy-ish; it must not zero it in a
+        benign world nor crash."""
+        world = build_clustered_oracle(
+            ClusteredConfig(n_clusters=6, end_networks_per_cluster=10), seed=11
+        )
+        clean = run_meridian_trial(world, n_targets=40, n_queries=150, seed=11)
+        noisy_oracle = NoisyOracle(world.oracle, sigma=0.5, seed=11)
+        noisy = run_meridian_trial(
+            world, n_targets=40, n_queries=150, seed=11, probe_oracle=noisy_oracle
+        )
+        assert noisy.correct_closest_rate <= clean.correct_closest_rate + 0.05
+        assert noisy.correct_cluster_rate > 0.3
+
+    def test_query_terminates_under_adversarial_noise(self, uniform_matrix):
+        from repro.meridian.overlay import MeridianOverlay
+
+        oracle = MatrixOracle(uniform_matrix)
+        overlay = MeridianOverlay.build(oracle, np.arange(60), seed=12)
+        wild = NoisyOracle(oracle, sigma=1.5, additive_ms=5.0, seed=12)
+        result = closest_node_query(overlay, wild, 80, seed=12)
+        assert result.hops <= overlay.config.max_hops

@@ -1,0 +1,131 @@
+"""Tests for latency matrices, the synthetic core and the world builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.latency.builder import build_clustered_oracle
+from repro.latency.matrix import LatencyMatrix
+from repro.latency.synthetic import (
+    SyntheticCoreConfig,
+    sample_hub_latencies,
+    synthetic_core_matrix,
+)
+from repro.topology.clustered import ClusteredConfig
+from repro.util.errors import DataError
+
+
+class TestLatencyMatrix:
+    def test_validation_rejects_asymmetric(self):
+        arr = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(DataError):
+            LatencyMatrix.from_array(arr)
+
+    def test_validation_rejects_negative(self):
+        arr = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(DataError):
+            LatencyMatrix.from_array(arr)
+
+    def test_validation_rejects_nonzero_diagonal(self):
+        arr = np.array([[1.0, 2.0], [2.0, 0.0]])
+        with pytest.raises(DataError):
+            LatencyMatrix.from_array(arr)
+
+    def test_validation_rejects_non_square(self):
+        with pytest.raises(DataError):
+            LatencyMatrix.from_array(np.zeros((2, 3)))
+
+    def test_median_and_offdiag(self):
+        arr = np.array([[0, 1, 3], [1, 0, 5], [3, 5, 0]], dtype=float)
+        matrix = LatencyMatrix.from_array(arr)
+        assert sorted(matrix.off_diagonal().tolist()) == [1, 3, 5]
+        assert matrix.median_ms == 3
+
+    def test_submatrix(self):
+        arr = np.array([[0, 1, 3], [1, 0, 5], [3, 5, 0]], dtype=float)
+        sub = LatencyMatrix.from_array(arr).submatrix(np.array([0, 2]))
+        assert sub.values.tolist() == [[0, 3], [3, 0]]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        arr = np.array([[0, 2.5], [2.5, 0]])
+        path = tmp_path / "m.npz"
+        LatencyMatrix.from_array(arr).save(path)
+        loaded = LatencyMatrix.load(path)
+        assert np.allclose(loaded.values, arr)
+
+    def test_load_wrong_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(DataError):
+            LatencyMatrix.load(path)
+
+    def test_triangle_violations_zero_for_euclidean(self, uniform_matrix):
+        matrix = LatencyMatrix.from_array(uniform_matrix, check_symmetry=False)
+        assert matrix.triangle_violation_fraction() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSyntheticCore:
+    def test_median_calibrated(self):
+        core = synthetic_core_matrix(300, seed=3)
+        matrix = LatencyMatrix.from_array(core, check_symmetry=False)
+        assert matrix.median_ms == pytest.approx(65.0, rel=0.05)
+
+    def test_symmetric_zero_diag(self):
+        core = synthetic_core_matrix(100, seed=1)
+        assert np.allclose(core, core.T)
+        assert np.allclose(np.diag(core), 0.0)
+
+    def test_metro_twins_exist(self):
+        """Some node pairs must be near-co-located (twin-cluster source)."""
+        core = synthetic_core_matrix(400, seed=2)
+        iu = np.triu_indices(400, k=1)
+        close_fraction = np.mean(core[iu] < 15.0)
+        assert close_fraction > 0.01
+
+    def test_triangle_violations_present_but_rare(self):
+        core = synthetic_core_matrix(200, seed=4)
+        matrix = LatencyMatrix.from_array(core, check_symmetry=False)
+        violations = matrix.triangle_violation_fraction(samples=4000)
+        assert 0.0 < violations < 0.25
+
+    def test_custom_median(self):
+        config = SyntheticCoreConfig(n_nodes=150, median_ms=30.0)
+        core = synthetic_core_matrix(150, seed=5, config=config)
+        matrix = LatencyMatrix.from_array(core, check_symmetry=False)
+        assert matrix.median_ms == pytest.approx(30.0, rel=0.05)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=8, max_value=60))
+    def test_all_offdiagonal_positive(self, n):
+        core = synthetic_core_matrix(n, seed=6)
+        iu = np.triu_indices(n, k=1)
+        assert np.all(core[iu] > 0)
+
+    def test_sample_hub_latencies_subsets(self):
+        core = synthetic_core_matrix(50, seed=7)
+        hubs = sample_hub_latencies(core, 10, seed=8)
+        assert hubs.shape == (10, 10)
+        assert np.allclose(np.diag(hubs), 0.0)
+
+
+class TestBuilder:
+    def test_world_consistency(self, clustered_world):
+        world = clustered_world
+        assert world.oracle.n_nodes == world.topology.n_nodes
+        a, b = 0, world.topology.n_nodes - 1
+        assert world.oracle.latency_ms(a, b) == pytest.approx(
+            world.topology.latency_ms(a, b)
+        )
+
+    def test_deterministic_given_seed(self):
+        config = ClusteredConfig(n_clusters=3, end_networks_per_cluster=5)
+        w1 = build_clustered_oracle(config, seed=42)
+        w2 = build_clustered_oracle(config, seed=42)
+        assert np.allclose(w1.matrix.values, w2.matrix.values)
+
+    def test_different_seeds_differ(self):
+        config = ClusteredConfig(n_clusters=3, end_networks_per_cluster=5)
+        w1 = build_clustered_oracle(config, seed=1)
+        w2 = build_clustered_oracle(config, seed=2)
+        assert not np.allclose(w1.matrix.values, w2.matrix.values)

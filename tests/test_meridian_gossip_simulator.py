@@ -1,0 +1,95 @@
+"""Tests for the gossip overlay builder and the batch simulator."""
+
+import numpy as np
+import pytest
+
+from repro.latency.builder import build_clustered_oracle
+from repro.meridian.gossip import GossipConfig, run_gossip_overlay
+from repro.meridian.overlay import MeridianConfig
+from repro.meridian.query import closest_node_query
+from repro.meridian.simulator import (
+    run_meridian_trial,
+    summarize_trials,
+)
+from repro.topology.clustered import ClusteredConfig
+from repro.topology.oracle import MatrixOracle
+from repro.util.errors import DataError
+
+
+class TestGossip:
+    def test_gossip_populates_rings(self, uniform_matrix):
+        oracle = MatrixOracle(uniform_matrix)
+        overlay = run_gossip_overlay(
+            oracle,
+            np.arange(60),
+            gossip_config=GossipConfig(initial_contacts=4),
+            rounds=10,
+            seed=0,
+        )
+        counts = [node.member_count() for node in overlay.nodes.values()]
+        assert np.mean(counts) > 8  # grew beyond the initial contacts
+
+    def test_gossip_ring_caps(self, uniform_matrix):
+        config = MeridianConfig(ring_size=4, candidate_pool=16)
+        overlay = run_gossip_overlay(
+            MatrixOracle(uniform_matrix),
+            np.arange(60),
+            meridian_config=config,
+            rounds=8,
+            seed=0,
+        )
+        for node in overlay.nodes.values():
+            for ring in node.rings:
+                assert len(ring) <= 4
+
+    def test_gossip_overlay_answers_queries(self, uniform_matrix):
+        oracle = MatrixOracle(uniform_matrix)
+        overlay = run_gossip_overlay(oracle, np.arange(60), rounds=10, seed=1)
+        result = closest_node_query(overlay, oracle, 80, seed=2)
+        assert result.found in set(range(60))
+
+    def test_too_few_members(self, uniform_matrix):
+        with pytest.raises(DataError):
+            run_gossip_overlay(MatrixOracle(uniform_matrix), [3], seed=0)
+
+
+class TestSimulator:
+    def test_trial_metrics_consistent(self):
+        world = build_clustered_oracle(
+            ClusteredConfig(n_clusters=4, end_networks_per_cluster=8), seed=3
+        )
+        trial = run_meridian_trial(world, n_targets=10, n_queries=60, seed=3)
+        assert trial.n_queries == 60
+        assert 0.0 <= trial.correct_closest_rate <= 1.0
+        assert trial.correct_closest_rate <= trial.correct_cluster_rate + 1e-9
+        assert trial.mean_probes_per_query > 0
+
+    def test_targets_must_fit_population(self):
+        world = build_clustered_oracle(
+            ClusteredConfig(n_clusters=2, end_networks_per_cluster=3), seed=3
+        )
+        with pytest.raises(DataError):
+            run_meridian_trial(world, n_targets=1000, n_queries=5, seed=0)
+
+    def test_cluster_size_degradation_trend(self):
+        """Fig 8's collapse, in miniature: accuracy at 8 EN/cluster beats
+        accuracy at 64 EN/cluster."""
+        small = build_clustered_oracle(
+            ClusteredConfig(n_clusters=8, end_networks_per_cluster=8), seed=5
+        )
+        large = build_clustered_oracle(
+            ClusteredConfig(n_clusters=1, end_networks_per_cluster=64), seed=5
+        )
+        trial_small = run_meridian_trial(small, n_targets=30, n_queries=150, seed=5)
+        trial_large = run_meridian_trial(large, n_targets=30, n_queries=150, seed=5)
+        assert trial_small.correct_closest_rate > trial_large.correct_closest_rate
+
+    def test_summarize_trials(self):
+        summary = summarize_trials([0.3, 0.1, 0.2])
+        assert summary.median == pytest.approx(0.2)
+        assert summary.minimum == pytest.approx(0.1)
+        assert summary.maximum == pytest.approx(0.3)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(DataError):
+            summarize_trials([])

@@ -1,0 +1,119 @@
+"""Tests for Meridian ring geometry and diversity selection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.meridian.rings import RingStructure
+from repro.meridian.selection import select_hypervolume, select_maxmin
+from repro.util.errors import DataError
+
+
+class TestRingStructure:
+    def test_inner_ring(self):
+        rings = RingStructure(alpha_ms=1.0, base=2.0, n_rings=9)
+        assert rings.ring_index(0.0) == 0
+        assert rings.ring_index(1.0) == 0
+
+    def test_known_boundaries(self):
+        rings = RingStructure()
+        assert rings.ring_index(1.5) == 1
+        assert rings.ring_index(2.0) == 1
+        assert rings.ring_index(2.01) == 2
+        assert rings.ring_index(16.0) == 4
+
+    def test_outermost_absorbs_everything(self):
+        rings = RingStructure(n_rings=5)
+        assert rings.ring_index(1e9) == 5
+
+    def test_bounds_inverse_of_index(self):
+        rings = RingStructure()
+        for index in range(rings.ring_count):
+            inner, outer = rings.ring_bounds(index)
+            if math.isinf(outer):
+                assert rings.ring_index(inner * 2) == index
+            else:
+                midpoint = (inner + outer) / 2
+                assert rings.ring_index(midpoint) == index
+
+    @given(st.floats(min_value=1e-6, max_value=1e5))
+    def test_index_consistent_with_bounds(self, latency):
+        rings = RingStructure()
+        index = rings.ring_index(latency)
+        inner, outer = rings.ring_bounds(index)
+        assert inner <= latency or index == 0
+        assert latency <= outer
+
+
+def euclidean_pairwise(points):
+    arr = np.asarray(points, dtype=float)
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+class TestSelectMaxmin:
+    def test_selects_k(self):
+        rng = np.random.default_rng(0)
+        pairwise = euclidean_pairwise(rng.uniform(0, 10, size=(20, 2)))
+        chosen = select_maxmin(pairwise, 5)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+
+    def test_k_geq_n_returns_all(self):
+        pairwise = euclidean_pairwise([[0, 0], [1, 1]])
+        assert select_maxmin(pairwise, 10) == [0, 1]
+
+    def test_prefers_spread_points(self):
+        # Three tight points at the origin plus two far points; picking 3
+        # must include both far points.
+        points = [[0, 0], [0.1, 0], [0, 0.1], [100, 0], [0, 100]]
+        chosen = select_maxmin(euclidean_pairwise(points), 3)
+        assert 3 in chosen and 4 in chosen
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataError):
+            select_maxmin(np.zeros((2, 3)), 1)
+        with pytest.raises(DataError):
+            select_maxmin(np.zeros((2, 2)), 0)
+
+
+class TestSelectHypervolume:
+    def test_selects_k_distinct(self):
+        rng = np.random.default_rng(1)
+        pairwise = euclidean_pairwise(rng.uniform(0, 10, size=(12, 2)))
+        chosen = select_hypervolume(pairwise, 4)
+        assert len(chosen) == 4
+        assert len(set(chosen)) == 4
+
+    def test_seeds_with_farthest_pair(self):
+        points = [[0, 0], [1, 0], [50, 0], [0.5, 0.5]]
+        chosen = select_hypervolume(euclidean_pairwise(points), 2)
+        assert set(chosen) == {0, 2}
+
+    def test_degenerate_colinear_points_no_crash(self):
+        points = [[float(i), 0.0] for i in range(6)]
+        chosen = select_hypervolume(euclidean_pairwise(points), 3)
+        assert len(chosen) == 3
+
+    def test_agrees_with_maxmin_on_clear_geometry(self):
+        # Four corners of a square plus center clutter: both selectors
+        # should choose the corners.
+        points = [[0, 0], [10, 0], [0, 10], [10, 10], [5, 5], [5.1, 5.0]]
+        pairwise = euclidean_pairwise(points)
+        assert set(select_maxmin(pairwise, 4)) == {0, 1, 2, 3}
+        assert set(select_hypervolume(pairwise, 4)) == {0, 1, 2, 3}
+
+
+class TestClusteringBlindness:
+    """The paper's point: under the clustering condition the selectors
+    cannot do better than chance because all candidates look alike."""
+
+    def test_flat_distances_make_selection_arbitrary(self):
+        n = 20
+        pairwise = np.full((n, n), 10.0)
+        np.fill_diagonal(pairwise, 0.0)
+        chosen = select_maxmin(pairwise, 8)
+        assert len(chosen) == 8  # it works, but no choice is "better"

@@ -1,0 +1,155 @@
+"""Tests for the discrete-event engine and latency-faithful network."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.netsim.network import Message, Network, SimNode
+from repro.topology.oracle import MatrixOracle
+from repro.util.errors import SimulationError
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, fired.append, "b")
+        loop.schedule(1.0, fired.append, "a")
+        loop.schedule(9.0, fired.append, "c")
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in range(5):
+            loop.schedule(1.0, fired.append, tag)
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(2.5, lambda: times.append(loop.now))
+        loop.run()
+        assert times == [2.5]
+        assert loop.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_run_until_stops_at_boundary(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, "early")
+        loop.schedule(10.0, fired.append, "late")
+        loop.run_until(5.0)
+        assert fired == ["early"]
+        assert loop.now == 5.0
+        loop.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_backwards_rejected(self):
+        loop = EventLoop()
+        loop.run_until(5.0)
+        with pytest.raises(SimulationError):
+            loop.run_until(1.0)
+
+    def test_events_scheduled_during_run(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.schedule(1.0, chain, n + 1)
+
+        loop.schedule(0.0, chain, 0)
+        loop.run()
+        assert fired == [0, 1, 2, 3]
+        assert loop.processed == 4
+
+    def test_max_events_bound(self):
+        loop = EventLoop()
+
+        def rescheduling():
+            loop.schedule(1.0, rescheduling)
+
+        loop.schedule(0.0, rescheduling)
+        loop.run(max_events=10)
+        assert loop.processed == 10
+
+
+class _Echo(SimNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_message(self, message: Message):
+        self.received.append((message.kind, self.network.loop.now))
+        if message.kind == "ping":
+            self.send(message.src, "pong")
+
+
+def two_node_net(latency_ms=10.0, loss=0.0):
+    loop = EventLoop()
+    oracle = MatrixOracle(np.array([[0.0, latency_ms], [latency_ms, 0.0]]))
+    net = Network(loop, oracle, loss_rate=loss, seed=0)
+    nodes = [_Echo(0), _Echo(1)]
+    for node in nodes:
+        net.attach(node)
+    return loop, net, nodes
+
+
+class TestNetwork:
+    def test_one_way_delay_is_half_rtt(self):
+        loop, net, nodes = two_node_net(latency_ms=10.0)
+        nodes[0].send(1, "ping")
+        loop.run()
+        assert nodes[1].received[0] == ("ping", 5.0)
+        # Reply arrives after a full RTT at the originator.
+        assert nodes[0].received[0] == ("pong", 10.0)
+
+    def test_duplicate_node_rejected(self):
+        loop, net, nodes = two_node_net()
+        with pytest.raises(SimulationError):
+            net.attach(_Echo(0))
+
+    def test_unknown_destination(self):
+        loop, net, nodes = two_node_net()
+        with pytest.raises(SimulationError):
+            nodes[0].send(99, "ping")
+
+    def test_loss_drops_messages(self):
+        loop, net, nodes = two_node_net(loss=0.999)
+        for _ in range(50):
+            nodes[0].send(1, "ping")
+        loop.run()
+        assert net.messages_lost > 40
+
+    def test_timers_bypass_loss(self):
+        loop, net, nodes = two_node_net(loss=0.999)
+        nodes[0].set_timer(3.0, "tick")
+        loop.run()
+        assert nodes[0].received == [("tick", 3.0)]
+
+    def test_detached_node_cannot_send(self):
+        node = _Echo(7)
+        with pytest.raises(SimulationError):
+            node.send(0, "ping")
+
+    def test_counters(self):
+        loop, net, nodes = two_node_net()
+        nodes[0].send(1, "ping")
+        loop.run()
+        assert net.messages_sent == 2  # ping + pong
+        assert net.messages_delivered == 2

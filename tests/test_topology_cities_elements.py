@@ -1,0 +1,58 @@
+"""Tests for the city map and record types."""
+
+import pytest
+
+from repro.measurement.vantage import TABLE1_VANTAGE_POINTS
+from repro.topology.cities import (
+    WORLD_CITIES,
+    city_by_name,
+    city_code,
+    major_cities,
+)
+from repro.topology.elements import RouterKind, RouterRecord
+from repro.util.errors import DataError
+
+
+class TestCities:
+    def test_all_table1_cities_exist(self):
+        for vantage in TABLE1_VANTAGE_POINTS:
+            assert city_by_name(vantage.city).name == vantage.city
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(DataError):
+            city_by_name("Atlantis")
+
+    def test_distances_are_plausible(self):
+        seattle = city_by_name("Seattle")
+        new_york = city_by_name("New York")
+        tokyo = city_by_name("Tokyo")
+        # One-way coast-to-coast ~ 35 ms; transpacific ~ 55 ms.
+        assert 25 <= seattle.distance_ms(new_york) <= 45
+        assert 45 <= seattle.distance_ms(tokyo) <= 70
+
+    def test_distance_symmetric_and_zero_to_self(self):
+        a, b = WORLD_CITIES[0], WORLD_CITIES[5]
+        assert a.distance_ms(b) == pytest.approx(b.distance_ms(a))
+        assert a.distance_ms(a) == 0.0
+
+    def test_major_cities_span_continents(self):
+        continents = {c.continent for c in major_cities()}
+        assert {"NA", "EU", "AS"} <= continents
+
+    def test_city_codes_compact(self):
+        assert city_code("Cambridge UK") == "cam"
+        assert len(city_code("San Francisco")) == 3
+
+
+class TestRouterRecord:
+    def test_annotation_pair(self):
+        record = RouterRecord(
+            router_id=1,
+            kind=RouterKind.POP,
+            isp_id=0,
+            pop_id=3,
+            as_name="isp0",
+            city="Seattle",
+            dns_name="cr1.sea.isp0.net",
+        )
+        assert record.annotation() == ("isp0", "Seattle")

@@ -1,0 +1,147 @@
+"""Tests for the Section 4 clustered model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.latency.synthetic import synthetic_core_matrix
+from repro.topology.clustered import ClusteredConfig, ClusteredTopology
+from repro.util.errors import ConfigurationError, DataError
+
+
+def make_topology(n_clusters=4, en=10, peers=2, delta=0.2, seed=0):
+    config = ClusteredConfig(
+        n_clusters=n_clusters,
+        end_networks_per_cluster=en,
+        peers_per_end_network=peers,
+        delta=delta,
+    )
+    core = synthetic_core_matrix(n_clusters, seed=seed)
+    return ClusteredTopology.generate(config, core, seed=seed)
+
+
+class TestConfig:
+    def test_counts(self):
+        config = ClusteredConfig(
+            n_clusters=3, end_networks_per_cluster=5, peers_per_end_network=2
+        )
+        assert config.n_end_networks == 15
+        assert config.n_peers == 30
+
+    def test_delta_range(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredConfig(n_clusters=1, end_networks_per_cluster=1, delta=1.5)
+
+    def test_hub_range_order(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredConfig(
+                n_clusters=1,
+                end_networks_per_cluster=1,
+                mean_hub_latency_low_ms=6,
+                mean_hub_latency_high_ms=4,
+            )
+
+
+class TestLatencyStructure:
+    def test_paper_gradation(self):
+        """intra-EN << intra-cluster < inter-cluster (Section 4)."""
+        topo = make_topology()
+        a, b = 0, 1  # same end-network (2 peers per EN)
+        c = 2  # same cluster, next end-network
+        far = topo.n_nodes - 1  # different cluster
+        assert topo.latency_ms(a, b) == pytest.approx(0.1)
+        intra_cluster = topo.latency_ms(a, c)
+        inter_cluster = topo.latency_ms(a, far)
+        assert intra_cluster > 10 * topo.latency_ms(a, b)
+        assert inter_cluster > intra_cluster
+
+    def test_intra_cluster_is_hub_plus_hub(self):
+        topo = make_topology()
+        a, c = 0, 2
+        expected = topo.host_hub_latency_ms[a] + topo.host_hub_latency_ms[c]
+        assert topo.latency_ms(a, c) == pytest.approx(expected)
+
+    def test_self_latency_zero(self):
+        topo = make_topology()
+        assert topo.latency_ms(5, 5) == 0.0
+
+    def test_hub_latencies_within_delta_band(self):
+        delta = 0.3
+        topo = make_topology(delta=delta)
+        for cluster in range(topo.config.n_clusters):
+            ens = np.flatnonzero(topo.en_cluster == cluster)
+            hub = topo.en_hub_latency_ms[ens]
+            center = hub.mean()
+            # All end-network hub latencies lie within the (1 +/- delta)
+            # band of the cluster mean (approximately, via the sample mean).
+            assert hub.max() <= center * (1 + delta) / (1 - delta) + 1e-9
+
+    def test_full_matrix_matches_pointwise(self):
+        topo = make_topology(n_clusters=3, en=4)
+        matrix = topo.full_matrix()
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            a, b = rng.integers(0, topo.n_nodes, size=2)
+            assert matrix[a, b] == pytest.approx(topo.latency_ms(int(a), int(b)))
+
+    def test_full_matrix_symmetric_zero_diagonal(self):
+        matrix = make_topology().full_matrix()
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+
+class TestGroundTruthHelpers:
+    def test_same_end_network(self):
+        topo = make_topology()
+        assert topo.same_end_network(0, 1)
+        assert not topo.same_end_network(0, 2)
+
+    def test_same_cluster(self):
+        topo = make_topology(n_clusters=2, en=3, peers=2)
+        assert topo.same_cluster(0, 4)
+        assert not topo.same_cluster(0, topo.n_nodes - 1)
+
+    def test_end_network_mates(self):
+        topo = make_topology(peers=3)
+        mates = topo.end_network_mates(0)
+        assert set(mates) == {1, 2}
+
+    def test_hosts_in_cluster_partition(self):
+        topo = make_topology(n_clusters=3, en=4, peers=2)
+        all_hosts = np.concatenate(
+            [topo.hosts_in_cluster(c) for c in range(3)]
+        )
+        assert sorted(all_hosts.tolist()) == list(range(topo.n_nodes))
+
+
+class TestValidation:
+    def test_core_shape_mismatch(self):
+        config = ClusteredConfig(n_clusters=3, end_networks_per_cluster=2)
+        with pytest.raises(DataError):
+            ClusteredTopology.generate(config, np.zeros((2, 2)), seed=0)
+
+    def test_core_nonzero_diagonal_rejected(self):
+        config = ClusteredConfig(n_clusters=2, end_networks_per_cluster=2)
+        core = np.array([[1.0, 5.0], [5.0, 0.0]])
+        with pytest.raises(DataError):
+            ClusteredTopology.generate(config, core, seed=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_clusters=st.integers(min_value=1, max_value=6),
+    en=st.integers(min_value=1, max_value=8),
+    peers=st.integers(min_value=1, max_value=4),
+    delta=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_generation_invariants(n_clusters, en, peers, delta):
+    """Any valid configuration yields a structurally consistent topology."""
+    topo = make_topology(n_clusters=n_clusters, en=en, peers=peers, delta=delta)
+    assert topo.n_nodes == n_clusters * en * peers
+    assert topo.host_en.size == topo.n_nodes
+    # Hub latencies positive; matrix symmetric with zero diagonal.
+    assert np.all(topo.en_hub_latency_ms > 0)
+    matrix = topo.full_matrix()
+    assert np.allclose(matrix, matrix.T)
+    assert np.all(matrix >= 0)

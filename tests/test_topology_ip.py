@@ -1,0 +1,119 @@
+"""Tests for IPv4 arithmetic and the prefix allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.ip import (
+    PrefixAllocator,
+    format_ipv4,
+    ip_prefix,
+    parse_ipv4,
+    prefix_match_length,
+    prefixes_array,
+)
+from repro.util.errors import DataError
+
+ips = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestParseFormat:
+    def test_known(self):
+        assert parse_ipv4("10.0.0.1") == (10 << 24) + 1
+        assert format_ipv4((192 << 24) + (168 << 16) + 5) == "192.168.0.5"
+
+    @given(ips)
+    def test_roundtrip(self, ip):
+        assert parse_ipv4(format_ipv4(ip)) == ip
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""]
+    )
+    def test_bad_input(self, bad):
+        with pytest.raises(DataError):
+            parse_ipv4(bad)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(DataError):
+            format_ipv4(2**32)
+
+
+class TestPrefix:
+    def test_known_prefix(self):
+        ip = parse_ipv4("192.168.17.5")
+        assert ip_prefix(ip, 16) == (192 << 8) + 168
+        assert ip_prefix(ip, 0) == 0
+        assert ip_prefix(ip, 32) == ip
+
+    def test_bad_length(self):
+        with pytest.raises(DataError):
+            ip_prefix(1, 33)
+        with pytest.raises(DataError):
+            ip_prefix(1, -1)
+
+    @given(ips, ips)
+    def test_match_length_symmetric(self, a, b):
+        assert prefix_match_length(a, b) == prefix_match_length(b, a)
+
+    @given(ips)
+    def test_match_length_self_is_32(self, a):
+        assert prefix_match_length(a, a) == 32
+
+    @given(ips, ips, st.integers(min_value=0, max_value=32))
+    def test_prefix_equality_iff_match_length(self, a, b, length):
+        shares = ip_prefix(a, length) == ip_prefix(b, length)
+        assert shares == (prefix_match_length(a, b) >= length)
+
+    @given(st.lists(ips, min_size=1, max_size=30), st.integers(0, 32))
+    def test_vectorised_matches_scalar(self, ip_list, length):
+        arr = np.array(ip_list, dtype=np.uint64)
+        vec = prefixes_array(arr, length)
+        for ip, value in zip(ip_list, vec):
+            assert int(value) == ip_prefix(ip, length)
+
+
+class TestPrefixAllocator:
+    def test_children_disjoint(self):
+        parent = PrefixAllocator(10 << 24, 8)
+        blocks = [parent.allocate(24) for _ in range(64)]
+        starts = {b.base_ip for b in blocks}
+        assert len(starts) == 64
+        for block in blocks:
+            assert ip_prefix(block.base_ip, 8) == 10
+
+    def test_mixed_sizes_alignment(self):
+        parent = PrefixAllocator(10 << 24, 8)
+        small = parent.allocate(24)
+        large = parent.allocate(16)
+        assert large.base_ip % (1 << 16) == 0
+        assert large.base_ip >= small.base_ip + 256
+
+    def test_exhaustion(self):
+        parent = PrefixAllocator(1 << 24, 24)
+        parent.allocate(25)
+        parent.allocate(25)
+        with pytest.raises(DataError):
+            parent.allocate(25)
+
+    def test_child_larger_than_parent_rejected(self):
+        with pytest.raises(DataError):
+            PrefixAllocator(1 << 24, 24).allocate(20)
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(DataError):
+            PrefixAllocator((1 << 24) + 1, 24)
+
+    def test_random_address_in_block(self):
+        rng = np.random.default_rng(0)
+        block = PrefixAllocator(parse_ipv4("10.1.2.0"), 24)
+        for _ in range(50):
+            ip = block.random_address(rng)
+            assert ip_prefix(ip, 24) == ip_prefix(block.base_ip, 24)
+
+    @given(st.integers(min_value=9, max_value=24))
+    def test_capacity_accounting(self, length):
+        parent = PrefixAllocator(10 << 24, 8)
+        before = parent.remaining
+        parent.allocate(length)
+        assert parent.remaining <= before - (1 << (32 - length)) + 1

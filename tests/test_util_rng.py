@@ -1,0 +1,80 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream, child_rng, make_rng, spawn_seeds
+
+
+class TestMakeRng:
+    def test_same_seed_same_draws(self):
+        a = make_rng(7).integers(0, 1000, size=10)
+        b = make_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(42, 5) == spawn_seeds(42, 5)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(42, 20)
+        assert len(set(seeds)) == 20
+
+    def test_different_master_different_children(self):
+        assert spawn_seeds(1, 3) != spawn_seeds(2, 3)
+
+    def test_count_zero(self):
+        assert spawn_seeds(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_seeds(1, -1)
+
+
+class TestChildRng:
+    def test_same_labels_same_child(self):
+        parent1 = make_rng(11)
+        parent2 = make_rng(11)
+        a = child_rng(parent1, 1).integers(0, 10**6, 5)
+        b = child_rng(parent2, 1).integers(0, 10**6, 5)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_independent(self):
+        parent = make_rng(11)
+        state = parent.bit_generator.state
+        a = child_rng(parent, 1).integers(0, 10**6, 5)
+        parent.bit_generator.state = state
+        b = child_rng(parent, 2).integers(0, 10**6, 5)
+        assert not np.array_equal(a, b)
+
+
+class TestRngStream:
+    def test_same_name_cached(self):
+        stream = RngStream(seed=5)
+        assert stream.stream("x") is stream.stream("x")
+
+    def test_fresh_replays(self):
+        stream = RngStream(seed=5)
+        a = stream.fresh("topology").integers(0, 10**6, 4)
+        b = stream.fresh("topology").integers(0, 10**6, 4)
+        assert np.array_equal(a, b)
+
+    def test_names_independent(self):
+        stream = RngStream(seed=5)
+        a = stream.fresh("a").integers(0, 10**6, 8)
+        b = stream.fresh("b").integers(0, 10**6, 8)
+        assert not np.array_equal(a, b)
+
+    def test_seed_changes_streams(self):
+        a = RngStream(seed=1).fresh("x").integers(0, 10**6, 4)
+        b = RngStream(seed=2).fresh("x").integers(0, 10**6, 4)
+        assert not np.array_equal(a, b)

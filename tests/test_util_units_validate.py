@@ -1,0 +1,68 @@
+"""Tests for unit conversions and validation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import (
+    INTRA_EN_LATENCY_MS,
+    ms_to_seconds,
+    ms_to_us,
+    seconds_to_ms,
+    us_to_ms,
+)
+from repro.util.validate import (
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+
+class TestUnits:
+    def test_paper_intra_en_latency_is_100_microseconds(self):
+        assert ms_to_us(INTRA_EN_LATENCY_MS) == pytest.approx(100.0)
+
+    def test_ms_seconds_inverse(self):
+        assert seconds_to_ms(ms_to_seconds(123.4)) == pytest.approx(123.4)
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_us_roundtrip(self, value):
+        assert us_to_ms(ms_to_us(value)) == pytest.approx(value)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    def test_conversions_preserve_order_of_magnitude(self, ms):
+        assert ms_to_us(ms) == pytest.approx(ms * 1000)
+        assert ms_to_seconds(ms) == pytest.approx(ms / 1000)
+
+
+class TestValidate:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises_with_message(self):
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(0.1, "x")
+        with pytest.raises(ConfigurationError, match="x"):
+            require_positive(0.0, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0.0, "x")
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-1e-9, "x")
+
+    def test_require_in_range_inclusive(self):
+        require_in_range(0.0, "x", 0.0, 1.0)
+        require_in_range(1.0, "x", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            require_in_range(1.0001, "x", 0.0, 1.0)
+
+    def test_require_type(self):
+        require_type(3, "x", int)
+        with pytest.raises(ConfigurationError):
+            require_type("3", "x", int)
