@@ -7,13 +7,12 @@ probes to buy accuracy.  The ablation verifies the trade-off direction on
 a clustered world.
 """
 
-import numpy as np
-
 from benchmarks.conftest import run_once
+from repro.algorithms import MeridianSearch
 from repro.analysis.tables import series_table
+from repro.harness import QueryEngine, SamplingSpec
 from repro.latency.builder import build_clustered_oracle
 from repro.meridian.overlay import MeridianConfig
-from repro.meridian.simulator import run_meridian_trial
 from repro.topology.clustered import ClusteredConfig
 
 BETAS = (0.25, 0.5, 0.75, 0.9)
@@ -24,18 +23,17 @@ def sweep():
         ClusteredConfig(n_clusters=25, end_networks_per_cluster=25, delta=0.2),
         seed=41,
     )
+    engine = QueryEngine()
     rows = []
     for beta in BETAS:
-        trial = run_meridian_trial(
+        record = engine.run_world_trial(
             world,
-            n_targets=80,
+            MeridianSearch(MeridianConfig(beta=beta)),
+            sampling=SamplingSpec(n_targets=80),
             n_queries=300,
-            config=MeridianConfig(beta=beta),
             seed=41,
         )
-        rows.append(
-            (beta, trial.correct_closest_rate, trial.mean_probes_per_query)
-        )
+        rows.append((beta, record.exact_rate, record.mean_probes_per_query))
     return rows
 
 

@@ -7,15 +7,17 @@ opaque — quantifying how much of the paper's difficulty stems from the
 """
 
 from benchmarks.conftest import run_once
+from repro.algorithms import MeridianSearch
 from repro.analysis.tables import series_table
+from repro.harness import QueryEngine, SamplingSpec
 from repro.latency.builder import build_clustered_oracle
-from repro.meridian.simulator import run_meridian_trial
 from repro.topology.clustered import ClusteredConfig
 
 PEERS_PER_EN = (1, 2, 4, 8)
 
 
 def sweep():
+    engine = QueryEngine()
     rows = []
     for peers in PEERS_PER_EN:
         world = build_clustered_oracle(
@@ -27,10 +29,14 @@ def sweep():
             ),
             seed=47,
         )
-        trial = run_meridian_trial(
-            world, n_targets=80, n_queries=250, seed=47
+        record = engine.run_world_trial(
+            world,
+            MeridianSearch(),
+            sampling=SamplingSpec(n_targets=80),
+            n_queries=250,
+            seed=47,
         )
-        rows.append((peers, trial.correct_closest_rate, trial.correct_cluster_rate))
+        rows.append((peers, record.exact_rate, record.cluster_rate))
     return rows
 
 

@@ -7,11 +7,12 @@ cost grows alongside.
 """
 
 from benchmarks.conftest import run_once
+from repro.algorithms import MeridianSearch
 from repro.analysis.tables import series_table
 from repro.core.lowerbound import success_probability_with_budget
+from repro.harness import QueryEngine, SamplingSpec
 from repro.latency.builder import build_clustered_oracle
 from repro.meridian.overlay import MeridianConfig
-from repro.meridian.simulator import run_meridian_trial
 from repro.topology.clustered import ClusteredConfig
 
 RING_SIZES = (4, 8, 16, 32)
@@ -25,15 +26,20 @@ def sweep():
         ),
         seed=43,
     )
+    engine = QueryEngine()
     rows = []
     for ring_size in RING_SIZES:
         config = MeridianConfig(
             ring_size=ring_size, candidate_pool=max(48, 2 * ring_size)
         )
-        trial = run_meridian_trial(
-            world, n_targets=80, n_queries=300, config=config, seed=43
+        record = engine.run_world_trial(
+            world,
+            MeridianSearch(config),
+            sampling=SamplingSpec(n_targets=80),
+            n_queries=300,
+            seed=43,
         )
-        rows.append((ring_size, trial.correct_closest_rate))
+        rows.append((ring_size, record.exact_rate))
     return rows
 
 

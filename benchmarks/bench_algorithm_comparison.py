@@ -2,11 +2,11 @@
 
 The paper argues (Sections 2.3 and 6) that *all* of them fail to find the
 same-end-network peer under the clustering condition.  This benchmark runs
-the full zoo on an identical world with realistic probe noise and reports
-exact-hit rate, cluster-hit rate, and probe cost.
+the full zoo through the unified trial harness on the registered
+``paper-comparison`` scenario — an identical world with realistic probe
+noise, shared across schemes — and reports exact-hit rate, cluster-hit
+rate, and probe cost.
 """
-
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.algorithms import (
@@ -19,10 +19,8 @@ from repro.algorithms import (
     TiersSearch,
     VivaldiGreedySearch,
 )
-from repro.analysis.tables import format_table
-from repro.latency.builder import build_clustered_oracle
-from repro.topology.clustered import ClusteredConfig
-from repro.topology.oracle import NoisyOracle
+from repro.analysis.compare import format_trial_records
+from repro.harness import QueryEngine, get_scenario
 
 ALGORITHMS = (
     MeridianSearch,
@@ -37,53 +35,19 @@ ALGORITHMS = (
 
 
 def run_comparison():
-    world = build_clustered_oracle(
-        ClusteredConfig(n_clusters=8, end_networks_per_cluster=40, delta=0.2),
-        seed=53,
-    )
-    topology = world.topology
-    n = topology.n_nodes
-    rng = np.random.default_rng(53)
-    targets = rng.choice(n, size=60, replace=False)
-    target_set = set(int(t) for t in targets)
-    members = np.array([i for i in range(n) if i not in target_set])
-    noisy = NoisyOracle(world.oracle, sigma=0.05, additive_ms=0.3, seed=53)
-
-    rows = []
-    for algorithm_class in ALGORITHMS:
-        algorithm = algorithm_class()
-        algorithm.build(world.oracle, members, seed=53, probe_oracle=noisy)
-        exact = cluster = probes = 0
-        for target in targets:
-            result = algorithm.query(int(target), seed=int(target))
-            row = world.matrix.values[target, members]
-            exact += world.matrix.values[target, result.found] <= row.min() + 1e-12
-            cluster += topology.same_cluster(result.found, int(target))
-            probes += result.probes
-        rows.append(
-            [
-                algorithm.name,
-                exact / len(targets),
-                cluster / len(targets),
-                probes / len(targets),
-            ]
-        )
-    return rows
+    return QueryEngine().compare(get_scenario("paper-comparison"), ALGORITHMS)
 
 
 def test_algorithm_comparison(benchmark):
-    rows = run_once(benchmark, run_comparison)
-    print(
-        format_table(
-            ["algorithm", "P(exact closest)", "P(correct cluster)", "probes/query"],
-            rows,
-        )
-    )
-    by_name = {r[0]: r for r in rows}
+    records = run_once(benchmark, run_comparison)
+    print(format_trial_records(records))
+    by_name = {r.scheme: r for r in records}
     # The paper's claim: no latency-only scheme reliably finds the mate.
-    for name, row in by_name.items():
-        assert row[1] < 0.9, f"{name} should not beat the clustering condition"
+    for name, record in by_name.items():
+        assert record.exact_rate < 0.9, (
+            f"{name} should not beat the clustering condition"
+        )
     # Structured schemes should at least reach the right cluster far more
     # often than they find the exact mate (the phase transition signature).
     meridian = by_name["meridian"]
-    assert meridian[2] > meridian[1]
+    assert meridian.cluster_rate > meridian.exact_rate

@@ -14,16 +14,16 @@ This walks the library's core loop end to end:
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro import (
     ClusteredConfig,
     NearestPeerFinder,
+    QueryEngine,
+    SamplingSpec,
     SyntheticInternet,
     build_clustered_oracle,
     detect_clusters,
-    run_meridian_trial,
 )
+from repro.algorithms import MeridianSearch
 from repro.core.lowerbound import phase_transition_probes
 
 
@@ -44,10 +44,18 @@ def demonstrate_meridian_failure() -> None:
         "clusters satisfy the condition"
     )
 
-    trial = run_meridian_trial(world, n_targets=60, n_queries=400, seed=7)
-    print(f"P(correct cluster)      = {trial.correct_cluster_rate:.2f}")
-    print(f"P(correct closest peer) = {trial.correct_closest_rate:.2f}")
-    print(f"probes per query        = {trial.mean_probes_per_query:.1f}")
+    # The unified harness runs the query workload: sample 60 targets, fire
+    # 400 Meridian queries, score exact/cluster hits with one matrix slice.
+    record = QueryEngine().run_world_trial(
+        world,
+        MeridianSearch(),
+        sampling=SamplingSpec(n_targets=60),
+        n_queries=400,
+        seed=7,
+    )
+    print(f"P(correct cluster)      = {record.cluster_rate:.2f}")
+    print(f"P(correct closest peer) = {record.exact_rate:.2f}")
+    print(f"probes per query        = {record.mean_probes_per_query:.1f}")
     bound = phase_transition_probes(100, population=world.topology.n_nodes)
     print(
         f"analytic probes needed for reliable discovery ~ {bound:.0f} "

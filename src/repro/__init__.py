@@ -25,6 +25,18 @@ paper-vs-measured results.
 from repro.core.clustering import ClusterReport, detect_clusters
 from repro.core.finder import NearestPeerFinder
 from repro.core.opportunity import opportunity_cost
+from repro.harness import (
+    AggregateStats,
+    NoiseSpec,
+    QueryEngine,
+    SamplingSpec,
+    Scenario,
+    ScenarioResult,
+    TrialRecord,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
 from repro.latency.builder import ClusteredWorld, build_clustered_oracle
 from repro.latency.matrix import LatencyMatrix
 from repro.meridian.overlay import MeridianConfig, MeridianOverlay
@@ -61,5 +73,15 @@ __all__ = [
     "detect_clusters",
     "ClusterReport",
     "opportunity_cost",
+    "AggregateStats",
+    "NoiseSpec",
+    "QueryEngine",
+    "SamplingSpec",
+    "Scenario",
+    "ScenarioResult",
+    "TrialRecord",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
     "__version__",
 ]

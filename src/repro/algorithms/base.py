@@ -49,6 +49,7 @@ class NearestPeerAlgorithm(abc.ABC):
         self._probe_oracle: LatencyOracle | None = None
         self._members: np.ndarray | None = None
         self._probe_count = 0
+        self._aux_probe_count = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -86,9 +87,11 @@ class NearestPeerAlgorithm(abc.ABC):
         if self._oracle is None or self._members is None:
             raise ConfigurationError(f"{self.name}: query() before build()")
         self._probe_count = 0
+        self._aux_probe_count = 0
         rng = make_rng(seed)
         result = self._query(int(target), rng)
         result.probes = self._probe_count
+        result.aux_probes = self._aux_probe_count
         return result
 
     @abc.abstractmethod
@@ -114,6 +117,17 @@ class NearestPeerAlgorithm(abc.ABC):
         self._probe_count += 1
         assert self._probe_oracle is not None
         return self._probe_oracle.latency_ms(node, target)
+
+    def aux_probe(self, a: int, b: int) -> float:
+        """Measure RTT between two non-target nodes at query time.
+
+        Counted separately from target probes (the paper's lower bound is
+        about target measurements), e.g. beacon-to-beacon traffic a query
+        triggers.
+        """
+        self._aux_probe_count += 1
+        assert self._probe_oracle is not None
+        return self._probe_oracle.latency_ms(a, b)
 
     def offline_distances_from(self, node: int) -> np.ndarray:
         """RTTs from ``node`` to every member, for *build-time* use only.
@@ -144,6 +158,7 @@ class NearestPeerAlgorithm(abc.ABC):
             found=found,
             found_latency_ms=measured[found],
             probes=self._probe_count,
+            aux_probes=self._aux_probe_count,
             hops=hops,
             path=path or [],
         )

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.analysis.tables import format_table
+from repro.harness.results import TrialRecord
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,28 @@ class ShapeCheck:
         if self.result is None:
             self.result = bool(self.predicate())
         return self.result
+
+
+def format_trial_records(records: list[TrialRecord]) -> str:
+    """Render harness trial records as a head-to-head comparison table.
+
+    One row per scheme: the paper's three success/cost metrics plus the
+    auxiliary-probe bill (beacon-to-beacon traffic and the like).
+    """
+    return format_table(
+        ["scheme", "P(exact closest)", "P(correct cluster)",
+         "probes/query", "aux/query"],
+        [
+            [
+                r.scheme,
+                f"{r.exact_rate:.3f}",
+                f"{r.cluster_rate:.3f}",
+                f"{r.mean_probes_per_query:.1f}",
+                f"{r.mean_aux_probes_per_query:.1f}",
+            ]
+            for r in records
+        ],
+    )
 
 
 def format_comparisons(comparisons: list[Comparison]) -> str:

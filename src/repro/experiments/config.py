@@ -17,6 +17,9 @@ class ExperimentScale:
     meridian_seeds: int = 2
     meridian_targets: int = 100
 
+    # Process-pool width for the harness trial fan-out (1 = sequential).
+    workers: int = 1
+
     @classmethod
     def paper(cls) -> "ExperimentScale":
         """The paper's exact experiment sizes (slow: minutes per figure)."""

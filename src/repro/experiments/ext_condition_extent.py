@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.tables import format_table
-from repro.experiments.cache import azureus_internet, azureus_study
+from repro.harness.workloads import azureus_internet, azureus_study
 from repro.experiments.config import ExperimentScale
 from repro.topology.internet import SyntheticInternet
 

@@ -16,7 +16,7 @@ import numpy as np
 from repro.analysis.binning import BinnedPercentiles, binned_percentiles
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.tables import format_table
-from repro.experiments.cache import azureus_internet
+from repro.harness.workloads import azureus_internet
 from repro.experiments.config import CLOSE_PEER_THRESHOLD_MS, ExperimentScale
 from repro.mechanisms.ucl import hop_length_vs_latency
 

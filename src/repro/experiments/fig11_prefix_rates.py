@@ -15,7 +15,7 @@ import numpy as np
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.plotting import ascii_series
 from repro.analysis.tables import series_table
-from repro.experiments.cache import azureus_internet
+from repro.harness.workloads import azureus_internet
 from repro.experiments.config import (
     CLOSE_PEER_THRESHOLD_MS,
     ExperimentScale,

@@ -13,7 +13,7 @@ import numpy as np
 from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.plotting import ascii_cdf
-from repro.experiments.cache import dns_study
+from repro.harness.workloads import dns_study
 from repro.experiments.config import ExperimentScale
 
 

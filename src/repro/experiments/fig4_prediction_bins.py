@@ -14,7 +14,7 @@ import numpy as np
 from repro.analysis.binning import BinnedPercentiles
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.tables import format_table
-from repro.experiments.cache import dns_study
+from repro.harness.workloads import dns_study
 from repro.experiments.config import ExperimentScale
 
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.plotting import ascii_cdf
-from repro.experiments.cache import dns_study
+from repro.harness.workloads import dns_study
 from repro.experiments.config import ExperimentScale
 from repro.util.errors import DataError
 

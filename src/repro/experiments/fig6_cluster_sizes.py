@@ -10,7 +10,7 @@ from dataclasses import dataclass
 
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.tables import format_table
-from repro.experiments.cache import azureus_study
+from repro.harness.workloads import azureus_study
 from repro.experiments.config import ExperimentScale
 from repro.measurement.azureus_pipeline import AzureusStudyResult
 

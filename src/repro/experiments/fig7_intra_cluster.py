@@ -15,7 +15,7 @@ import numpy as np
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.plotting import ascii_cdf
 from repro.analysis.tables import format_table
-from repro.experiments.cache import azureus_study
+from repro.harness.workloads import azureus_study
 from repro.experiments.config import ExperimentScale
 from repro.measurement.pipeline_types import ClusterOfPeers
 

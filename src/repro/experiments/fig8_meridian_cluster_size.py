@@ -18,16 +18,14 @@ import numpy as np
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.plotting import ascii_series
 from repro.analysis.tables import series_table
+from repro.algorithms.meridian_search import MeridianSearch
 from repro.experiments.config import (
     ExperimentScale,
     FIG8_CLUSTER_COUNTS,
     FIG8_END_NETWORKS,
 )
-from repro.latency.builder import build_clustered_oracle
-from repro.meridian.overlay import MeridianConfig
-from repro.meridian.simulator import run_meridian_trial, summarize_trials
+from repro.harness import QueryEngine, SamplingSpec, Scenario
 from repro.topology.clustered import ClusteredConfig
-from repro.util.rng import spawn_seeds
 
 
 @dataclass(frozen=True)
@@ -132,34 +130,33 @@ class Fig8Result:
         ]
 
 
+def scenario_for(en: int, scale: ExperimentScale) -> Scenario:
+    """The Figure 8 workload at one x value (``en`` end-networks/cluster)."""
+    return Scenario(
+        name=f"fig8-en{en}",
+        topology=ClusteredConfig(
+            n_clusters=FIG8_CLUSTER_COUNTS[en],
+            end_networks_per_cluster=en,
+            delta=0.2,
+        ),
+        sampling=SamplingSpec(n_targets=scale.meridian_targets),
+        protocol="sampled",
+        n_queries=scale.meridian_queries,
+        trials=scale.meridian_seeds,
+        seed=scale.seed + en,
+        description="Meridian accuracy vs end-networks per cluster",
+    )
+
+
 def run(scale: ExperimentScale | None = None) -> Fig8Result:
     """Regenerate Figure 8 (the heavy Meridian sweep)."""
     scale = scale or ExperimentScale()
-    config = MeridianConfig()
+    engine = QueryEngine(workers=scale.workers)
     points = []
     for en in FIG8_END_NETWORKS:
-        n_clusters = FIG8_CLUSTER_COUNTS[en]
-        closest, cluster = [], []
-        for seed in spawn_seeds(scale.seed + en, scale.meridian_seeds):
-            world = build_clustered_oracle(
-                ClusteredConfig(
-                    n_clusters=n_clusters,
-                    end_networks_per_cluster=en,
-                    delta=0.2,
-                ),
-                seed=seed,
-            )
-            trial = run_meridian_trial(
-                world,
-                n_targets=scale.meridian_targets,
-                n_queries=scale.meridian_queries,
-                config=config,
-                seed=seed,
-            )
-            closest.append(trial.correct_closest_rate)
-            cluster.append(trial.correct_cluster_rate)
-        s_closest = summarize_trials(closest)
-        s_cluster = summarize_trials(cluster)
+        result = engine.run_scenario(scenario_for(en, scale), MeridianSearch)
+        s_closest = result.aggregate("exact_rate")
+        s_cluster = result.aggregate("cluster_rate")
         points.append(
             Fig8Point(
                 end_networks=en,

@@ -14,17 +14,15 @@ from dataclasses import dataclass, field
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.plotting import ascii_series
 from repro.analysis.tables import series_table
+from repro.algorithms.meridian_search import MeridianSearch
 from repro.experiments.config import (
     ExperimentScale,
     FIG9_CLUSTER_COUNT,
     FIG9_DELTAS,
     FIG9_END_NETWORKS,
 )
-from repro.latency.builder import build_clustered_oracle
-from repro.meridian.overlay import MeridianConfig
-from repro.meridian.simulator import run_meridian_trial, summarize_trials
+from repro.harness import QueryEngine, SamplingSpec, Scenario
 from repro.topology.clustered import ClusteredConfig
-from repro.util.rng import spawn_seeds
 
 
 @dataclass(frozen=True)
@@ -111,36 +109,38 @@ class Fig9Result:
         ]
 
 
+def scenario_for(delta: float, scale: ExperimentScale) -> Scenario:
+    """The Figure 9 workload at one intra-cluster spread ``delta``."""
+    return Scenario(
+        name=f"fig9-delta{delta:.1f}",
+        topology=ClusteredConfig(
+            n_clusters=FIG9_CLUSTER_COUNT,
+            end_networks_per_cluster=FIG9_END_NETWORKS,
+            delta=delta,
+        ),
+        sampling=SamplingSpec(n_targets=scale.meridian_targets),
+        protocol="sampled",
+        n_queries=scale.meridian_queries,
+        trials=scale.meridian_seeds,
+        seed=scale.seed + int(delta * 100),
+        description="Meridian accuracy vs intra-cluster latency spread",
+    )
+
+
 def run(scale: ExperimentScale | None = None) -> Fig9Result:
     """Regenerate Figure 9."""
     scale = scale or ExperimentScale()
-    config = MeridianConfig()
+    engine = QueryEngine(workers=scale.workers)
     points = []
     for delta in FIG9_DELTAS:
-        closest, hub = [], []
-        for seed in spawn_seeds(scale.seed + int(delta * 100), scale.meridian_seeds):
-            world = build_clustered_oracle(
-                ClusteredConfig(
-                    n_clusters=FIG9_CLUSTER_COUNT,
-                    end_networks_per_cluster=FIG9_END_NETWORKS,
-                    delta=delta,
-                ),
-                seed=seed,
-            )
-            trial = run_meridian_trial(
-                world,
-                n_targets=scale.meridian_targets,
-                n_queries=scale.meridian_queries,
-                config=config,
-                seed=seed,
-            )
-            closest.append(trial.correct_closest_rate)
-            hub.append(trial.median_found_hub_latency_ms)
+        result = engine.run_scenario(scenario_for(delta, scale), MeridianSearch)
         points.append(
             Fig9Point(
                 delta=delta,
-                closest_median=summarize_trials(closest).median,
-                found_hub_latency_median_ms=summarize_trials(hub).median,
+                closest_median=result.aggregate("exact_rate").median,
+                found_hub_latency_median_ms=result.aggregate(
+                    "median_wrong_hub_latency_ms"
+                ).median,
             )
         )
     return Fig9Result(points=points)

@@ -25,6 +25,7 @@ from repro.experiments import (
     table1_vantage,
 )
 from repro.experiments.config import ExperimentScale
+from repro.util.errors import ConfigurationError
 
 #: Every experiment driver, in paper order (plus the future-work extension).
 ALL_EXPERIMENTS = (
@@ -70,6 +71,13 @@ def run_all(
 ) -> RunReport:
     """Run all (or a named subset of) experiments."""
     scale = scale or ExperimentScale()
+    if only is not None:
+        known = {name for name, _ in ALL_EXPERIMENTS}
+        unknown = [name for name in only if name not in known]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown experiment(s) {unknown}; choose from {sorted(known)}"
+            )
     report = RunReport()
     for name, module in ALL_EXPERIMENTS:
         if only is not None and name not in only:
@@ -83,9 +91,38 @@ def run_all(
     return report
 
 
-def main() -> None:  # pragma: no cover - manual entry point
-    """CLI: python -m repro.experiments.runner"""
-    report = run_all()
+def main(argv: list[str] | None = None) -> None:
+    """CLI: python -m repro.experiments.runner (or ``repro-experiments``)."""
+    import argparse
+    from dataclasses import replace
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run the paper's experiments and print the comparison report.",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="experiment names to run (e.g. 'Table 1' 'Fig 8'); default all",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's exact experiment sizes (slow: minutes per figure)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for harness trial fan-out (default 1)",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    scale = ExperimentScale.paper() if args.paper_scale else ExperimentScale()
+    scale = replace(scale, workers=args.workers)
+    report = run_all(scale, only=tuple(args.only) if args.only else None)
     print(report.render())
     print(f"\nall shape checks hold: {report.all_shapes_hold}")
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.analysis.compare import Comparison, ShapeCheck
 from repro.analysis.tables import format_table
-from repro.experiments.cache import azureus_internet
+from repro.harness.workloads import azureus_internet
 from repro.experiments.config import ExperimentScale
 from repro.measurement.vantage import TABLE1_VANTAGE_POINTS, table1_rows
 from repro.topology.cities import city_by_name

@@ -1,0 +1,49 @@
+"""The unified workload / query-engine layer.
+
+Every experiment, benchmark and example in the repository evaluates
+nearest-peer schemes *under a fixed workload*: build a world, pick members
+and targets, run a batch of queries, score exact-hit / cluster-hit /
+probe-cost.  This package is that loop, written once:
+
+* :class:`Scenario` — a declarative workload spec (topology + noise model +
+  member/target sampling policy + trial count + seed) with a process-wide
+  registry, so new workloads are one dataclass away;
+* :class:`QueryEngine` — executes scenarios: builds worlds, fans trials out
+  across seeds (optionally over a :mod:`concurrent.futures` process pool),
+  runs query batches and scores them with one vectorised matrix slice;
+* :class:`TrialRecord` / :class:`AggregateStats` — typed per-trial and
+  cross-trial results, consumed by :mod:`repro.analysis.compare`;
+* :mod:`repro.harness.workloads` — the cached expensive artefacts (DNS and
+  Azureus measurement studies) shared by the measurement-driven figures.
+
+Experiment drivers, benchmarks and examples never hand-roll member/target
+sampling or per-target scoring loops; they describe the workload and hand
+it to the engine.
+"""
+
+from repro.harness.engine import QueryEngine
+from repro.harness.results import AggregateStats, ScenarioResult, TrialRecord
+from repro.harness.scenario import (
+    NoiseSpec,
+    SamplingSpec,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.harness.scoring import score_batch, score_single
+
+__all__ = [
+    "AggregateStats",
+    "NoiseSpec",
+    "QueryEngine",
+    "SamplingSpec",
+    "Scenario",
+    "ScenarioResult",
+    "TrialRecord",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "score_batch",
+    "score_single",
+]

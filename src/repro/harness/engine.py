@@ -1,0 +1,286 @@
+"""The query engine: one trial loop for the whole repository.
+
+The engine owns the lifecycle every experiment/benchmark used to hand-roll:
+build a world, sample members and targets, build a
+:class:`~repro.algorithms.base.NearestPeerAlgorithm`, run a query batch,
+score it with the vectorised matrix slice, and aggregate across trials —
+optionally fanning independent trials out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Two query protocols cover the repo's workloads (see
+:mod:`repro.harness.scenario`): ``sampled`` reproduces the Meridian
+Section 4 batch (targets drawn with replacement, one rng threaded through
+build and queries) and ``per-target`` reproduces the head-to-head
+comparison (each target once, per-target query seeds, schemes sharing one
+noisy oracle so they face identical measurement error).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm
+from repro.harness.results import ScenarioResult, TrialRecord
+from repro.harness.scenario import NoiseSpec, SamplingSpec, Scenario
+from repro.harness.scoring import score_batch
+from repro.latency.builder import ClusteredWorld, build_clustered_oracle
+from repro.topology.oracle import LatencyOracle
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng, spawn_seeds
+
+#: Anything that yields a fresh algorithm instance: the class itself, a
+#: ``functools.partial`` over it, or any zero-argument callable.  Must be
+#: picklable for process-pool fan-out.
+AlgorithmFactory = Callable[[], NearestPeerAlgorithm]
+
+
+class QueryEngine:
+    """Runs scenarios: world construction, trial fan-out, batch scoring.
+
+    ``workers > 1`` fans a scenario's independent trials out across a
+    process pool (one world per task, results identical to the sequential
+    path — trials share nothing but the scenario spec).
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or 1
+
+    # -- scenario execution ------------------------------------------------
+
+    def run_scenario(
+        self,
+        scenario: Scenario,
+        algorithm_factory: AlgorithmFactory,
+    ) -> ScenarioResult:
+        """Run every trial of ``scenario`` and collect the records."""
+        seeds = scenario.world_seeds()
+        if self.workers > 1 and len(seeds) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(seeds))
+            ) as pool:
+                records = list(
+                    pool.map(
+                        _run_trial_task,
+                        [scenario] * len(seeds),
+                        [algorithm_factory] * len(seeds),
+                        seeds,
+                    )
+                )
+        else:
+            records = [
+                self.run_trial(scenario, algorithm_factory, seed) for seed in seeds
+            ]
+        return ScenarioResult(scenario=scenario, records=records)
+
+    def run_trial(
+        self,
+        scenario: Scenario,
+        algorithm_factory: AlgorithmFactory,
+        world_seed: int,
+    ) -> TrialRecord:
+        """Build one world from the scenario and run one trial on it."""
+        world = build_clustered_oracle(
+            scenario.topology,
+            seed=world_seed,
+            core_pool_size=scenario.core_pool_size,
+        )
+        return self.run_world_trial(
+            world,
+            algorithm_factory(),
+            sampling=scenario.sampling,
+            protocol=scenario.protocol,
+            n_queries=scenario.n_queries,
+            seed=world_seed,
+            noise=scenario.noise,
+        )
+
+    def run_world_trial(
+        self,
+        world: ClusteredWorld,
+        algorithm: NearestPeerAlgorithm,
+        *,
+        sampling: SamplingSpec,
+        protocol: str = "sampled",
+        n_queries: int | None = None,
+        seed: int | np.random.Generator | None = None,
+        noise: NoiseSpec | None = None,
+        probe_oracle: LatencyOracle | None = None,
+    ) -> TrialRecord:
+        """One trial on a pre-built world (the engine's core primitive).
+
+        ``probe_oracle`` overrides the noise spec when callers need to share
+        one stateful oracle across trials (see :meth:`compare`).
+        """
+        rng = make_rng(seed)
+        targets = sampling.sample(world, rng)
+        members = np.setdiff1d(np.arange(world.topology.n_nodes), targets)
+        if probe_oracle is None and noise is not None:
+            probe_oracle = noise.wrap(world.oracle, seed)
+        query_targets, results = self._run_batch(
+            algorithm,
+            world,
+            members,
+            targets,
+            protocol=protocol,
+            n_queries=n_queries,
+            rng=rng,
+            build_seed=seed if not isinstance(seed, np.random.Generator) else rng,
+            probe_oracle=probe_oracle,
+        )
+        return self._record(
+            world, members, query_targets, results, algorithm.name, seed
+        )
+
+    def compare(
+        self,
+        scenario: Scenario,
+        algorithm_factories: Sequence[AlgorithmFactory],
+        world: ClusteredWorld | None = None,
+    ) -> list[TrialRecord]:
+        """Head-to-head: every scheme on one identical world and workload.
+
+        All schemes see the same members, the same targets in the same
+        order, and (under the ``per-target`` protocol) per-target query
+        seeds — common random numbers, so measured differences are scheme
+        differences.
+
+        Comparison is single-world by construction (schemes must share the
+        world), so the world is built from ``scenario.seed`` directly and
+        ``scenario.trials`` must be 1.  When a noise spec is set, one
+        stateful noisy oracle is shared across schemes (each scheme's
+        probes advance its stream, exactly as the historical benchmark
+        did), so with noise the rows depend on factory order and only the
+        noise-free case is reproduced solo by :meth:`run_world_trial` on a
+        world built with the same seed.  Noise is measurement error, not
+        workload: sharing the stream biases no scheme systematically.
+        """
+        if scenario.trials != 1:
+            raise ConfigurationError(
+                f"compare() runs one shared world but scenario "
+                f"{scenario.name!r} has trials={scenario.trials}; use "
+                "scenario.with_(trials=1) or run_scenario() per scheme"
+            )
+        if world is None:
+            world = build_clustered_oracle(
+                scenario.topology,
+                seed=scenario.seed,
+                core_pool_size=scenario.core_pool_size,
+            )
+        rng = make_rng(scenario.seed)
+        targets = scenario.sampling.sample(world, rng)
+        members = np.setdiff1d(np.arange(world.topology.n_nodes), targets)
+        probe_oracle = (
+            scenario.noise.wrap(world.oracle, scenario.seed)
+            if scenario.noise is not None
+            else None
+        )
+        # Every scheme gets an identically-seeded generator (fairness), on
+        # a child seed so its draws don't replay the target-sampling stream.
+        scheme_seed = spawn_seeds(scenario.seed, 1)[0]
+        records = []
+        for factory in algorithm_factories:
+            algorithm = factory()
+            query_targets, results = self._run_batch(
+                algorithm,
+                world,
+                members,
+                targets,
+                protocol=scenario.protocol,
+                n_queries=scenario.n_queries,
+                rng=make_rng(scheme_seed),
+                build_seed=scenario.seed,
+                probe_oracle=probe_oracle,
+            )
+            records.append(
+                self._record(
+                    world, members, query_targets, results,
+                    algorithm.name, scenario.seed,
+                )
+            )
+        return records
+
+    # The measurement-driven figures run through the harness too, via the
+    # process-wide study caches in :mod:`repro.harness.workloads`.
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_batch(
+        self,
+        algorithm: NearestPeerAlgorithm,
+        world: ClusteredWorld,
+        members: np.ndarray,
+        targets: np.ndarray,
+        *,
+        protocol: str,
+        n_queries: int | None,
+        rng: np.random.Generator,
+        build_seed: int | np.random.Generator | None,
+        probe_oracle: LatencyOracle | None,
+    ) -> tuple[np.ndarray, list]:
+        """Build the algorithm and run one query batch (both protocols).
+
+        ``sampled`` threads ``rng`` through build and queries, drawing each
+        query's target just before firing it (the Meridian Section 4
+        discipline); ``per-target`` builds from ``build_seed`` and queries
+        each target once with the target id as its seed.
+        """
+        if protocol == "sampled":
+            algorithm.build(world.oracle, members, seed=rng, probe_oracle=probe_oracle)
+            count = n_queries if n_queries is not None else targets.size
+            query_targets = np.empty(count, dtype=int)
+            results = []
+            for i in range(count):
+                query_targets[i] = int(rng.choice(targets))
+                results.append(algorithm.query(int(query_targets[i]), seed=rng))
+        elif protocol == "per-target":
+            algorithm.build(
+                world.oracle, members, seed=build_seed, probe_oracle=probe_oracle
+            )
+            query_targets = targets.astype(int)
+            results = [algorithm.query(int(t), seed=int(t)) for t in query_targets]
+        else:
+            raise ConfigurationError(f"unknown protocol {protocol!r}")
+        return query_targets, results
+
+    def _record(
+        self,
+        world: ClusteredWorld,
+        members: np.ndarray,
+        query_targets: np.ndarray,
+        results: list,
+        scheme: str,
+        seed: int | np.random.Generator | None,
+    ) -> TrialRecord:
+        found = np.array([r.found for r in results], dtype=int)
+        exact_hit, cluster_hit = score_batch(
+            world.matrix.values,
+            members,
+            query_targets,
+            found,
+            host_cluster=world.topology.host_cluster,
+        )
+        return TrialRecord(
+            scheme=scheme,
+            world_seed=int(seed) if isinstance(seed, (int, np.integer)) else None,
+            targets=query_targets,
+            found=found,
+            found_latency_ms=np.array([r.found_latency_ms for r in results]),
+            probes=np.array([r.probes for r in results], dtype=int),
+            aux_probes=np.array([r.aux_probes for r in results], dtype=int),
+            hops=np.array([r.hops for r in results], dtype=int),
+            exact_hit=exact_hit,
+            cluster_hit=cluster_hit,
+            found_hub_latency_ms=world.topology.host_hub_latency_ms[found],
+        )
+
+
+def _run_trial_task(
+    scenario: Scenario, algorithm_factory: AlgorithmFactory, seed: int
+) -> TrialRecord:
+    """Module-level trial entry point (picklable for the process pool)."""
+    return QueryEngine(workers=1).run_trial(scenario, algorithm_factory, seed)

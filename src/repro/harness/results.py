@@ -1,0 +1,154 @@
+"""Typed results produced by the query engine.
+
+A :class:`TrialRecord` holds the raw per-query arrays of one trial (one
+world, one built algorithm, one query batch) plus the scored hit masks; an
+:class:`AggregateStats` summarises one metric across trials the way the
+paper plots its three simulation runs (median/min/max, plus mean/std).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.harness.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Per-query outcomes of one trial, scored against ground truth.
+
+    All arrays are parallel, one entry per query.  ``exact_hit`` marks
+    queries whose found member ties the true minimum latency to the target
+    (end-network mates count as ties); ``cluster_hit`` marks queries whose
+    found member shares the target's cluster.
+    """
+
+    scheme: str
+    world_seed: int | None
+    targets: np.ndarray
+    found: np.ndarray
+    found_latency_ms: np.ndarray
+    probes: np.ndarray
+    aux_probes: np.ndarray
+    hops: np.ndarray
+    exact_hit: np.ndarray
+    cluster_hit: np.ndarray
+    #: Hub latency of each found peer (Fig 9's load-concentration axis).
+    found_hub_latency_ms: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = self.targets.size
+        for name in ("found", "found_latency_ms", "probes", "aux_probes",
+                     "hops", "exact_hit", "cluster_hit"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise DataError(
+                    f"TrialRecord.{name} has shape {arr.shape}, expected ({n},)"
+                )
+
+    # -- per-trial metrics (names double as aggregate keys) ----------------
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.targets.size)
+
+    @property
+    def exact_rate(self) -> float:
+        """P(correct closest peer) over the batch."""
+        return float(self.exact_hit.mean())
+
+    @property
+    def cluster_rate(self) -> float:
+        """P(correct cluster) over the batch."""
+        return float(self.cluster_hit.mean())
+
+    @property
+    def mean_probes_per_query(self) -> float:
+        return float(self.probes.mean())
+
+    @property
+    def mean_aux_probes_per_query(self) -> float:
+        return float(self.aux_probes.mean())
+
+    @property
+    def mean_hops_per_query(self) -> float:
+        return float(self.hops.mean())
+
+    @property
+    def total_probes(self) -> int:
+        return int(self.probes.sum())
+
+    @property
+    def median_wrong_hub_latency_ms(self) -> float:
+        """Median hub latency of found peers over queries that missed.
+
+        The Fig 9 metric: when Meridian fails, does it concentrate on peers
+        near the hub?  Zero when every query hit (or hub data is absent).
+        """
+        if self.found_hub_latency_ms is None:
+            return 0.0
+        wrong = self.found_hub_latency_ms[~self.exact_hit]
+        return float(np.median(wrong)) if wrong.size else 0.0
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """One metric summarised across trials (the paper's median/min/max)."""
+
+    metric: str
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    std: float
+
+    @classmethod
+    def from_values(cls, metric: str, values: Sequence[float]) -> "AggregateStats":
+        if len(values) == 0:
+            raise DataError(f"cannot aggregate zero values for {metric!r}")
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            metric=metric,
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            median=float(np.median(arr)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            std=float(arr.std()),
+        )
+
+    def describe(self) -> str:
+        """One-line summary for experiment logs."""
+        return (
+            f"{self.metric}: median={self.median:.4g} "
+            f"[{self.minimum:.4g}, {self.maximum:.4g}] over {self.count} trials"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """All trials of one scenario, with cross-trial aggregation."""
+
+    scenario: "Scenario"
+    records: list[TrialRecord] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.records)
+
+    def values(self, metric: str) -> list[float]:
+        """The per-trial values of a :class:`TrialRecord` metric."""
+        if not self.records:
+            raise DataError(f"scenario {self.scenario.name!r} produced no trials")
+        return [float(getattr(record, metric)) for record in self.records]
+
+    def aggregate(self, metric: str) -> AggregateStats:
+        """Summarise a per-trial metric across all trials."""
+        return AggregateStats.from_values(metric, self.values(metric))

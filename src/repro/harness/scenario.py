@@ -1,0 +1,218 @@
+"""Declarative workload specs and the scenario registry.
+
+A :class:`Scenario` is everything needed to replay a workload from one
+integer seed: the clustered-topology parameters, the probe-noise model, the
+member/target sampling policy, the query protocol and the trial count.
+Scenarios are frozen dataclasses — picklable, so the engine can ship them to
+worker processes — and live in a process-wide registry keyed by name, so a
+new workload (skewed targets, denser clusters, noisier probes) is one
+dataclass away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.latency.builder import ClusteredWorld
+from repro.topology.clustered import ClusteredConfig
+from repro.topology.oracle import LatencyOracle, NoisyOracle
+from repro.util.errors import ConfigurationError
+from repro.util.rng import spawn_seeds
+from repro.util.validate import require_positive
+
+#: Query protocols.  ``sampled`` is the Meridian Section 4 protocol: draw
+#: ``n_queries`` targets with replacement from the target pool, threading
+#: one rng through build and queries.  ``per-target`` is the head-to-head
+#: comparison protocol: query each target exactly once, in sampling order,
+#: seeding each query with the target id (common random numbers across
+#: schemes).
+PROTOCOLS = ("sampled", "per-target")
+
+#: Target-sampling policies understood by :class:`SamplingSpec`.
+SAMPLING_POLICIES = ("uniform", "skewed", "single-cluster")
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Probe-noise model: lognormal factor plus exponential additive lag.
+
+    ``seed=None`` reuses the trial's world seed, so one integer still
+    replays the whole trial.
+    """
+
+    sigma: float = 0.05
+    additive_ms: float = 0.0
+    seed: int | None = None
+
+    def wrap(
+        self,
+        oracle: LatencyOracle,
+        default_seed: int | np.random.Generator | None,
+    ) -> NoisyOracle:
+        """Wrap ``oracle`` in the configured :class:`NoisyOracle`."""
+        return NoisyOracle(
+            oracle,
+            sigma=self.sigma,
+            additive_ms=self.additive_ms,
+            seed=self.seed if self.seed is not None else default_seed,
+        )
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """How targets are drawn from a world's population.
+
+    Members are always the complement of the target set — targets must not
+    be members, or "nearest member" degenerates to the target itself.
+    """
+
+    n_targets: int = 100
+    policy: str = "uniform"
+    #: Zipf exponent for the ``skewed`` policy: cluster ``c`` gets weight
+    #: ``(c + 1) ** -skew``, modelling workloads where query load piles onto
+    #: a few popular clusters.
+    skew: float = 1.0
+    #: Cluster id for the ``single-cluster`` policy.
+    cluster: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_targets, "n_targets")
+        if self.policy not in SAMPLING_POLICIES:
+            raise ConfigurationError(
+                f"unknown sampling policy {self.policy!r}; "
+                f"choose from {SAMPLING_POLICIES}"
+            )
+
+    def sample(self, world: ClusteredWorld, rng: np.random.Generator) -> np.ndarray:
+        """Draw the target ids (without replacement) for one trial."""
+        topology = world.topology
+        n = topology.n_nodes
+        if self.policy == "single-cluster":
+            pool = topology.hosts_in_cluster(self.cluster)
+        else:
+            pool = np.arange(n)
+        if self.n_targets >= pool.size:
+            raise ConfigurationError(
+                f"n_targets={self.n_targets} must be < candidate pool {pool.size}"
+            )
+        if self.policy == "skewed":
+            weights = (topology.host_cluster[pool] + 1.0) ** -self.skew
+            weights /= weights.sum()
+            return rng.choice(pool, size=self.n_targets, replace=False, p=weights)
+        return rng.choice(pool, size=self.n_targets, replace=False)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A full workload: world + noise + sampling + protocol + trials."""
+
+    name: str
+    topology: ClusteredConfig
+    sampling: SamplingSpec = SamplingSpec()
+    noise: NoiseSpec | None = None
+    protocol: str = "sampled"
+    #: Queries per trial under the ``sampled`` protocol (ignored by
+    #: ``per-target``, which queries each target once).
+    n_queries: int = 1000
+    #: Independent worlds per scenario (the paper runs three).
+    trials: int = 1
+    seed: int = 2008
+    #: Synthetic-core pool size override (see ``build_clustered_oracle``).
+    core_pool_size: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        require_positive(self.n_queries, "n_queries")
+        require_positive(self.trials, "trials")
+
+    def world_seeds(self) -> list[int]:
+        """Independent per-trial world seeds derived from the master seed."""
+        return spawn_seeds(self.seed, self.trials)
+
+    def with_(self, **changes) -> "Scenario":
+        """A copy with fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Add a scenario to the process-wide registry (returns it unchanged)."""
+    if scenario.name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a registered scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_scenarios() -> list[str]:
+    """Names of every registered scenario, sorted."""
+    return sorted(_REGISTRY)
+
+
+# -- canonical workloads ----------------------------------------------------
+
+#: The head-to-head comparison world: every latency-only scheme, one
+#: clustered world, realistic probe noise (used by
+#: ``benchmarks/bench_algorithm_comparison.py``).
+PAPER_COMPARISON = register_scenario(
+    Scenario(
+        name="paper-comparison",
+        topology=ClusteredConfig(n_clusters=8, end_networks_per_cluster=40, delta=0.2),
+        sampling=SamplingSpec(n_targets=60),
+        noise=NoiseSpec(sigma=0.05, additive_ms=0.3),
+        protocol="per-target",
+        seed=53,
+        description="all schemes, one noisy clustered world, 60 targets",
+    )
+)
+
+#: A deep-in-the-phase-transition Meridian workload (125 end-networks per
+#: cluster, where the clustering condition dominates).
+MERIDIAN_PHASE_TRANSITION = register_scenario(
+    Scenario(
+        name="meridian-phase-transition",
+        topology=ClusteredConfig(
+            n_clusters=10, end_networks_per_cluster=125, delta=0.2
+        ),
+        sampling=SamplingSpec(n_targets=100),
+        n_queries=600,
+        trials=2,
+        description="Meridian under a fully developed clustering condition",
+    )
+)
+
+#: Query load concentrated on a few popular clusters — the skewed workload
+#: the hand-rolled loops could not express.
+SKEWED_TARGETS = register_scenario(
+    Scenario(
+        name="skewed-targets",
+        topology=ClusteredConfig(n_clusters=12, end_networks_per_cluster=30, delta=0.2),
+        sampling=SamplingSpec(n_targets=80, policy="skewed", skew=1.5),
+        noise=NoiseSpec(sigma=0.05),
+        n_queries=400,
+        trials=2,
+        description="zipf-weighted targets: load piles onto low-id clusters",
+    )
+)

@@ -1,8 +1,9 @@
-"""Shared expensive artefacts (worlds, pipeline runs) across experiments.
+"""Cached expensive workload artefacts shared across the repository.
 
-Figures 3-5 share one DNS study; Figures 6, 7, 10 and 11 share one Azureus
-world/study.  Caching keeps ``run_all`` and the benchmark suite from
-regenerating multi-second artefacts per figure.
+Figures 3-5 share one DNS study; Figures 6, 7, 10 and 11 and the extent
+extension share one Azureus world/study.  Caching here (process-wide, keyed
+by seed and scale) keeps ``run_all``, the benchmark suite and the tests
+from regenerating multi-second artefacts per figure.
 """
 
 from __future__ import annotations

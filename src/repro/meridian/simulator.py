@@ -4,17 +4,14 @@ The paper: "latency matrices with about 2500 peers, out of which about 2400
 randomly picked peers are picked to build a Meridian overlay.  The 100
 remaining peers are used as target nodes ... 5000 Meridian closest-neighbor
 queries are launched to find the closest peer to randomly chosen target
-nodes."  Success metrics:
+nodes."
 
-* **correct closest peer** — the query returned the overlay member with the
-  (true) minimum latency to the target;
-* **correct cluster** — the returned member is in the same cluster as the
-  target;
-* for incorrect results, the **latency from the found peer to its
-  cluster-hub** (Fig 9's second axis).
-
-Each experiment point is run over several independent worlds (the paper
-uses three) and summarised as median/min/max.
+This module is now a thin adapter over the unified trial harness
+(:mod:`repro.harness`): the member/target sampling, query batching and
+scoring all run through :class:`~repro.harness.engine.QueryEngine`, with
+the :class:`~repro.algorithms.meridian_search.MeridianSearch` adapter
+supplying the algorithm.  The protocol (and its per-seed random streams)
+is bit-identical to the historical hand-rolled loop.
 """
 
 from __future__ import annotations
@@ -23,12 +20,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.harness.engine import QueryEngine
+from repro.harness.results import AggregateStats, TrialRecord
+from repro.harness.scenario import SamplingSpec
 from repro.latency.builder import ClusteredWorld
-from repro.meridian.overlay import MeridianConfig, MeridianOverlay
-from repro.meridian.query import closest_node_query
+from repro.meridian.overlay import MeridianConfig
 from repro.topology.oracle import LatencyOracle
 from repro.util.errors import DataError
-from repro.util.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -42,6 +40,18 @@ class MeridianTrialResult:
     mean_probes_per_query: float
     mean_hops_per_query: float
 
+    @classmethod
+    def from_record(cls, record: TrialRecord) -> "MeridianTrialResult":
+        """Project a harness trial record onto the legacy summary."""
+        return cls(
+            n_queries=record.n_queries,
+            correct_closest_rate=record.exact_rate,
+            correct_cluster_rate=record.cluster_rate,
+            median_found_hub_latency_ms=record.median_wrong_hub_latency_ms,
+            mean_probes_per_query=record.mean_probes_per_query,
+            mean_hops_per_query=record.mean_hops_per_query,
+        )
+
 
 def run_meridian_trial(
     world: ClusteredWorld,
@@ -52,62 +62,24 @@ def run_meridian_trial(
     probe_oracle: LatencyOracle | None = None,
 ) -> MeridianTrialResult:
     """Run one full trial (overlay build + query batch) on ``world``."""
-    config = config or MeridianConfig()
-    rng = make_rng(seed)
-    topology = world.topology
-    n = topology.n_nodes
-    if n_targets >= n:
-        raise DataError(f"n_targets={n_targets} must be < population {n}")
+    # Imported here: algorithms.meridian_search imports the meridian package,
+    # so a module-level import would be circular.
+    from repro.algorithms.meridian_search import MeridianSearch
 
-    all_ids = np.arange(n)
-    targets = rng.choice(all_ids, size=n_targets, replace=False)
-    target_set = set(int(t) for t in targets)
-    members = np.array([i for i in all_ids if int(i) not in target_set])
-
-    overlay = MeridianOverlay.build(world.oracle, members, config=config, seed=rng)
-    oracle = probe_oracle or world.oracle
-    matrix = world.matrix.values
-
-    # Ground truth: the true closest overlay member per target.
-    truth_closest: dict[int, set[int]] = {}
-    for t in targets:
-        row = matrix[t, members]
-        best = float(row.min())
-        # All members tied at the minimum count as correct (end-network
-        # mates are mutually 100 us from the target).
-        truth_closest[int(t)] = {
-            int(members[i]) for i in np.flatnonzero(row <= best + 1e-12)
-        }
-
-    correct_closest = 0
-    correct_cluster = 0
-    wrong_hub_latencies: list[float] = []
-    probes: list[int] = []
-    hops: list[int] = []
-    for _ in range(n_queries):
-        target = int(rng.choice(targets))
-        result = closest_node_query(overlay, oracle, target, seed=rng)
-        probes.append(result.probe_count)
-        hops.append(result.hops)
-        if result.found in truth_closest[target]:
-            correct_closest += 1
-        else:
-            wrong_hub_latencies.append(
-                float(topology.host_hub_latency_ms[result.found])
-            )
-        if topology.same_cluster(result.found, target):
-            correct_cluster += 1
-
-    return MeridianTrialResult(
+    if n_targets >= world.topology.n_nodes:
+        raise DataError(
+            f"n_targets={n_targets} must be < population {world.topology.n_nodes}"
+        )
+    record = QueryEngine().run_world_trial(
+        world,
+        MeridianSearch(config),
+        sampling=SamplingSpec(n_targets=n_targets),
+        protocol="sampled",
         n_queries=n_queries,
-        correct_closest_rate=correct_closest / n_queries,
-        correct_cluster_rate=correct_cluster / n_queries,
-        median_found_hub_latency_ms=(
-            float(np.median(wrong_hub_latencies)) if wrong_hub_latencies else 0.0
-        ),
-        mean_probes_per_query=float(np.mean(probes)),
-        mean_hops_per_query=float(np.mean(hops)),
+        seed=seed,
+        probe_oracle=probe_oracle,
     )
+    return MeridianTrialResult.from_record(record)
 
 
 @dataclass(frozen=True)
@@ -121,12 +93,8 @@ class TrialSummary:
 
 
 def summarize_trials(values: list[float]) -> TrialSummary:
-    """Summarise one metric across trials."""
-    if not values:
-        raise DataError("cannot summarise zero trials")
-    arr = np.asarray(values, dtype=float)
+    """Summarise one metric across trials (see also AggregateStats)."""
+    stats = AggregateStats.from_values("trials", values)
     return TrialSummary(
-        median=float(np.median(arr)),
-        minimum=float(arr.min()),
-        maximum=float(arr.max()),
+        median=stats.median, minimum=stats.minimum, maximum=stats.maximum
     )

@@ -79,10 +79,11 @@ class EventLoop:
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
-    def _pop_and_run(self) -> None:
+    def _pop_and_run(self) -> bool:
+        """Pop the next event; return True iff it actually executed."""
         event = heapq.heappop(self._queue)
         if event.cancelled:
-            return
+            return False
         if event.time < self._now:
             raise SimulationError(
                 f"event at t={event.time} fired after clock reached {self._now}"
@@ -90,15 +91,20 @@ class EventLoop:
         self._now = event.time
         self._processed += 1
         event.callback(*event.args)
+        return True
 
     def run(self, max_events: int | None = None) -> None:
-        """Drain the queue, optionally stopping after ``max_events``."""
+        """Drain the queue, optionally stopping after ``max_events``.
+
+        Only events that actually fire count toward the budget — draining a
+        storm of cancelled events must not starve real ones.
+        """
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
                 return
-            self._pop_and_run()
-            executed += 1
+            if self._pop_and_run():
+                executed += 1
 
     def run_until(self, time_ms: float) -> None:
         """Run all events with firing time <= ``time_ms``, then set the clock.

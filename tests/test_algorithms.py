@@ -13,6 +13,7 @@ from repro.algorithms import (
     TiersSearch,
     VivaldiGreedySearch,
 )
+from repro.algorithms.base import NearestPeerAlgorithm
 from repro.topology.oracle import MatrixOracle, NoisyOracle
 from repro.util.errors import ConfigurationError
 
@@ -66,6 +67,44 @@ class TestInterfaceContract:
         rb = b.query(int(targets[1]), seed=13)
         assert ra.found == rb.found
         assert ra.probes == rb.probes
+
+
+class _BeaconChattySearch(NearestPeerAlgorithm):
+    """Toy scheme exercising the aux-probe accounting: measures two
+    beacon-to-beacon latencies per query before probing the target."""
+
+    name = "beacon-chatty"
+
+    def _build(self, rng):
+        self._anchors = self.members[:3]
+
+    def _query(self, target, rng):
+        self.aux_probe(int(self._anchors[0]), int(self._anchors[1]))
+        self.aux_probe(int(self._anchors[1]), int(self._anchors[2]))
+        measured = {
+            int(m): self.probe(int(m), target) for m in self._anchors
+        }
+        return self.result(target, measured)
+
+
+class TestAuxProbeAccounting:
+    def test_result_propagates_aux_probes(self, benign_setup):
+        """Regression: result() used to drop aux_probes, so schemes that
+        track beacon-to-beacon traffic silently reported 0."""
+        oracle, members, targets, matrix = benign_setup
+        algorithm = _BeaconChattySearch()
+        algorithm.build(oracle, members, seed=7)
+        result = algorithm.query(int(targets[0]), seed=1)
+        assert result.aux_probes == 2
+        assert result.probes == 3  # target probes counted separately
+
+    def test_aux_probes_reset_between_queries(self, benign_setup):
+        oracle, members, targets, matrix = benign_setup
+        algorithm = _BeaconChattySearch()
+        algorithm.build(oracle, members, seed=7)
+        algorithm.query(int(targets[0]), seed=1)
+        result = algorithm.query(int(targets[1]), seed=2)
+        assert result.aux_probes == 2
 
 
 class TestSearchQuality:

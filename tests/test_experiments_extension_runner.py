@@ -1,10 +1,13 @@
 """Tests for the extension experiment and the run-all orchestration."""
 
+from dataclasses import dataclass, field
+
 import pytest
 
-from repro.experiments import ext_condition_extent
+from repro.analysis.compare import Comparison, ShapeCheck
+from repro.experiments import ext_condition_extent, runner
 from repro.experiments.config import ExperimentScale
-from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+from repro.experiments.runner import ALL_EXPERIMENTS, RunReport, run_all
 
 
 class TestConditionExtentExtension:
@@ -49,3 +52,102 @@ class TestRunner:
         text = report.render()
         assert "Paper vs measured" in text
         assert "Shape checks" in text
+
+
+@dataclass(frozen=True)
+class _StubResult:
+    """A fake experiment result with one comparison and one shape check."""
+
+    name: str
+    holds: bool = True
+
+    def render(self) -> str:
+        return f"rendered {self.name}"
+
+    def comparisons(self) -> list[Comparison]:
+        return [Comparison(self.name, "quantity", "paper", "measured")]
+
+    def shape_checks(self) -> list[ShapeCheck]:
+        return [ShapeCheck(self.name, f"{self.name} claim", lambda: self.holds)]
+
+
+@dataclass
+class _StubModule:
+    name: str
+    holds: bool = True
+    calls: list = field(default_factory=list)
+
+    def run(self, scale):
+        self.calls.append(scale)
+        return _StubResult(self.name, self.holds)
+
+
+class TestRunnerFiltering:
+    """run_all(only=...) and RunReport, isolated from real experiments."""
+
+    @pytest.fixture
+    def stubs(self, monkeypatch):
+        modules = (_StubModule("A"), _StubModule("B"), _StubModule("C"))
+        monkeypatch.setattr(
+            runner, "ALL_EXPERIMENTS", tuple((m.name, m) for m in modules)
+        )
+        return modules
+
+    def test_only_filters_to_named_experiments(self, stubs):
+        a, b, c = stubs
+        report = run_all(ExperimentScale(), only=("A", "C"))
+        assert list(report.renders) == ["A", "C"]
+        assert len(a.calls) == 1 and len(c.calls) == 1
+        assert b.calls == []
+
+    def test_only_none_runs_everything(self, stubs):
+        report = run_all(ExperimentScale())
+        assert list(report.renders) == ["A", "B", "C"]
+        assert len(report.comparisons) == 3
+        assert len(report.shape_checks) == 3
+
+    def test_scale_is_threaded_through(self, stubs):
+        scale = ExperimentScale(seed=99)
+        run_all(scale, only=("B",))
+        assert stubs[1].calls == [scale]
+
+    def test_render_includes_sections_and_durations(self, stubs):
+        report = run_all(ExperimentScale(), only=("A",))
+        text = report.render()
+        assert "## A" in text
+        assert "rendered A" in text
+        assert "Paper vs measured" in text
+        assert "Shape checks" in text
+        assert report.durations["A"] >= 0
+
+    def test_all_shapes_hold_true_and_false(self, stubs, monkeypatch):
+        assert run_all(ExperimentScale()).all_shapes_hold
+        failing = _StubModule("F", holds=False)
+        monkeypatch.setattr(runner, "ALL_EXPERIMENTS", (("F", failing),))
+        report = run_all(ExperimentScale())
+        assert not report.all_shapes_hold
+        assert "FAIL" in report.render()
+
+    def test_empty_report(self):
+        report = RunReport()
+        assert report.all_shapes_hold  # vacuously true
+        assert "Paper vs measured" in report.render()
+
+    def test_unknown_experiment_name_rejected(self, stubs):
+        """A typo'd name must fail loudly, not 'pass' with an empty report."""
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="Nope"):
+            run_all(ExperimentScale(), only=("A", "Nope"))
+
+    def test_cli_main_only_filter(self, stubs, capsys):
+        runner.main(["--only", "B"])
+        out = capsys.readouterr().out
+        assert "rendered B" in out
+        assert "rendered A" not in out
+        assert "all shape checks hold: True" in out
+
+    def test_cli_main_rejects_bad_workers(self, stubs, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["--workers", "0"])
+        assert "--workers must be >= 1" in capsys.readouterr().err

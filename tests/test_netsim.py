@@ -88,6 +88,28 @@ class TestEventLoop:
         loop.run(max_events=10)
         assert loop.processed == 10
 
+    def test_cancelled_events_do_not_consume_max_events_budget(self):
+        """Regression: a drained cancellation storm must not starve real
+        events — only events that actually fire count toward the budget."""
+        loop = EventLoop()
+        fired = []
+        handles = [loop.schedule(1.0, fired.append, i) for i in range(50)]
+        for handle in handles:
+            handle.cancel()
+        for i in range(5):
+            loop.schedule(2.0, fired.append, 100 + i)
+        loop.run(max_events=5)
+        assert fired == [100, 101, 102, 103, 104]
+        assert loop.processed == 5
+
+    def test_cancelled_events_still_drain_from_queue(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        handle.cancel()
+        loop.schedule(2.0, lambda: None)
+        loop.run(max_events=1)
+        assert loop.pending == 0
+
 
 class _Echo(SimNode):
     def __init__(self, node_id):
