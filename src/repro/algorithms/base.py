@@ -7,7 +7,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.topology.oracle import LatencyOracle
+from repro.topology.oracle import (
+    LatencyOracle,
+    batch_latencies_from,
+    batch_latency_block,
+)
 from repro.util.errors import ConfigurationError
 from repro.util.rng import make_rng
 
@@ -118,6 +122,39 @@ class NearestPeerAlgorithm(abc.ABC):
         assert self._probe_oracle is not None
         return self._probe_oracle.latency_ms(node, target)
 
+    def probe_many(
+        self, nodes: np.ndarray | list[int], target: int
+    ) -> np.ndarray:
+        """Measure RTTs from each of ``nodes`` to the target, batched.
+
+        Accounting and measurement direction are exact: one probe per
+        element, measured as ``latency_ms(node, target)`` — identical to
+        calling :meth:`probe` in a loop even for asymmetric oracles.  Uses
+        the oracle's vectorised fast path when available, with the scalar
+        fallback otherwise.
+        """
+        nodes = np.asarray(nodes, dtype=int)
+        if nodes.size == 0:
+            return np.empty(0, dtype=float)
+        return self.probe_block(nodes, [int(target)])[:, 0]
+
+    def probe_block(
+        self, rows: np.ndarray | list[int], cols: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Counted batched block of query-time measurements.
+
+        The single batch analogue of :meth:`probe`: every probe-counting
+        batch path (including the Meridian proxy oracle) funnels through
+        here, so the accounting rule lives in one place.
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        if rows.size == 0 or cols.size == 0:
+            return np.empty((rows.size, cols.size), dtype=float)
+        self._probe_count += int(rows.size * cols.size)
+        assert self._probe_oracle is not None
+        return batch_latency_block(self._probe_oracle, rows, cols)
+
     def aux_probe(self, a: int, b: int) -> float:
         """Measure RTT between two non-target nodes at query time.
 
@@ -129,18 +166,28 @@ class NearestPeerAlgorithm(abc.ABC):
         assert self._probe_oracle is not None
         return self._probe_oracle.latency_ms(a, b)
 
+    def aux_probe_many(
+        self, a: int, nodes: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Measure RTTs from ``a`` to each of ``nodes``, batched.
+
+        The aux counterpart of :meth:`probe_many`: one aux probe counted
+        per element.
+        """
+        nodes = np.asarray(nodes, dtype=int)
+        if nodes.size == 0:
+            return np.empty(0, dtype=float)
+        self._aux_probe_count += int(nodes.size)
+        assert self._probe_oracle is not None
+        return batch_latencies_from(self._probe_oracle, int(a), nodes)
+
     def offline_distances_from(self, node: int) -> np.ndarray:
         """RTTs from ``node`` to every member, for *build-time* use only.
 
-        Uses the dense fast path when the oracle exposes one.  Not counted
-        as query probes — index construction is the offline phase.
+        Uses the oracle's vectorised fast path when it exposes one.  Not
+        counted as query probes — index construction is the offline phase.
         """
-        oracle = self.oracle
-        if hasattr(oracle, "latencies_from"):
-            return oracle.latencies_from(int(node))[self.members]
-        return np.array(
-            [oracle.latency_ms(int(node), int(m)) for m in self.members]
-        )
+        return batch_latencies_from(self.oracle, int(node), self.members)
 
     def result(
         self,

@@ -50,9 +50,7 @@ class BeaconSearch(NearestPeerAlgorithm):
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
         assert self._beacons is not None and self._beacon_to_member is not None
         members = self.members
-        target_to_beacons = np.array(
-            [self.probe(int(b), target) for b in self._beacons]
-        )
+        target_to_beacons = self.probe_many(self._beacons, target)
         # Hotz lower bound per member, and per-beacon band membership.
         gaps = np.abs(self._beacon_to_member - target_to_beacons[:, None])
         hotz = gaps.max(axis=0)
@@ -64,11 +62,14 @@ class BeaconSearch(NearestPeerAlgorithm):
         if candidate_rows.size == 0:
             candidate_rows = np.arange(members.size)
         ranked = candidate_rows[np.argsort(hotz[candidate_rows])]
-        measured: dict[int, float] = {}
-        for row in ranked[: self._probe_budget]:
-            member = int(members[row])
-            if member != target:
-                measured[member] = self.probe(member, target)
+        shortlist = [
+            m
+            for m in (int(members[row]) for row in ranked[: self._probe_budget])
+            if m != target
+        ]
+        measured = dict(
+            zip(shortlist, self.probe_many(shortlist, target).tolist())
+        )
         if not measured:  # degenerate: every candidate was the target
             fallback = int(rng.choice(members[members != target]))
             measured[fallback] = self.probe(fallback, target)

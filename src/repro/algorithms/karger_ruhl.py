@@ -74,10 +74,12 @@ class KargerRuhlSearch(NearestPeerAlgorithm):
             d = measured[current]
             scale = self._scale_index(2.0 * d)
             candidates = self._samples[current][min(scale, len(self._scales) - 1)]
-            for member in candidates:
-                member = int(member)
-                if member not in measured and member != target:
-                    measured[member] = self.probe(member, target)
+            fresh = [
+                m
+                for m in (int(c) for c in candidates)
+                if m not in measured and m != target
+            ]
+            measured.update(zip(fresh, self.probe_many(fresh, target).tolist()))
             best = min(measured, key=measured.get)
             # Move only on a halving, the Karger-Ruhl progress criterion.
             if measured[best] <= d / 2.0 and best != current:

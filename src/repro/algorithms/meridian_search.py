@@ -40,7 +40,11 @@ class MeridianSearch(NearestPeerAlgorithm):
 
 
 class _CountingProxy:
-    """LatencyOracle view that routes probes through the algorithm counter."""
+    """LatencyOracle view that routes probes through the algorithm counter.
+
+    Exposes the batch fast path too, so the query's ring sweeps stay
+    vectorised end-to-end while every probe is still counted exactly once.
+    """
 
     def __init__(self, algorithm: MeridianSearch) -> None:
         self._algorithm = algorithm
@@ -51,3 +55,6 @@ class _CountingProxy:
 
     def latency_ms(self, a: int, b: int) -> float:
         return self._algorithm.probe(a, b)
+
+    def latency_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._algorithm.probe_block(rows, cols)

@@ -90,12 +90,15 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
                 hops += 1
             end_candidates[current] = current_cd
         # Probe the best few candidates by coordinate distance (actual
-        # latency measurements happen only here and at placement).
+        # latency measurements happen only here and at placement), as one
+        # batched measurement.
         ranked = sorted(end_candidates, key=end_candidates.get)
-        measured: dict[int, float] = {}
-        for node in ranked[: self._final_probe_count]:
-            if node != target:
-                measured[node] = self.probe(node, target)
+        finalists = [
+            node for node in ranked[: self._final_probe_count] if node != target
+        ]
+        measured = dict(
+            zip(finalists, self.probe_many(finalists, target).tolist())
+        )
         return self.result(target, measured, hops=hops, path=ranked)
 
 
@@ -117,12 +120,7 @@ class PicSearch(_CoordinateGreedyBase):
 
     def _place_target(self, target: int, rng: np.random.Generator) -> np.ndarray:
         assert self._embedding is not None
-        rtts = np.array(
-            [
-                self.probe(int(lm), target)
-                for lm in self._embedding.landmark_ids
-            ]
-        )
+        rtts = self.probe_many(self._embedding.landmark_ids, target)
         return self._embedding.place_external(rtts)
 
 
@@ -159,6 +157,7 @@ class VivaldiGreedySearch(_CoordinateGreedyBase):
             size=min(self._placement_probes, self.members.size),
             replace=False,
         )
-        rtts = {int(a): self.probe(int(a), target) for a in anchors}
+        values = self.probe_many(anchors, target)
+        rtts = {int(a): float(v) for a, v in zip(anchors, values)}
         position, _height = self._system.place_external(rtts)
         return position

@@ -31,5 +31,6 @@ class RandomProbeSearch(NearestPeerAlgorithm):
         members = self.members[self.members != target]
         count = min(self._budget, members.size)
         picks = rng.choice(members, size=count, replace=False)
-        measured = {int(m): self.probe(int(m), target) for m in picks}
+        values = self.probe_many(picks, target)
+        measured = dict(zip((int(m) for m in picks), values.tolist()))
         return self.result(target, measured, hops=0)

@@ -104,10 +104,12 @@ class TapestrySearch(NearestPeerAlgorithm):
                 candidates = rng.choice(
                     candidates, size=self._probe_budget_per_level, replace=False
                 )
-            for member in candidates:
-                member = int(member)
-                if member not in measured and member != target:
-                    measured[member] = self.probe(member, target)
+            fresh = [
+                m
+                for m in (int(c) for c in candidates)
+                if m not in measured and m != target
+            ]
+            measured.update(zip(fresh, self.probe_many(fresh, target).tolist()))
             best = min(measured, key=measured.get)
             if best != current:
                 current = best

@@ -99,10 +99,12 @@ class TiersSearch(NearestPeerAlgorithm):
         while level_index >= 0:
             level = self._levels[level_index]
             nodes = level.clusters[cluster_id]
-            for node in nodes:
-                node = int(node)
-                if node not in measured and node != target:
-                    measured[node] = self.probe(node, target)
+            fresh = [
+                n
+                for n in (int(node) for node in nodes)
+                if n not in measured and n != target
+            ]
+            measured.update(zip(fresh, self.probe_many(fresh, target).tolist()))
             in_cluster = {
                 int(n): measured[int(n)] for n in nodes if int(n) in measured
             }

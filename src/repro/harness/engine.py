@@ -129,7 +129,7 @@ class QueryEngine:
             protocol=protocol,
             n_queries=n_queries,
             rng=rng,
-            build_seed=seed if not isinstance(seed, np.random.Generator) else rng,
+            build_seed=seed,
             probe_oracle=probe_oracle,
         )
         return self._record(
@@ -232,11 +232,21 @@ class QueryEngine:
         if protocol == "sampled":
             algorithm.build(world.oracle, members, seed=rng, probe_oracle=probe_oracle)
             count = n_queries if n_queries is not None else targets.size
+            # The target draws CANNOT be hoisted into one
+            # ``rng.choice(targets, size=count)``: each query consumes the
+            # same generator (seed=rng), so pre-drawing all targets would
+            # reorder the stream and change every fixed-seed trial.  The
+            # loop stays, with the per-iteration int()/indexing overhead
+            # hoisted instead (verified bit-identical by regression test).
             query_targets = np.empty(count, dtype=int)
             results = []
+            choice = rng.choice
+            query = algorithm.query
+            append = results.append
             for i in range(count):
-                query_targets[i] = int(rng.choice(targets))
-                results.append(algorithm.query(int(query_targets[i]), seed=rng))
+                target = int(choice(targets))
+                query_targets[i] = target
+                append(query(target, seed=rng))
         elif protocol == "per-target":
             algorithm.build(
                 world.oracle, members, seed=build_seed, probe_oracle=probe_oracle

@@ -45,8 +45,11 @@ class TrialRecord:
     def __post_init__(self) -> None:
         n = self.targets.size
         for name in ("found", "found_latency_ms", "probes", "aux_probes",
-                     "hops", "exact_hit", "cluster_hit"):
+                     "hops", "exact_hit", "cluster_hit",
+                     "found_hub_latency_ms"):
             arr = getattr(self, name)
+            if arr is None:
+                continue
             if arr.shape != (n,):
                 raise DataError(
                     f"TrialRecord.{name} has shape {arr.shape}, expected ({n},)"

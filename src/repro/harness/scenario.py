@@ -40,6 +40,15 @@ class NoiseSpec:
 
     ``seed=None`` reuses the trial's world seed, so one integer still
     replays the whole trial.
+
+    The wrapped :class:`NoisyOracle` serves batched probes
+    (``latencies_from`` / ``latency_block``) by drawing noise per-batch
+    from the same generator as scalar probes: all lognormal factors in one
+    vectorised draw, then (for ``additive_ms > 0``) all additive lags.
+    With ``additive_ms == 0`` a batch is bit-identical to the equivalent
+    scalar probe loop; with additive lag the draw order differs from the
+    interleaved scalar stream (see
+    :class:`repro.topology.oracle.NoisyOracle`).
     """
 
     sigma: float = 0.05
@@ -51,7 +60,14 @@ class NoiseSpec:
         oracle: LatencyOracle,
         default_seed: int | np.random.Generator | None,
     ) -> NoisyOracle:
-        """Wrap ``oracle`` in the configured :class:`NoisyOracle`."""
+        """Wrap ``oracle`` in the configured :class:`NoisyOracle`.
+
+        With an *integer* ``default_seed`` the noise gets its own
+        generator, independent of the trial's other streams.  Passing a
+        ``Generator`` shares that generator with the caller (noise draws
+        then interleave with sampling/build/query draws) — use integer
+        seeds when stream independence matters.
+        """
         return NoisyOracle(
             oracle,
             sigma=self.sigma,

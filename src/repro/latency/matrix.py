@@ -49,9 +49,19 @@ class LatencyMatrix:
         return self.values.shape[0]
 
     def off_diagonal(self) -> np.ndarray:
-        """All pairwise latencies (upper triangle, flattened)."""
-        iu = np.triu_indices(self.n, k=1)
-        return self.values[iu]
+        """All pairwise latencies (upper triangle, flattened, row-major).
+
+        Assembled from per-row flat-view slices rather than
+        ``triu_indices`` — the index arrays would cost ~8n² bytes on large
+        matrices, an order of magnitude more than the result itself.
+        """
+        n = self.n
+        if n < 2:
+            return np.empty(0, dtype=self.values.dtype)
+        flat = np.ascontiguousarray(self.values).reshape(-1)
+        return np.concatenate(
+            [flat[i * n + i + 1 : (i + 1) * n] for i in range(n - 1)]
+        )
 
     @property
     def median_ms(self) -> float:

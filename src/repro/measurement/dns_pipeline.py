@@ -49,6 +49,12 @@ class DnsStudyConfig:
     max_hops_from_common: int = 10
     intra_domain_strict_hops: int = 5
     max_predicted_ms: float = 100.0
+    #: Precompute the true RTTs the study's pings and King measurements
+    #: need as bulk ``latency_matrix`` blocks instead of routing host pairs
+    #: one by one.  Noise draws are untouched, so results are bit-identical
+    #: with the flag on or off; ``False`` exists for the perf benchmarks
+    #: (and as a paranoia switch).
+    batch_true_latencies: bool = True
 
     def __post_init__(self) -> None:
         require_positive(self.pairs_per_server, "pairs_per_server")
@@ -113,6 +119,11 @@ class DnsStudy:
         self._pinger = Pinger(internet, seed=self._rng)
         self._king = KingEstimator(internet, seed=self._rng)
         self._ping_cache: dict[tuple[str, int], float | None] = {}
+        # Bulk true-latency blocks (see DnsStudyConfig.batch_true_latencies):
+        # measurement-host->server RTTs and per-pair server RTTs, filled by
+        # run() before the measurement loops.
+        self._host_true: dict[int, float] = {}
+        self._pair_true: dict[tuple[int, int], float] = {}
 
     # -- cached pings (the study reuses many measurements) -------------------
 
@@ -120,7 +131,9 @@ class DnsStudy:
         key = ("h", host)
         if key not in self._ping_cache:
             self._ping_cache[key] = self._pinger.ping_host(
-                self._internet.measurement_host_id, host
+                self._internet.measurement_host_id,
+                host,
+                true_ms=self._host_true.get(host),
             )
         return self._ping_cache[key]
 
@@ -160,9 +173,15 @@ class DnsStudy:
             if len(members) < 2:
                 continue
             members = list(members)
-            for server in members:
-                for _ in range(self._config.pairs_per_server):
-                    other = int(self._rng.choice(members))
+            # One 2-D draw per cluster: numpy fills row-major, so this is
+            # bit-identical to drawing pairs_per_server partners per server
+            # in a nested loop (the historical code path).
+            draws = self._rng.choice(
+                np.asarray(members),
+                size=(len(members), self._config.pairs_per_server),
+            )
+            for server, row in zip(members, draws):
+                for other in row.tolist():
                     if other == server:
                         continue
                     pairs.add((min(server, other), max(server, other)))
@@ -206,7 +225,11 @@ class DnsStudy:
         same_domain = (
             record_a.domain is not None and record_a.domain == record_b.domain
         )
-        measured = None if same_domain else self._king.measure(a, b)
+        measured = (
+            None
+            if same_domain
+            else self._king.measure(a, b, true_ms=self._pair_true.get((a, b)))
+        )
         kind = self._internet.router(common).kind
         return DnsPairMeasurement(
             server_a=a,
@@ -235,6 +258,36 @@ class DnsStudy:
                     pairs.append((members[i], members[j]))
         return pairs
 
+    def _precompute_true_latencies(
+        self,
+        pairs: list[tuple[int, int]],
+        intra_pairs: list[tuple[int, int]],
+    ) -> None:
+        """Bulk-build every true RTT the measurement loops will ask for.
+
+        One ``latency_matrix`` row covers the measurement-host pings, one
+        ``pair_latencies`` call the King pair measurements (the sampled
+        pairs are mostly same-PoP, so a dense block over their hosts would
+        be almost entirely wasted work).  No RNG is consumed here, so the
+        downstream noise draws (and therefore the study results) are
+        unchanged.
+        """
+        internet = self._internet
+        hosts = sorted(
+            {h for pair in pairs for h in pair}
+            | {h for pair in intra_pairs for h in pair}
+        )
+        if not hosts:
+            return
+        mh = internet.measurement_host_id
+        host_row = internet.latency_matrix([mh], hosts)[0]
+        self._host_true = {h: float(v) for h, v in zip(hosts, host_row)}
+        if pairs:
+            values = internet.pair_latencies(pairs)
+            self._pair_true = {
+                pair: float(v) for pair, v in zip(pairs, values)
+            }
+
     # -- entry point -------------------------------------------------------------
 
     def run(self) -> DnsStudyResult:
@@ -245,10 +298,14 @@ class DnsStudy:
         result.servers_traced = len(traces)
         clusters = self._cluster_by_pop(traces)
         result.clusters_found = len(clusters)
+        pairs = self._sample_pairs(clusters)
+        intra_pairs = self._intra_domain_pairs(traces)
+        if cfg.batch_true_latencies:
+            self._precompute_true_latencies(pairs, intra_pairs)
 
         # Inter-domain pairs within clusters (Figs 3, 4, and 5's two
         # inter-domain curves).
-        for a, b in self._sample_pairs(clusters):
+        for a, b in pairs:
             measurement = self._predict_pair(a, b, traces[a], traces[b], result)
             if measurement is None or measurement.same_domain:
                 continue
@@ -259,7 +316,7 @@ class DnsStudy:
 
         # Intra-domain pairs (Fig 5's two intra-domain curves; King is
         # unusable here so the predicted latency stands in, as in the paper).
-        for a, b in self._intra_domain_pairs(traces):
+        for a, b in intra_pairs:
             measurement = self._predict_pair(a, b, traces[a], traces[b], result)
             if measurement is None:
                 continue

@@ -71,13 +71,24 @@ class KingEstimator:
             return False
         return rec_a.domain != rec_b.domain
 
-    def measure(self, server_a: int, server_b: int) -> float | None:
-        """King's estimate of the RTT between two DNS servers, or ``None``."""
+    def measure(
+        self, server_a: int, server_b: int, true_ms: float | None = None
+    ) -> float | None:
+        """King's estimate of the RTT between two DNS servers, or ``None``.
+
+        ``true_ms`` lets bulk pipelines supply the true RTT from one
+        precomputed latency block instead of routing per call; noise draws
+        are unaffected, so results are bit-identical either way.
+        """
         if not self.usable(server_a, server_b):
             return None
         cfg = self._config
         rng = self._rng
-        true = self._internet.route(server_a, server_b).latency_ms
+        true = (
+            float(true_ms)
+            if true_ms is not None
+            else self._internet.latency_ms(server_a, server_b)
+        )
         # Alternate (non-tree) path between well-connected servers.
         p_alternate = min(
             cfg.alternate_path_cap,

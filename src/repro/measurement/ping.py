@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.topology.internet import SyntheticInternet
+from repro.util.errors import SimulationError
 from repro.util.rng import make_rng
 
 
@@ -42,13 +43,22 @@ class Pinger:
         queueing = float(self._rng.exponential(self._queueing_scale_ms))
         return true_rtt_ms * factor + queueing
 
-    def ping_host(self, src_host: int, dst_host: int) -> float | None:
-        """RTT to a host, or ``None`` when the host drops ICMP."""
+    def ping_host(
+        self, src_host: int, dst_host: int, true_ms: float | None = None
+    ) -> float | None:
+        """RTT to a host, or ``None`` when the host drops ICMP.
+
+        ``true_ms`` lets bulk pipelines supply the true RTT from one
+        precomputed :meth:`~repro.topology.graph.RouterLevelTopology.latency_matrix`
+        block instead of routing per call; noise draws are unaffected, so
+        results are bit-identical either way.
+        """
         record = self._internet.host(dst_host)
         if not record.responds_to_traceroute:
             return None
-        true = self._internet.route(src_host, dst_host).latency_ms
-        return self._noisy(true)
+        if true_ms is None:
+            true_ms = self._internet.latency_ms(src_host, dst_host)
+        return self._noisy(true_ms)
 
     def true_latency_to_router(self, src_host: int, router_id: int) -> float | None:
         """Noise-free RTT from a host to a router (``None`` if unreachable)."""
@@ -63,7 +73,13 @@ class Pinger:
         src_pop_router, src_cum = internet.upward_chain(src_host)[-1]
         if anchor_router == src_pop_router:
             return src_cum + below_ms
-        core_ms = internet._core_distances_from(src_pop_router).get(anchor_router)
+        if src_pop_router not in internet.core_graph:
+            # A source whose own PoP router is outside the core graph is a
+            # malformed topology, not an unreachable target.
+            raise SimulationError(
+                f"router {src_pop_router} is not in the core graph"
+            )
+        core_ms = internet.core_distance_ms(src_pop_router, anchor_router)
         if core_ms is None:
             return None
         return src_cum + core_ms + below_ms

@@ -34,12 +34,20 @@ class TcpPinger:
         self._syn_processing_scale_ms = syn_processing_scale_ms
         self._noise_sigma = noise_sigma
 
-    def measure(self, src_host: int, dst_host: int) -> float | None:
-        """TCP-connect RTT, or ``None`` when the peer is not reachable."""
+    def measure(
+        self, src_host: int, dst_host: int, true_ms: float | None = None
+    ) -> float | None:
+        """TCP-connect RTT, or ``None`` when the peer is not reachable.
+
+        ``true_ms`` lets bulk pipelines supply the true RTT from one
+        precomputed latency block instead of routing per call; noise draws
+        are unaffected, so results are bit-identical either way.
+        """
         record = self._internet.host(dst_host)
         if not record.responds_to_tcp_ping:
             return None
-        true = self._internet.route(src_host, dst_host).latency_ms
+        if true_ms is None:
+            true_ms = self._internet.latency_ms(src_host, dst_host)
         processing = float(self._rng.exponential(self._syn_processing_scale_ms))
         factor = float(np.exp(self._rng.normal(0.0, self._noise_sigma)))
-        return true * factor + processing
+        return float(true_ms) * factor + processing

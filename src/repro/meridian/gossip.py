@@ -144,9 +144,7 @@ def run_gossip_overlay(
 
     # Final diversity pass, then freeze into a plain overlay.
     from repro.meridian.overlay import _select_ring_members
-    from repro.topology.oracle import MatrixOracle
 
-    matrix = oracle.matrix if isinstance(oracle, MatrixOracle) else None
     frozen: dict[int, MeridianNode] = {}
     for node_id, node in nodes.items():
         state = node.state
@@ -154,7 +152,7 @@ def run_gossip_overlay(
             if len(ring) <= meridian_config.ring_size:
                 continue
             candidates = np.fromiter(ring.keys(), dtype=int)
-            keep = _select_ring_members(candidates, meridian_config, matrix, oracle)
+            keep = _select_ring_members(candidates, meridian_config, oracle)
             kept = {int(candidates[i]) for i in keep}
             state.rings[index] = {m: lat for m, lat in ring.items() if m in kept}
         frozen[node_id] = state

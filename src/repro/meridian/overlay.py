@@ -26,7 +26,11 @@ import numpy as np
 
 from repro.meridian.rings import RingStructure
 from repro.meridian.selection import select_hypervolume, select_maxmin
-from repro.topology.oracle import LatencyOracle, MatrixOracle
+from repro.topology.oracle import (
+    LatencyOracle,
+    batch_latencies_from,
+    batch_latency_block,
+)
 from repro.util.errors import ConfigurationError, DataError
 from repro.util.rng import make_rng
 from repro.util.validate import require_in_range, require_positive
@@ -157,7 +161,6 @@ class MeridianOverlay:
         members = np.asarray(member_ids, dtype=int)
         if members.size < 2:
             raise DataError("an overlay needs at least two members")
-        matrix = oracle.matrix if isinstance(oracle, MatrixOracle) else None
         ring_count = config.rings.ring_count
         # Ring edges for vectorised assignment: index i covers (edge[i-1], edge[i]].
         edges = np.array(
@@ -171,12 +174,8 @@ class MeridianOverlay:
             others = np.delete(members, position)
             if knowledge is not None and knowledge < others.size:
                 others = rng.choice(others, size=knowledge, replace=False)
-            if matrix is not None:
-                latencies = matrix[node_id, others]
-            else:
-                latencies = np.array(
-                    [oracle.latency_ms(int(node_id), int(o)) for o in others]
-                )
+            # One batched row per node instead of a scalar probe per member.
+            latencies = batch_latencies_from(oracle, int(node_id), others)
             ring_index = np.searchsorted(edges, latencies, side="left")
             for ring in range(ring_count):
                 mask = ring_index == ring
@@ -189,9 +188,7 @@ class MeridianOverlay:
                     pick = rng.choice(count, size=config.candidate_pool, replace=False)
                     candidates = candidates[pick]
                     cand_lat = cand_lat[pick]
-                keep = _select_ring_members(
-                    candidates, config, matrix, oracle
-                )
+                keep = _select_ring_members(candidates, config, oracle)
                 for idx in keep:
                     node.rings[ring][int(candidates[idx])] = float(cand_lat[idx])
             nodes[int(node_id)] = node
@@ -211,21 +208,17 @@ class MeridianOverlay:
 def _select_ring_members(
     candidates: np.ndarray,
     config: MeridianConfig,
-    matrix: np.ndarray | None,
     oracle: LatencyOracle,
 ) -> list[int]:
-    """Indices (into ``candidates``) of the members a ring retains."""
+    """Indices (into ``candidates``) of the members a ring retains.
+
+    The O(k²) pairwise measurements arrive as one ``latency_block`` call;
+    both selection strategies then run on the dense block with numpy
+    argmax/argsort operations only.
+    """
     if candidates.size <= config.ring_size:
         return list(range(candidates.size))
-    if matrix is not None:
-        pairwise = matrix[np.ix_(candidates, candidates)]
-    else:
-        pairwise = np.array(
-            [
-                [oracle.latency_ms(int(a), int(b)) for b in candidates]
-                for a in candidates
-            ]
-        )
+    pairwise = batch_latency_block(oracle, candidates, candidates)
     if config.selection == "maxmin":
         return select_maxmin(pairwise, config.ring_size)
     return select_hypervolume(pairwise, config.ring_size)

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.meridian.overlay import MeridianOverlay
-from repro.topology.oracle import LatencyOracle
+from repro.topology.oracle import LatencyOracle, batch_latency_block
 from repro.util.errors import DataError
 from repro.util.rng import make_rng
 
@@ -79,10 +79,18 @@ def closest_node_query(
         low = (1.0 - beta) * current_d
         high = (1.0 + beta) * current_d
         candidates = node.members_within(low, high)
-        for member in candidates:
-            if member == target or member in measured:
-                continue
-            measured[member] = probe(member)
+        # The ring sweep is one batched measurement: every candidate's
+        # latency to the target in a single latency_block call (member ->
+        # target, the same direction as the scalar probe).
+        fresh = list(
+            dict.fromkeys(
+                m for m in candidates if m != target and m not in measured
+            )
+        )
+        if fresh:
+            probes += len(fresh)
+            values = batch_latency_block(probe_oracle, fresh, [target])[:, 0]
+            measured.update(zip(fresh, values.tolist()))
         if measured:
             round_best = min(measured, key=measured.get)
             if measured[round_best] < best_d:

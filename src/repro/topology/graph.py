@@ -12,8 +12,17 @@ questions the measurement pipelines need:
   latencies (the ground truth behind UCLs and traceroute prefixes).
 
 Within a PoP the attachment structure is a forest, so lowest-common-router
-discovery is a linear scan of the two chains; across PoPs routes go through
-a cached-Dijkstra core graph (networkx).
+discovery is a linear scan of the two chains (against a per-host position
+map precomputed at construction time).  Across PoPs routes use all-pairs
+core-graph shortest paths, computed once with ``scipy.sparse.csgraph`` the
+first time any cross-PoP question is asked — the core graph is small
+(PoP/IXP routers only), so the dense distance/predecessor matrices are
+cheap and make every subsequent core lookup O(1).
+
+Bulk latency questions (the measurement pipelines ask for *every* host
+pair) go through :meth:`latency_matrix`, which assembles whole RTT blocks
+from the precomputed per-host hub latencies and the core distance matrix
+instead of routing pair by pair.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import networkx as nx
+import numpy as np
 
 from repro.topology.elements import (
     EndNetworkRecord,
@@ -78,13 +88,25 @@ class RouterLevelTopology:
         # host_id -> tuple of (router_id, cumulative RTT ms from host),
         # ordered host-outward and ending at the attachment PoP router.
         self._upward: dict[int, tuple[tuple[int, float], ...]] = {}
-        self._core_dist_cache: dict[int, dict[int, float]] = {}
-        self._core_path_cache: dict[tuple[int, int], list[int]] = {}
+        # host_id -> {router_id: (chain index, cumulative RTT ms)} — the
+        # lookup route() used to rebuild per call.
+        self._upward_pos: dict[int, dict[int, tuple[int, float]]] = {}
+        # Per-host attachment summaries (arrays indexed by host id).
+        self._host_pop_router: np.ndarray = np.empty(0, dtype=int)
+        self._host_hub_ms: np.ndarray = np.empty(0, dtype=float)
+        # All-pairs core-graph state, built lazily by _ensure_core_paths().
+        self._core_nodes: list[int] | None = None
+        self._core_index: dict[int, int] | None = None
+        self._core_dist: np.ndarray | None = None
+        self._core_pred: np.ndarray | None = None
+        self._host_core_index: np.ndarray | None = None
         self._build_upward_chains()
 
     # -- construction helpers ------------------------------------------------
 
     def _build_upward_chains(self) -> None:
+        pop_router = np.empty(len(self.hosts), dtype=int)
+        hub_ms = np.empty(len(self.hosts), dtype=float)
         for host in self.hosts:
             en = self.end_networks[host.en_id]
             chain: list[tuple[int, float]] = []
@@ -100,6 +122,13 @@ class RouterLevelTopology:
             if not chain:
                 raise DataError(f"host {host.host_id} has an empty upward chain")
             self._upward[host.host_id] = tuple(chain)
+            self._upward_pos[host.host_id] = {
+                router: (idx, cum) for idx, (router, cum) in enumerate(chain)
+            }
+            pop_router[host.host_id] = chain[-1][0]
+            hub_ms[host.host_id] = chain[-1][1]
+        self._host_pop_router = pop_router
+        self._host_hub_ms = hub_ms
 
     # -- basic accessors -------------------------------------------------------
 
@@ -129,41 +158,91 @@ class RouterLevelTopology:
 
     def attachment_pop_router(self, host_id: int) -> int:
         """The PoP router id a host's chain terminates at."""
-        return self._upward[host_id][-1][0]
+        return int(self._host_pop_router[host_id])
 
     def hub_latency_ms(self, host_id: int) -> float:
         """RTT from a host to its PoP router (its hub latency)."""
-        return self._upward[host_id][-1][1]
+        return float(self._host_hub_ms[host_id])
 
     # -- core routing ----------------------------------------------------------
 
-    def _core_distances_from(self, router_id: int) -> dict[int, float]:
-        if router_id not in self._core_dist_cache:
-            if router_id not in self.core_graph:
-                raise SimulationError(f"router {router_id} is not in the core graph")
-            self._core_dist_cache[router_id] = nx.single_source_dijkstra_path_length(
-                self.core_graph, router_id, weight="latency_ms"
-            )
-        return self._core_dist_cache[router_id]
+    def _ensure_core_paths(self) -> None:
+        """All-pairs shortest paths over the (small) core graph, once."""
+        if self._core_dist is not None:
+            return
+        import scipy.sparse
+        import scipy.sparse.csgraph
+
+        nodes = sorted(self.core_graph.nodes)
+        index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        row, col, data = [], [], []
+        for u, v, attrs in self.core_graph.edges(data=True):
+            row.append(index[u])
+            col.append(index[v])
+            data.append(float(attrs["latency_ms"]))
+        adjacency = scipy.sparse.csr_matrix(
+            (data, (row, col)), shape=(n, n)
+        )
+        dist, pred = scipy.sparse.csgraph.dijkstra(
+            adjacency, directed=False, return_predecessors=True
+        )
+        self._core_nodes = nodes
+        self._core_index = index
+        self._core_dist = dist
+        self._core_pred = pred
+        # Host -> core-matrix row of its attachment PoP router; -1 marks a
+        # router absent from the core graph, surfaced as a SimulationError
+        # only when a query actually needs that host's core position (the
+        # pre-batch code was lazy in the same way).
+        self._host_core_index = np.array(
+            [index.get(r, -1) for r in self._host_pop_router.tolist()], dtype=int
+        )
+
+    def core_distance_ms(self, a: int, b: int) -> float | None:
+        """Shortest-path RTT between two core routers, ``None`` if unknown.
+
+        ``None`` means ``a`` or ``b`` is not a core router, or the core
+        graph does not connect them.
+        """
+        self._ensure_core_paths()
+        assert self._core_index is not None and self._core_dist is not None
+        ia = self._core_index.get(a)
+        ib = self._core_index.get(b)
+        if ia is None or ib is None:
+            return None
+        distance = self._core_dist[ia, ib]
+        if np.isinf(distance):
+            return None
+        return float(distance)
 
     def _core_route(self, a: int, b: int) -> tuple[float, list[int]]:
         """RTT and router path between two core-graph routers."""
         if a == b:
             return 0.0, [a]
-        key = (a, b) if a <= b else (b, a)
-        if key not in self._core_path_cache:
-            try:
-                path = nx.dijkstra_path(self.core_graph, key[0], key[1], weight="latency_ms")
-            except nx.NetworkXNoPath as exc:
-                raise SimulationError(f"core graph is disconnected: {a} .. {b}") from exc
-            self._core_path_cache[key] = path
-        path = self._core_path_cache[key]
-        if path[0] != a:
-            path = list(reversed(path))
-        distance = self._core_distances_from(a).get(b)
-        if distance is None:
-            raise SimulationError(f"no core distance between {a} and {b}")
-        return distance, path
+        self._ensure_core_paths()
+        assert (
+            self._core_index is not None
+            and self._core_dist is not None
+            and self._core_pred is not None
+            and self._core_nodes is not None
+        )
+        ia = self._core_index.get(a)
+        ib = self._core_index.get(b)
+        if ia is None:
+            raise SimulationError(f"router {a} is not in the core graph")
+        if ib is None:
+            raise SimulationError(f"router {b} is not in the core graph")
+        distance = self._core_dist[ia, ib]
+        if np.isinf(distance):
+            raise SimulationError(f"core graph is disconnected: {a} .. {b}")
+        path = [b]
+        j = ib
+        while j != ia:
+            j = int(self._core_pred[ia, j])
+            path.append(self._core_nodes[j])
+        path.reverse()
+        return float(distance), path
 
     # -- host-to-host routing ----------------------------------------------------
 
@@ -179,7 +258,7 @@ class RouterLevelTopology:
             return Route(routers=(), latency_ms=0.0)
         chain_a = self._upward[a]
         chain_b = self._upward[b]
-        position_b = {router: (idx, cum) for idx, (router, cum) in enumerate(chain_b)}
+        position_b = self._upward_pos[b]
         for idx_a, (router, cum_a) in enumerate(chain_a):
             hit = position_b.get(router)
             if hit is not None:
@@ -215,14 +294,140 @@ class RouterLevelTopology:
             cumulative_ms=tuple(cums),
         )
 
+    def _pair_latency_ms(self, a: int, b: int) -> float:
+        """RTT between two hosts without materialising the router path."""
+        if a == b:
+            return 0.0
+        position_b = self._upward_pos[b]
+        for router, cum_a in self._upward[a]:
+            hit = position_b.get(router)
+            if hit is not None:
+                return cum_a + hit[1]
+        self._ensure_core_paths()
+        assert self._core_dist is not None and self._host_core_index is not None
+        ia = self._host_core_index[a]
+        ib = self._host_core_index[b]
+        if ia < 0 or ib < 0:
+            missing = self._host_pop_router[a if ia < 0 else b]
+            raise SimulationError(f"router {missing} is not in the core graph")
+        distance = self._core_dist[ia, ib]
+        if np.isinf(distance):
+            raise SimulationError(
+                f"core graph is disconnected: "
+                f"{self._host_pop_router[a]} .. {self._host_pop_router[b]}"
+            )
+        return float(
+            self._host_hub_ms[a] + distance + self._host_hub_ms[b]
+        )
+
     def latency_ms(self, a: int, b: int) -> float:
         """RTT between two hosts (oracle interface)."""
-        return self.route(a, b).latency_ms
+        return self._pair_latency_ms(a, b)
 
     @property
     def n_nodes(self) -> int:
         """Oracle interface: hosts are the nodes."""
         return self.n_hosts
+
+    # -- bulk latency (batch oracle interface) ----------------------------------
+
+    def latency_matrix(
+        self,
+        host_ids: np.ndarray | list[int],
+        col_host_ids: np.ndarray | list[int] | None = None,
+    ) -> np.ndarray:
+        """RTT block between host id arrays, assembled without per-pair routing.
+
+        For the (overwhelmingly common) cross-PoP pairs the RTT is
+        ``hub(a) + core_distance(pop(a), pop(b)) + hub(b)``, filled in one
+        vectorised expression from the all-pairs core matrix.  Pairs whose
+        attachment chains terminate at the same PoP router may share a
+        router below the PoP, so those entries are corrected with the exact
+        lowest-common-router scan.  Equal ids yield 0.
+        """
+        rows = np.asarray(host_ids, dtype=int)
+        cols = rows if col_host_ids is None else np.asarray(col_host_ids, dtype=int)
+        self._ensure_core_paths()
+        assert self._core_dist is not None and self._host_core_index is not None
+        core_rows = self._host_core_index[rows]
+        core_cols = self._host_core_index[cols]
+        # Same attachment PoP router: the chains may share a lower router.
+        same_top = (
+            self._host_pop_router[rows][:, None]
+            == self._host_pop_router[cols][None, :]
+        )
+        # Hosts anchored outside the core graph are an error only for the
+        # cross-PoP cells that actually need a core distance.
+        needs_core = ~same_top
+        missing = (core_rows < 0)[:, None] | (core_cols < 0)[None, :]
+        if np.any(missing & needs_core):
+            i, j = np.argwhere(missing & needs_core)[0]
+            bad_host = rows[i] if core_rows[i] < 0 else cols[j]
+            raise SimulationError(
+                f"router {self._host_pop_router[bad_host]} is not in the core graph"
+            )
+        # Association order matches the scalar path ((hub_a + core) + hub_b)
+        # so batch and per-pair results are bit-identical.  (-1 indices only
+        # occur in same-top cells, which are overwritten below.)
+        block = (
+            self._host_hub_ms[rows][:, None]
+            + self._core_dist[np.ix_(core_rows, core_cols)]
+        ) + self._host_hub_ms[cols][None, :]
+        if np.any(np.isinf(block[needs_core])):
+            raise SimulationError("core graph is disconnected")
+        if np.any(same_top):
+            for i, j in zip(*np.nonzero(same_top)):
+                block[i, j] = self._pair_latency_ms(int(rows[i]), int(cols[j]))
+        return block
+
+    def pair_latencies(
+        self, pairs: "list[tuple[int, int]] | np.ndarray"
+    ) -> np.ndarray:
+        """Element-wise RTTs for an explicit host-pair list.
+
+        The sparse counterpart of :meth:`latency_matrix`: when a pipeline
+        needs specific pairs (the DNS study's sampled cluster pairs, say)
+        rather than a dense block, this avoids materialising the full
+        cross product.  Cross-PoP pairs are vectorised; pairs sharing an
+        attachment PoP router fall back to the exact per-pair scan.
+        """
+        pairs_arr = np.asarray(pairs, dtype=int)
+        if pairs_arr.size == 0:
+            return np.empty(0, dtype=float)
+        a = pairs_arr[:, 0]
+        b = pairs_arr[:, 1]
+        self._ensure_core_paths()
+        assert self._core_dist is not None and self._host_core_index is not None
+        ia = self._host_core_index[a]
+        ib = self._host_core_index[b]
+        same_top = self._host_pop_router[a] == self._host_pop_router[b]
+        missing = ((ia < 0) | (ib < 0)) & ~same_top
+        if np.any(missing):
+            k = int(np.flatnonzero(missing)[0])
+            bad_host = a[k] if ia[k] < 0 else b[k]
+            raise SimulationError(
+                f"router {self._host_pop_router[bad_host]} is not in the core graph"
+            )
+        out = (
+            self._host_hub_ms[a] + self._core_dist[ia, ib]
+        ) + self._host_hub_ms[b]
+        for i in np.flatnonzero(same_top):
+            out[i] = self._pair_latency_ms(int(a[i]), int(b[i]))
+        if np.any(np.isinf(out[~same_top])):
+            raise SimulationError("core graph is disconnected")
+        return out
+
+    def latencies_from(
+        self, a: int, members: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Batch oracle interface: RTTs from host ``a`` to ``members``."""
+        if members is None:
+            members = np.arange(self.n_hosts)
+        return self.latency_matrix([a], members)[0]
+
+    def latency_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Batch oracle interface: the ``rows × cols`` RTT block."""
+        return self.latency_matrix(rows, cols)
 
     # -- ground truth helpers ---------------------------------------------------
 

@@ -194,6 +194,10 @@ class SyntheticInternet(RouterLevelTopology):
         super().__init__(isps, pops, routers, end_networks, hosts, core_graph)
         self.config = config
         self.agg_parent = agg_parent
+        # gateway router id -> (pop_router_id, rtt below it); built lazily by
+        # router_anchor (the old per-call linear scan over every end-network
+        # dominated the ping pipelines).
+        self._edge_anchor_cache: dict[int, tuple[int, float]] | None = None
         self.peer_ids = [h.host_id for h in hosts if h.kind == HostKind.PEER]
         self.dns_server_ids = [h.host_id for h in hosts if h.kind == HostKind.DNS_SERVER]
         self.vantage_ids = [h.host_id for h in hosts if h.kind == HostKind.VANTAGE]
@@ -265,11 +269,19 @@ class SyntheticInternet(RouterLevelTopology):
                 current = parent
             return current, total
         if record.kind == RouterKind.EDGE:
-            for en in self.end_networks:
-                if en.attachment_router_ids and en.attachment_router_ids[0] == router_id:
-                    return en.attachment_router_ids[-1], float(
-                        sum(en.attachment_latencies_ms[1:])
-                    )
+            if self._edge_anchor_cache is None:
+                cache: dict[int, tuple[int, float]] = {}
+                for en in self.end_networks:
+                    if en.attachment_router_ids:
+                        cache.setdefault(
+                            en.attachment_router_ids[0],
+                            (
+                                en.attachment_router_ids[-1],
+                                float(sum(en.attachment_latencies_ms[1:])),
+                            ),
+                        )
+                self._edge_anchor_cache = cache
+            return self._edge_anchor_cache.get(router_id)
         return None
 
     def describe(self) -> str:

@@ -5,10 +5,29 @@ Every nearest-peer algorithm in the library consumes a
 against a dense matrix (Meridian simulations), the routed router-level
 topology (measurement studies), or noisy/counting wrappers (probe accounting
 — the paper's core cost metric is the number of latency probes).
+
+Batch fast path
+---------------
+
+Simulated probes are the repository's hot path: Meridian overlay
+construction issues O(n·k) of them, ring selection O(k²) more per node.
+Oracles may therefore expose two *optional* vectorised methods (the
+:class:`BatchLatencyOracle` protocol):
+
+* ``latencies_from(a, members)`` — RTTs from ``a`` to each id in
+  ``members`` (or the full row when ``members`` is ``None``);
+* ``latency_block(rows, cols)`` — the dense ``len(rows) × len(cols)``
+  RTT block.
+
+Callers never probe for these methods themselves: they go through
+:func:`batch_latencies_from` / :func:`batch_latency_block`, which fall back
+to element-wise ``latency_ms`` loops, so third-party oracles implementing
+only the scalar protocol keep working everywhere.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -29,6 +48,76 @@ class LatencyOracle(Protocol):
     def n_nodes(self) -> int:
         """Number of nodes the oracle knows about (ids are 0..n_nodes-1)."""
         ...
+
+
+@runtime_checkable
+class BatchLatencyOracle(LatencyOracle, Protocol):
+    """A latency oracle with the vectorised fast path (see module docstring).
+
+    This protocol is *optional*: call sites use the dispatch helpers below,
+    never ``isinstance`` checks, so scalar-only oracles remain first-class.
+    """
+
+    def latencies_from(
+        self, a: int, members: np.ndarray | None = None
+    ) -> np.ndarray:
+        """RTTs from ``a`` to ``members`` (full row when ``members is None``)."""
+        ...
+
+    def latency_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """The ``len(rows) × len(cols)`` RTT block."""
+        ...
+
+
+def batch_latencies_from(
+    oracle: LatencyOracle, a: int, members: np.ndarray | list[int]
+) -> np.ndarray:
+    """RTTs from ``a`` to each of ``members``, batched when the oracle can.
+
+    Falls back to a scalar ``latency_ms`` loop for plain oracles, and to
+    full-row indexing for legacy oracles whose ``latencies_from`` takes no
+    ``members`` argument — so every :class:`LatencyOracle` works here.
+    """
+    members = np.asarray(members, dtype=int)
+    fn = getattr(oracle, "latencies_from", None)
+    if fn is not None:
+        try:
+            return np.asarray(fn(int(a), members), dtype=float)
+        except TypeError:
+            # Only fall back for the legacy single-argument signature
+            # (whose binding fails before the body runs, so no oracle
+            # state was consumed).  A TypeError raised *inside* a two-arg
+            # implementation is a real bug and must propagate — retrying
+            # would double-consume RNG draws / probe counters.
+            try:
+                inspect.signature(fn).bind(int(a), members)
+            except TypeError:
+                return np.asarray(fn(int(a)), dtype=float)[members]
+            raise
+    return np.array(
+        [oracle.latency_ms(int(a), int(m)) for m in members], dtype=float
+    )
+
+
+def batch_latency_block(
+    oracle: LatencyOracle,
+    rows: np.ndarray | list[int],
+    cols: np.ndarray | list[int],
+) -> np.ndarray:
+    """The ``rows × cols`` RTT block, batched when the oracle can.
+
+    Scalar fallback iterates ``latency_ms(row, col)`` row-major, matching
+    the element order every batch implementation must produce.
+    """
+    rows = np.asarray(rows, dtype=int)
+    cols = np.asarray(cols, dtype=int)
+    fn = getattr(oracle, "latency_block", None)
+    if fn is not None:
+        return np.asarray(fn(rows, cols), dtype=float)
+    return np.array(
+        [[oracle.latency_ms(int(a), int(b)) for b in cols] for a in rows],
+        dtype=float,
+    )
 
 
 class MatrixOracle:
@@ -52,9 +141,20 @@ class MatrixOracle:
     def latency_ms(self, a: int, b: int) -> float:
         return float(self._matrix[a, b])
 
-    def latencies_from(self, a: int) -> np.ndarray:
-        """The full latency row for node ``a`` (fast path for simulators)."""
-        return self._matrix[a]
+    def latencies_from(
+        self, a: int, members: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The latency row for node ``a``, optionally sliced to ``members``."""
+        row = self._matrix[a]
+        if members is None:
+            return row
+        return row[np.asarray(members, dtype=int)]
+
+    def latency_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Dense block — one fancy-indexing call, no Python loop."""
+        return self._matrix[
+            np.ix_(np.asarray(rows, dtype=int), np.asarray(cols, dtype=int))
+        ]
 
 
 class CountingOracle:
@@ -64,6 +164,10 @@ class CountingOracle:
     to tell if it is the closest peer to A2, it has to first measure its
     latency to A2"); repeated queries for a cached pair are counted
     separately so both metrics are available.
+
+    Batched calls count exactly like the equivalent scalar loop: one total
+    probe per element, one unique probe per previously unseen unordered
+    pair.
     """
 
     def __init__(self, inner: LatencyOracle) -> None:
@@ -84,6 +188,30 @@ class CountingOracle:
             self.unique_probes += 1
         return self._inner.latency_ms(a, b)
 
+    def _count_batch(self, a_ids: np.ndarray, b_ids: np.ndarray) -> None:
+        """Advance both counters for element-aligned id arrays."""
+        lo = np.minimum(a_ids, b_ids)
+        hi = np.maximum(a_ids, b_ids)
+        self.total_probes += int(lo.size)
+        before = len(self._seen)
+        self._seen.update(zip(lo.tolist(), hi.tolist()))
+        self.unique_probes += len(self._seen) - before
+
+    def latencies_from(
+        self, a: int, members: np.ndarray | None = None
+    ) -> np.ndarray:
+        if members is None:
+            members = np.arange(self.n_nodes)
+        members = np.asarray(members, dtype=int)
+        self._count_batch(np.full(members.size, int(a)), members)
+        return batch_latencies_from(self._inner, a, members)
+
+    def latency_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        self._count_batch(np.repeat(rows, cols.size), np.tile(cols, rows.size))
+        return batch_latency_block(self._inner, rows, cols)
+
     def reset(self) -> None:
         """Zero the counters (e.g. between queries)."""
         self.total_probes = 0
@@ -98,6 +226,18 @@ class NoisyOracle:
     that here lets algorithm evaluations distinguish "fails because of the
     clustering condition" from "fails because of measurement noise".
     Noise is lognormal with median 1, i.e. ``measured = true * exp(sigma*Z)``.
+
+    **Batch stream semantics.** Batched calls draw from the same generator
+    as scalar calls.  A batch of ``k`` probes draws ``k`` lognormal factors
+    in one vectorised call (element order: ``members`` order for
+    ``latencies_from``, row-major for ``latency_block``) and then — only
+    when ``additive_ms > 0`` — ``k`` additive lags in a second vectorised
+    call.  numpy generators produce bit-identical variates for ``size=k``
+    and ``k`` scalar draws, so with ``additive_ms == 0`` a batch is
+    bit-identical to the equivalent scalar loop.  With ``additive_ms > 0``
+    the scalar loop interleaves factor/lag draws per probe while the batch
+    draws all factors first, so the streams diverge (same distribution,
+    different variates).
     """
 
     def __init__(
@@ -126,3 +266,21 @@ class NoisyOracle:
         if self._additive_ms:
             noisy += float(self._rng.exponential(self._additive_ms))
         return noisy
+
+    def _noisy_batch(self, true: np.ndarray) -> np.ndarray:
+        """Apply one batch of noise draws (see class docstring for order)."""
+        true = np.asarray(true, dtype=float)
+        noisy = true * np.exp(self._rng.normal(0.0, self._sigma, size=true.shape))
+        if self._additive_ms:
+            noisy = noisy + self._rng.exponential(self._additive_ms, size=true.shape)
+        return noisy
+
+    def latencies_from(
+        self, a: int, members: np.ndarray | None = None
+    ) -> np.ndarray:
+        if members is None:
+            members = np.arange(self.n_nodes)
+        return self._noisy_batch(batch_latencies_from(self._inner, a, members))
+
+    def latency_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._noisy_batch(batch_latency_block(self._inner, rows, cols))

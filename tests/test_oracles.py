@@ -31,6 +31,16 @@ class TestMatrixOracle:
     def test_latencies_from_row(self, matrix_oracle):
         assert matrix_oracle.latencies_from(1).tolist() == [10.0, 0.0, 30.0]
 
+    def test_latencies_from_subset(self, matrix_oracle):
+        assert matrix_oracle.latencies_from(1, np.array([2, 0])).tolist() == [
+            30.0,
+            10.0,
+        ]
+
+    def test_latency_block(self, matrix_oracle):
+        block = matrix_oracle.latency_block(np.array([0, 2]), np.array([1]))
+        assert block.tolist() == [[10.0], [30.0]]
+
     def test_rejects_non_square(self):
         with pytest.raises(DataError):
             MatrixOracle(np.zeros((2, 3)))
