@@ -1,0 +1,161 @@
+"""Churn-protocol benchmark: query throughput and maintenance cost.
+
+Runs the registered ``steady-churn`` scenario (see
+:mod:`repro.harness.scenario`) through the query engine for a set of
+schemes with distinct maintenance policies, and reports each scheme's
+
+* ``queries_per_sec`` — wall-clock throughput of the interleaved
+  event+query loop (algorithm build included, world build excluded);
+* ``mean_maintenance_probes_per_query`` / ``total_maintenance_probes`` —
+  the honest membership-maintenance bill next to the query probe bill;
+* ``exact_rate`` / ``mean_membership_size`` — accuracy against the
+  membership alive at query time, and the population the trial averaged.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_churn.py \
+        --scale paper --output BENCH_churn.json
+
+``--scale tiny`` is the CI smoke setting (the registered scenario's own
+240-host world, trimmed query count); ``--scale paper`` scales the same
+spec up to n=2000 hosts with 300 queries — the committed perf baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.algorithms import BeaconSearch, MeridianSearch, RandomProbeSearch
+from repro.harness import ChurnSpec, QueryEngine, SamplingSpec, get_scenario
+from repro.latency.builder import build_clustered_oracle
+from repro.topology.clustered import ClusteredConfig
+
+SCALES = ("tiny", "paper")
+
+#: Schemes spanning the maintenance-policy spectrum: free incremental
+#: (random-probe), cheap incremental (beaconing), structural incremental
+#: (meridian ring insert/evict).  The rebuild-policy schemes bill |M|² per
+#: event by design and are exercised by the lifecycle tests instead.
+SCHEMES = (
+    ("random-probe", lambda: RandomProbeSearch(budget=32)),
+    ("beaconing", BeaconSearch),
+    ("meridian", MeridianSearch),
+)
+
+
+def churn_scenario(scale: str):
+    """The steady-churn smoke scenario, scaled to the requested size."""
+    base = get_scenario("steady-churn")
+    if scale == "tiny":
+        return base.with_(n_queries=50, trials=1)
+    # Paper scale: n = 10 clusters x 100 end-networks x 2 peers = 2000
+    # hosts, with the same balanced churn dynamics.
+    return base.with_(
+        topology=ClusteredConfig(
+            n_clusters=10, end_networks_per_cluster=100, delta=0.2
+        ),
+        sampling=SamplingSpec(n_targets=100),
+        churn=ChurnSpec(
+            initial_fraction=0.8,
+            arrival_rate=1.0,
+            departure_rate=1.0,
+            session_length=150.0,
+            warmup_steps=25,
+            min_members=200,
+        ),
+        n_queries=300,
+        trials=1,
+    )
+
+
+def bench_scheme(name: str, factory, scenario, world) -> dict:
+    engine = QueryEngine()
+    start = time.perf_counter()
+    record = engine.run_world_trial(
+        world,
+        factory(),
+        sampling=scenario.sampling,
+        protocol="churn",
+        n_queries=scenario.n_queries,
+        seed=scenario.seed,
+        noise=scenario.noise,
+        churn=scenario.churn,
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "name": name,
+        "maintenance_policy": factory().maintenance_policy,
+        "n_queries": record.n_queries,
+        "trial_s": elapsed,
+        "queries_per_sec": record.n_queries / elapsed,
+        "mean_maintenance_probes_per_query": (
+            record.mean_maintenance_probes_per_query
+        ),
+        "total_maintenance_probes": record.total_maintenance_probes,
+        "warmup_maintenance_probes": record.warmup_maintenance_probes,
+        "mean_probes_per_query": record.mean_probes_per_query,
+        "exact_rate": record.exact_rate,
+        "cluster_rate": record.cluster_rate,
+        "mean_membership_size": record.mean_membership_size,
+    }
+
+
+def run_suite(scale: str, seed: int) -> dict:
+    scenario = churn_scenario(scale)
+    world = build_clustered_oracle(
+        scenario.topology, seed=seed, core_pool_size=scenario.core_pool_size
+    )
+    scenario = scenario.with_(seed=seed)
+    results = []
+    for name, factory in SCHEMES:
+        result = bench_scheme(name, factory, scenario, world)
+        print(
+            f"{result['name']}: {result['queries_per_sec']:.1f} q/s  "
+            f"maint/q={result['mean_maintenance_probes_per_query']:.1f}  "
+            f"probes/q={result['mean_probes_per_query']:.1f}  "
+            f"exact={result['exact_rate']:.2f}  "
+            f"members~{result['mean_membership_size']:.0f}"
+        )
+        results.append(result)
+    return {
+        "suite": "churn",
+        "scale": scale,
+        "seed": seed,
+        "scenario": "steady-churn",
+        "n_hosts": int(world.topology.n_nodes),
+        "benchmarks": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--scale", choices=SCALES, default="tiny")
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=(
+            "where to write the JSON report (default: BENCH_churn.json for "
+            "--scale paper, bench_churn_<scale>.json otherwise, so a casual "
+            "tiny run cannot clobber the committed paper baseline)"
+        ),
+    )
+    args = parser.parse_args()
+    output = args.output
+    if output is None:
+        output = (
+            Path("BENCH_churn.json")
+            if args.scale == "paper"
+            else Path(f"bench_churn_{args.scale}.json")
+        )
+    report = run_suite(args.scale, args.seed)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

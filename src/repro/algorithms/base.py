@@ -16,6 +16,16 @@ from repro.util.errors import ConfigurationError
 from repro.util.rng import make_rng
 
 
+#: Membership-maintenance policies a scheme can declare (class attribute
+#: ``NearestPeerAlgorithm.maintenance_policy``).  ``incremental`` means
+#: :meth:`NearestPeerAlgorithm.join` / :meth:`~NearestPeerAlgorithm.leave`
+#: patch the existing index in place (cost proportional to the event);
+#: ``rebuild`` means every membership event re-runs the full offline build
+#: with its probes counted, so the maintenance bill is honest the same way
+#: the query probe bill is.
+MAINTENANCE_POLICIES = ("incremental", "rebuild")
+
+
 @dataclass
 class SearchResult:
     """Outcome of one nearest-peer search.
@@ -23,7 +33,10 @@ class SearchResult:
     ``probes`` counts latency measurements involving the target — the
     paper's cost metric ("this translates to a lower bound on the number of
     latency probes performed").  ``aux_probes`` counts other measurements
-    the query triggered (e.g. beacon-to-beacon).
+    the query triggered (e.g. beacon-to-beacon).  ``maintenance_probes``
+    counts the membership-maintenance measurements (join/leave index
+    updates or counted rebuilds) accrued since the previous query — zero
+    under a static membership.
     """
 
     target: int
@@ -31,22 +44,35 @@ class SearchResult:
     found_latency_ms: float
     probes: int
     aux_probes: int = 0
+    maintenance_probes: int = 0
     hops: int = 0
     path: list[int] = field(default_factory=list)
 
 
 class NearestPeerAlgorithm(abc.ABC):
-    """A nearest-peer search scheme over a fixed member population.
+    """A nearest-peer search scheme over a dynamic member population.
 
-    Lifecycle: construct with parameters, :meth:`build` once over the member
-    set (this may take offline measurements — ring construction, coordinate
-    embedding, hierarchy building), then :meth:`query` many times.  Queries
-    must only learn about the target through ``self.probe`` so the probe
-    accounting is honest.
+    Lifecycle: construct with parameters, :meth:`build` once over the
+    initial member set (this may take offline measurements — ring
+    construction, coordinate embedding, hierarchy building), then
+    :meth:`query` many times, interleaved with :meth:`join` /
+    :meth:`leave` membership events.  Queries must only learn about the
+    target through ``self.probe`` so the probe accounting is honest;
+    membership maintenance must measure only through the maintenance
+    helpers (:meth:`maintenance_probe_many` and friends, or — for
+    rebuild-policy schemes — the flagged :meth:`offline_distances_from`)
+    so maintenance cost is honest too.
+
+    Each scheme declares its ``maintenance_policy`` (see
+    :data:`MAINTENANCE_POLICIES`): ``incremental`` schemes patch their
+    index per event, ``rebuild`` schemes re-run the full build per event
+    with every probe counted (``rebuild_count`` tracks how often).
     """
 
     #: Human-readable scheme name (class attribute).
     name: str = "abstract"
+    #: Declared membership-maintenance policy (class attribute).
+    maintenance_policy: str = "rebuild"
 
     def __init__(self) -> None:
         self._oracle: LatencyOracle | None = None
@@ -54,6 +80,10 @@ class NearestPeerAlgorithm(abc.ABC):
         self._members: np.ndarray | None = None
         self._probe_count = 0
         self._aux_probe_count = 0
+        self._maintenance_probe_count = 0
+        self._maintenance_since_query = 0
+        self._in_maintenance = False
+        self.rebuild_count = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -82,6 +112,112 @@ class NearestPeerAlgorithm(abc.ABC):
     def _build(self, rng: np.random.Generator) -> None:
         """Subclass hook: construct internal structures."""
 
+    def join(
+        self,
+        node_ids: np.ndarray | list[int],
+        seed: int | np.random.Generator | None = None,
+    ) -> int:
+        """Admit ``node_ids`` into the membership; returns probes spent.
+
+        The new ids must not already be members.  Maintenance follows the
+        scheme's declared :attr:`maintenance_policy`: incremental schemes
+        splice the arrivals into the existing index, rebuild schemes
+        re-run the offline build over the grown membership with every
+        probe counted.  The returned count (also accumulated on
+        :attr:`maintenance_probes_total` and reported on the next query's
+        :attr:`SearchResult.maintenance_probes`) is the event's
+        measurement bill.
+        """
+        if self._oracle is None or self._members is None:
+            raise ConfigurationError(f"{self.name}: join() before build()")
+        joined = np.unique(np.asarray(node_ids, dtype=int))
+        if joined.size == 0:
+            return 0
+        if np.isin(joined, self._members).any():
+            dup = joined[np.isin(joined, self._members)]
+            raise ConfigurationError(
+                f"{self.name}: join() ids already members: {dup.tolist()[:8]}"
+            )
+        if joined.min() < 0 or joined.max() >= self._oracle.n_nodes:
+            raise ConfigurationError(
+                f"{self.name}: join() ids outside oracle range "
+                f"[0, {self._oracle.n_nodes})"
+            )
+        before = self._maintenance_probe_count
+        self._members = np.concatenate([self._members, joined])
+        self._in_maintenance = True
+        try:
+            self._join(joined, make_rng(seed))
+        finally:
+            self._in_maintenance = False
+        spent = self._maintenance_probe_count - before
+        self._maintenance_since_query += spent
+        return spent
+
+    def leave(
+        self,
+        node_ids: np.ndarray | list[int],
+        seed: int | np.random.Generator | None = None,
+    ) -> int:
+        """Remove ``node_ids`` from the membership; returns probes spent.
+
+        Every id must currently be a member, and at least two members must
+        remain (schemes like Meridian need a non-degenerate overlay).  The
+        per-policy maintenance and accounting mirror :meth:`join`.
+        """
+        if self._oracle is None or self._members is None:
+            raise ConfigurationError(f"{self.name}: leave() before build()")
+        left = np.unique(np.asarray(node_ids, dtype=int))
+        if left.size == 0:
+            return 0
+        missing = left[~np.isin(left, self._members)]
+        if missing.size:
+            raise ConfigurationError(
+                f"{self.name}: leave() ids not members: {missing.tolist()[:8]}"
+            )
+        kept_mask = ~np.isin(self._members, left)
+        if int(kept_mask.sum()) < 2:
+            raise ConfigurationError(
+                f"{self.name}: leave() would drop membership below 2 "
+                f"({int(kept_mask.sum())} would remain)"
+            )
+        before = self._maintenance_probe_count
+        self._members = self._members[kept_mask]
+        self._in_maintenance = True
+        try:
+            self._leave(left, kept_mask, make_rng(seed))
+        finally:
+            self._in_maintenance = False
+        spent = self._maintenance_probe_count - before
+        self._maintenance_since_query += spent
+        return spent
+
+    def _join(self, joined: np.ndarray, rng: np.random.Generator) -> None:
+        """Subclass hook: maintain the index after ``joined`` were appended.
+
+        Called with ``self.members`` already updated (arrivals appended at
+        the end, in sorted id order).  The default is the counted-rebuild
+        fallback: re-run :meth:`_build` with offline probes billed as
+        maintenance.
+        """
+        self.rebuild_count += 1
+        self._build(rng)
+
+    def _leave(
+        self,
+        left: np.ndarray,
+        kept_mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Subclass hook: maintain the index after ``left`` were removed.
+
+        ``kept_mask`` is boolean over the *pre-event* member order (order
+        is preserved for survivors), so incremental schemes can realign
+        per-member arrays.  The default is the counted-rebuild fallback.
+        """
+        self.rebuild_count += 1
+        self._build(rng)
+
     def query(
         self,
         target: int,
@@ -96,6 +232,8 @@ class NearestPeerAlgorithm(abc.ABC):
         result = self._query(int(target), rng)
         result.probes = self._probe_count
         result.aux_probes = self._aux_probe_count
+        result.maintenance_probes = self._maintenance_since_query
+        self._maintenance_since_query = 0
         return result
 
     @abc.abstractmethod
@@ -182,12 +320,56 @@ class NearestPeerAlgorithm(abc.ABC):
         return batch_latencies_from(self._probe_oracle, int(a), nodes)
 
     def offline_distances_from(self, node: int) -> np.ndarray:
-        """RTTs from ``node`` to every member, for *build-time* use only.
+        """RTTs from ``node`` to every member, for *build/maintenance* use.
 
         Uses the oracle's vectorised fast path when it exposes one.  Not
         counted as query probes — index construction is the offline phase.
+        During a :meth:`join` / :meth:`leave` event the same measurements
+        are billed as maintenance, which is how the counted-rebuild
+        fallback prices a full rebuild.
         """
+        if self._in_maintenance:
+            self._maintenance_probe_count += int(self.members.size)
         return batch_latencies_from(self.oracle, int(node), self.members)
+
+    # -- maintenance accounting ----------------------------------------------
+
+    @property
+    def maintenance_probes_total(self) -> int:
+        """All maintenance measurements since :meth:`build` (cumulative)."""
+        return self._maintenance_probe_count
+
+    def maintenance_probe(self, a: int, b: int) -> float:
+        """One counted maintenance measurement (overlay-internal RTT).
+
+        Maintenance measures through the *build* oracle — ring repair and
+        index splicing are overlay-internal traffic, like construction —
+        but unlike construction every measurement is billed, because churn
+        maintenance is an online, recurring cost.
+        """
+        self._maintenance_probe_count += 1
+        return self.oracle.latency_ms(int(a), int(b))
+
+    def maintenance_probe_many(
+        self, a: int, nodes: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Counted maintenance RTTs from ``a`` to each of ``nodes``, batched."""
+        nodes = np.asarray(nodes, dtype=int)
+        if nodes.size == 0:
+            return np.empty(0, dtype=float)
+        self._maintenance_probe_count += int(nodes.size)
+        return batch_latencies_from(self.oracle, int(a), nodes)
+
+    def maintenance_probe_block(
+        self, rows: np.ndarray | list[int], cols: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Counted maintenance RTT block (one probe per element)."""
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        if rows.size == 0 or cols.size == 0:
+            return np.empty((rows.size, cols.size), dtype=float)
+        self._maintenance_probe_count += int(rows.size * cols.size)
+        return batch_latency_block(self.oracle, rows, cols)
 
     def result(
         self,

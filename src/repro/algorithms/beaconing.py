@@ -21,9 +21,18 @@ from repro.util.validate import require_positive
 
 
 class BeaconSearch(NearestPeerAlgorithm):
-    """Triangulation from a fixed beacon set."""
+    """Triangulation from a fixed beacon set.
+
+    Maintenance policy: ``incremental``.  A join measures each beacon
+    against every arrival (``n_beacons × |J|`` maintenance probes) and
+    appends columns to the beacon-distance table; a leave drops the
+    departed columns for free, and when a *beacon* departs a replacement
+    is recruited and measures the whole membership (``|M|`` probes per
+    recruit).
+    """
 
     name = "beaconing"
+    maintenance_policy = "incremental"
 
     def __init__(
         self,
@@ -46,6 +55,36 @@ class BeaconSearch(NearestPeerAlgorithm):
         self._beacon_to_member = np.stack(
             [self.offline_distances_from(int(b)) for b in self._beacons]
         )
+
+    def _recruit_beacons(self, rng: np.random.Generator) -> None:
+        """Top the beacon set back up to ``n_beacons`` (counted probes)."""
+        assert self._beacons is not None and self._beacon_to_member is not None
+        want = min(self._n_beacons, self.members.size)
+        while self._beacons.size < want:
+            pool = self.members[~np.isin(self.members, self._beacons)]
+            if pool.size == 0:
+                break
+            recruit = int(rng.choice(pool))
+            row = self.maintenance_probe_many(recruit, self.members)
+            self._beacons = np.append(self._beacons, recruit)
+            self._beacon_to_member = np.vstack([self._beacon_to_member, row])
+
+    def _join(self, joined: np.ndarray, rng: np.random.Generator) -> None:
+        assert self._beacons is not None and self._beacon_to_member is not None
+        # New columns first (beacon -> arrival RTTs), then top up beacons if
+        # the initial build was starved for members.
+        block = self.maintenance_probe_block(self._beacons, joined)
+        self._beacon_to_member = np.hstack([self._beacon_to_member, block])
+        self._recruit_beacons(rng)
+
+    def _leave(
+        self, left: np.ndarray, kept_mask: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        assert self._beacons is not None and self._beacon_to_member is not None
+        beacon_kept = ~np.isin(self._beacons, left)
+        self._beacons = self._beacons[beacon_kept]
+        self._beacon_to_member = self._beacon_to_member[beacon_kept][:, kept_mask]
+        self._recruit_beacons(rng)
 
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
         assert self._beacons is not None and self._beacon_to_member is not None

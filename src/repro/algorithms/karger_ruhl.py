@@ -21,9 +21,18 @@ from repro.util.validate import require_positive
 
 
 class KargerRuhlSearch(NearestPeerAlgorithm):
-    """Metric-sampling nearest-neighbour search."""
+    """Metric-sampling nearest-neighbour search.
+
+    Maintenance policy: ``rebuild``.  The per-scale ball samples of every
+    member shift when the membership changes (a ball's occupancy is a
+    global property of the metric), so there is no cheap splice: each
+    :meth:`join` / :meth:`leave` re-runs the full sample construction with
+    every measurement billed as maintenance — ``|M|²`` probes per event,
+    which is exactly the honesty the paper demands of probe accounting.
+    """
 
     name = "karger-ruhl"
+    maintenance_policy = "rebuild"
 
     def __init__(
         self,

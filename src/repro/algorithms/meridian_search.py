@@ -5,14 +5,31 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
-from repro.meridian.overlay import MeridianConfig, MeridianOverlay
+from repro.meridian.overlay import (
+    MeridianConfig,
+    MeridianNode,
+    MeridianOverlay,
+    populate_node_rings,
+)
 from repro.meridian.query import closest_node_query
 
 
 class MeridianSearch(NearestPeerAlgorithm):
-    """Adapter: build a Meridian overlay, answer queries with it."""
+    """Adapter: build a Meridian overlay, answer queries with it.
+
+    Maintenance policy: ``incremental``, via ring insert/evict.  A join
+    populates the arrival's rings from a bounded knowledge sample (one
+    counted probe per acquaintance plus the pairwise diversity-selection
+    blocks for over-full rings) and advertises the arrival to ``ring_size``
+    existing nodes, each of which probes it once and files it with random
+    eviction on ring overflow — Meridian's incremental gossip behaviour.
+    A leave removes the node and evicts its id from every survivor's rings
+    for free; thinned rings are only re-fattened by the next arrivals,
+    exactly as in the live protocol.
+    """
 
     name = "meridian"
+    maintenance_policy = "incremental"
 
     def __init__(self, config: MeridianConfig | None = None) -> None:
         super().__init__()
@@ -23,6 +40,55 @@ class MeridianSearch(NearestPeerAlgorithm):
         self._overlay = MeridianOverlay.build(
             self.oracle, self.members, config=self._config, seed=rng
         )
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def _join(self, joined: np.ndarray, rng: np.random.Generator) -> None:
+        assert self._overlay is not None
+        config = self._overlay.config
+        members = self.members
+        for node_id in joined:
+            node_id = int(node_id)
+            node = MeridianNode(node_id, config)
+            others = members[members != node_id]
+            knowledge = config.knowledge_size(members.size)
+            if knowledge is not None and knowledge < others.size:
+                others = rng.choice(others, size=knowledge, replace=False)
+            # Same bucketing/selection as the converged build, with every
+            # measurement billed as maintenance.
+            populate_node_rings(
+                node,
+                others,
+                self.maintenance_probe_many(node_id, others),
+                rng,
+                lambda c: self.maintenance_probe_block(c, c),
+            )
+            # Advertise the arrival to a bounded set of existing nodes
+            # (drawn before admission, so every host has a node object).
+            pool = self._overlay.member_ids
+            hosts = rng.choice(
+                pool, size=min(config.ring_size, pool.size), replace=False
+            )
+            self._overlay.add_node(node)
+            host_lat = self.maintenance_probe_block(hosts, [node_id])[:, 0]
+            for host, lat in zip(hosts, host_lat):
+                host_node = self._overlay.node(int(host))
+                host_node.insert(node_id, float(lat))
+                ring = host_node.rings[host_node.ring_of(float(lat))]
+                if len(ring) > config.ring_size:
+                    victim = int(rng.choice(list(ring)))
+                    del ring[victim]
+
+    def _leave(
+        self, left: np.ndarray, kept_mask: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        assert self._overlay is not None
+        for node_id in left:
+            self._overlay.remove_node(int(node_id))
+        departed = [int(x) for x in left]
+        for node in self._overlay.nodes.values():
+            for x in departed:
+                node.evict(x)
 
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
         assert self._overlay is not None

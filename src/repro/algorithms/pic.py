@@ -24,7 +24,19 @@ from repro.util.validate import require_positive
 
 
 class _CoordinateGreedyBase(NearestPeerAlgorithm):
-    """Shared machinery: neighbour graph + greedy walks + final probing."""
+    """Shared machinery: neighbour graph + greedy walks + final probing.
+
+    Maintenance policy: ``incremental``.  A join places each arrival in
+    coordinate space from a handful of counted maintenance probes
+    (landmarks for PIC, random anchors for Vivaldi) and splices it into
+    the neighbour graph both ways; a leave purges the departed node from
+    coordinates and neighbour lists for free.  PIC escalates to a counted
+    full re-embedding only when departures eat into the landmark set
+    faster than trimming can absorb (fewer than ``dimensions + 1``
+    landmarks left).
+    """
+
+    maintenance_policy = "incremental"
 
     def __init__(
         self,
@@ -55,16 +67,62 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
     ) -> np.ndarray:
         raise NotImplementedError
 
+    def _place_member(self, node: int, rng: np.random.Generator) -> np.ndarray:
+        """Coordinate for a joining *member* (counted maintenance probes)."""
+        raise NotImplementedError
+
     # -- shared build/query -----------------------------------------------------
 
     def _build(self, rng: np.random.Generator) -> None:
         self._positions = self._embed_members(rng)
+        self._neighbors = {}
         members = self.members
         for node in members:
             node = int(node)
             others = members[members != node]
             count = min(self._neighbors_per_node, others.size)
             self._neighbors[node] = rng.choice(others, size=count, replace=False)
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def _join(self, joined: np.ndarray, rng: np.random.Generator) -> None:
+        members = self.members
+        # Nodes whose index entries already exist (pre-event members, then
+        # each arrival as it is placed) — splice hosts must come from here.
+        placed = members[~np.isin(members, joined)]
+        for node in joined:
+            node = int(node)
+            self._positions[node] = self._place_member(node, rng)
+            others = members[members != node]
+            count = min(self._neighbors_per_node, others.size)
+            self._neighbors[node] = rng.choice(others, size=count, replace=False)
+            # Splice the arrival into existing out-lists so greedy walks
+            # can reach it (build-time graphs have the same in-degree on
+            # average: every node appears in ~neighbors_per_node lists).
+            hosts = rng.choice(
+                placed, size=min(count, placed.size), replace=False
+            )
+            for host in hosts:
+                self._neighbors[int(host)] = np.append(
+                    self._neighbors[int(host)], node
+                )
+            placed = np.append(placed, node)
+
+    def _leave(
+        self, left: np.ndarray, kept_mask: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        departed = set(int(x) for x in left)
+        for node in departed:
+            self._positions.pop(node, None)
+            self._neighbors.pop(node, None)
+        members = self.members
+        for node, neighbours in self._neighbors.items():
+            pruned = neighbours[~np.isin(neighbours, left)]
+            if pruned.size == 0:  # re-draw: a walk node must have somewhere to go
+                others = members[members != node]
+                count = min(self._neighbors_per_node, others.size)
+                pruned = rng.choice(others, size=count, replace=False)
+            self._neighbors[node] = pruned
 
     def _coordinate_distance(self, node: int, point: np.ndarray) -> float:
         return float(np.linalg.norm(self._positions[int(node)] - point))
@@ -103,7 +161,13 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
 
 
 class PicSearch(_CoordinateGreedyBase):
-    """PIC: landmark (GNP-style) embedding + greedy walks."""
+    """PIC: landmark (GNP-style) embedding + greedy walks.
+
+    Maintenance: joins probe the landmarks (``n_landmarks`` maintenance
+    probes each) and solve the arrival's coordinate against the fixed
+    landmark positions; leaves are free unless they deplete the landmark
+    set below ``dimensions + 1``, which triggers one counted re-embedding.
+    """
 
     name = "pic"
 
@@ -123,9 +187,81 @@ class PicSearch(_CoordinateGreedyBase):
         rtts = self.probe_many(self._embedding.landmark_ids, target)
         return self._embedding.place_external(rtts)
 
+    def _place_member(self, node: int, rng: np.random.Generator) -> np.ndarray:
+        assert self._embedding is not None
+        rtts = self.maintenance_probe_block(self._embedding.landmark_ids, [node])[
+            :, 0
+        ]
+        return self._embedding.place_external(rtts)
+
+    def _leave(
+        self, left: np.ndarray, kept_mask: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        super()._leave(left, kept_mask, rng)
+        assert self._embedding is not None
+        keep = ~np.isin(self._embedding.landmark_ids, left)
+        if keep.all():
+            return
+        if int(keep.sum()) > self._gnp_config.dimensions:
+            # Trim the departed landmarks; remaining positions stay valid.
+            self._embedding = GnpEmbedding(
+                config=self._embedding.config,
+                landmark_ids=self._embedding.landmark_ids[keep],
+                landmark_positions=self._embedding.landmark_positions[keep],
+                positions={
+                    int(m): self._positions[int(m)] for m in self.members
+                },
+            )
+            return
+        # Landmark set depleted: one counted full re-embedding.  GNP
+        # measures every landmark pair plus each other member against the
+        # landmarks — billed up front, since the embedding itself probes
+        # through the raw oracle.  Extreme churn can shrink the membership
+        # below the configured landmark count; the embedding then degrades
+        # to what the survivors can support rather than crashing
+        # mid-trial: fewer landmarks, and a dimensionality capped at
+        # ``(L - 1) // 2`` so the joint landmark solve keeps at least as
+        # many residuals (L(L-1)/2 pairs) as variables (L·d).
+        if self.members.size == 2:
+            # Two survivors: the exact 1-D embedding (0 and their RTT).
+            a, b = (int(m) for m in self.members)
+            rtt = self.maintenance_probe(a, b)
+            self._gnp_config = GnpConfig(dimensions=1, n_landmarks=2)
+            self._embedding = GnpEmbedding(
+                config=self._gnp_config,
+                landmark_ids=np.array([a, b]),
+                landmark_positions=np.array([[0.0], [rtt]]),
+                positions={a: np.array([0.0]), b: np.array([rtt])},
+            )
+            self._positions = {a: np.array([0.0]), b: np.array([rtt])}
+            self.rebuild_count += 1
+            return
+        n_landmarks = min(self._gnp_config.n_landmarks, self.members.size)
+        dimensions = min(
+            self._gnp_config.dimensions, max(1, (n_landmarks - 1) // 2)
+        )
+        if (n_landmarks, dimensions) != (
+            self._gnp_config.n_landmarks,
+            self._gnp_config.dimensions,
+        ):
+            self._gnp_config = GnpConfig(
+                dimensions=dimensions, n_landmarks=n_landmarks
+            )
+        self._maintenance_probe_count += n_landmarks * n_landmarks + (
+            self.members.size - n_landmarks
+        ) * n_landmarks
+        self.rebuild_count += 1
+        self._build(rng)
+
 
 class VivaldiGreedySearch(_CoordinateGreedyBase):
-    """Vivaldi coordinates + greedy walks."""
+    """Vivaldi coordinates + greedy walks.
+
+    Maintenance: joins probe ``placement_probes`` random anchors and
+    spring-relax the arrival against the anchors' fixed coordinates;
+    leaves purge coordinates and shrink the anchor pool for free (the
+    embedded system never needs a rebuild — coordinates are per-node).
+    """
 
     name = "vivaldi-greedy"
 
@@ -139,25 +275,80 @@ class VivaldiGreedySearch(_CoordinateGreedyBase):
         self._vivaldi_config = vivaldi_config or VivaldiConfig(use_height=False)
         self._vivaldi_rounds = vivaldi_rounds
         self._system: VivaldiSystem | None = None
+        # Members the embedded system can place external nodes against
+        # (build-time members still present; joiners are placed against
+        # these but never enter the system itself).
+        self._anchor_pool: np.ndarray | None = None
 
     def _embed_members(self, rng: np.random.Generator) -> dict[int, np.ndarray]:
         self._system = VivaldiSystem(
             self.members, config=self._vivaldi_config, seed=rng
         )
         self._system.run(self.oracle, rounds=self._vivaldi_rounds)
+        self._anchor_pool = self.members.copy()
         return {
             int(m): self._system.positions[i].copy()
             for i, m in enumerate(self.members)
         }
 
     def _place_target(self, target: int, rng: np.random.Generator) -> np.ndarray:
-        assert self._system is not None
+        assert self._anchor_pool is not None
         anchors = rng.choice(
-            self.members,
-            size=min(self._placement_probes, self.members.size),
+            self._anchor_pool,
+            size=min(self._placement_probes, self._anchor_pool.size),
             replace=False,
         )
         values = self.probe_many(anchors, target)
-        rtts = {int(a): float(v) for a, v in zip(anchors, values)}
-        position, _height = self._system.place_external(rtts)
+        if self._system is not None:
+            rtts = {int(a): float(v) for a, v in zip(anchors, values)}
+            position, _height = self._system.place_external(rtts)
+            return position
+        return self._spring_fit(anchors, values, rng)
+
+    def _place_member(self, node: int, rng: np.random.Generator) -> np.ndarray:
+        assert self._anchor_pool is not None
+        anchors = rng.choice(
+            self._anchor_pool,
+            size=min(self._placement_probes, self._anchor_pool.size),
+            replace=False,
+        )
+        rtts = self.maintenance_probe_block(anchors, [node])[:, 0]
+        return self._spring_fit(anchors, rtts, rng)
+
+    def _spring_fit(
+        self,
+        anchors: np.ndarray,
+        rtts: np.ndarray,
+        rng: np.random.Generator,
+        iterations: int = 64,
+    ) -> np.ndarray:
+        """Spring-relax a position against fixed anchor coordinates."""
+        anchor_positions = np.stack([self._positions[int(a)] for a in anchors])
+        position = anchor_positions.mean(axis=0) + rng.normal(
+            0.0, 0.01, size=anchor_positions.shape[1]
+        )
+        for _ in range(iterations):
+            i = int(rng.integers(anchors.size))
+            if rtts[i] <= 0:
+                continue
+            delta = position - anchor_positions[i]
+            euclid = float(np.linalg.norm(delta))
+            direction = (
+                delta / euclid
+                if euclid > 1e-9
+                else rng.normal(size=position.size)
+            )
+            position = position + 0.25 * (rtts[i] - euclid) * direction
         return position
+
+    def _leave(
+        self, left: np.ndarray, kept_mask: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        super()._leave(left, kept_mask, rng)
+        assert self._anchor_pool is not None
+        self._anchor_pool = self._anchor_pool[~np.isin(self._anchor_pool, left)]
+        if self._anchor_pool.size == 0:
+            # Every build-time member departed: fall back to placing
+            # against any current member's stored coordinate.
+            self._anchor_pool = self.members.copy()
+            self._system = None

@@ -15,9 +15,15 @@ from repro.util.validate import require_positive
 
 
 class RandomProbeSearch(NearestPeerAlgorithm):
-    """Uniform random probing with a fixed budget."""
+    """Uniform random probing with a fixed budget.
+
+    Maintenance policy: ``incremental`` at zero cost — there is no index,
+    so :meth:`join` / :meth:`leave` only update the member set (0
+    maintenance probes per event).
+    """
 
     name = "random-probe"
+    maintenance_policy = "incremental"
 
     def __init__(self, budget: int = 32) -> None:
         super().__init__()
@@ -26,6 +32,14 @@ class RandomProbeSearch(NearestPeerAlgorithm):
 
     def _build(self, rng: np.random.Generator) -> None:
         pass  # nothing to index
+
+    def _join(self, joined: np.ndarray, rng: np.random.Generator) -> None:
+        pass  # nothing to maintain: queries read ``self.members`` directly
+
+    def _leave(
+        self, left: np.ndarray, kept_mask: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        pass  # nothing to maintain
 
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
         members = self.members[self.members != target]

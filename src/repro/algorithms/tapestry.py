@@ -27,9 +27,19 @@ _HEX_DIGITS = 16
 
 
 class TapestrySearch(NearestPeerAlgorithm):
-    """Prefix-routing nearest-neighbour search."""
+    """Prefix-routing nearest-neighbour search.
+
+    Maintenance policy: ``rebuild``.  Hildrum-style routing tables are
+    built top-down from global prefix groups; an arrival can enter (and a
+    departure can vacate) any entry of any level of any node's table, so
+    membership events re-run the full construction with every measurement
+    billed as maintenance (``|M|²`` probes per event).  Real Tapestry
+    deployments amortise this with background repair; the counted rebuild
+    keeps the cost explicit instead of hiding it.
+    """
 
     name = "tapestry"
+    maintenance_policy = "rebuild"
 
     def __init__(
         self,

@@ -34,9 +34,19 @@ class _Level:
 
 
 class TiersSearch(NearestPeerAlgorithm):
-    """Hierarchical cluster descent."""
+    """Hierarchical cluster descent.
+
+    Maintenance policy: ``incremental``.  A join descends the hierarchy
+    like a query — probing the current cluster's members at each level
+    (``O(branching × depth)`` maintenance probes) — and files the arrival
+    into the chosen level-0 cluster; a leave removes the node and, where
+    it was a cluster representative, promotes a random cluster mate in its
+    place (no probes).  Clusters drift from the greedy leader-election
+    optimum under sustained churn; only a fresh :meth:`build` re-balances.
+    """
 
     name = "tiers"
+    maintenance_policy = "incremental"
 
     def __init__(self, branching: int = 12, max_levels: int = 12) -> None:
         super().__init__()
@@ -89,6 +99,85 @@ class TiersSearch(NearestPeerAlgorithm):
             if len(level.clusters) == 1:
                 break
             current_nodes = np.asarray(representatives, dtype=int)
+
+    # -- incremental maintenance ---------------------------------------------
+
+    @staticmethod
+    def _cluster_containing(level: _Level, node: int) -> int | None:
+        for cluster_id, nodes in level.clusters.items():
+            if node in nodes:
+                return cluster_id
+        return None
+
+    def _join(self, joined: np.ndarray, rng: np.random.Generator) -> None:
+        for node in joined:
+            self._insert_node(int(node), rng)
+
+    def _insert_node(self, node: int, rng: np.random.Generator) -> None:
+        """Descend the hierarchy by measured latency; file into level 0."""
+        level_index = len(self._levels) - 1
+        cluster_id = next(iter(self._levels[level_index].clusters))
+        while level_index > 0:
+            members = self._levels[level_index].clusters[cluster_id]
+            distances = self.maintenance_probe_many(node, members)
+            best = int(members[int(np.argmin(distances))])
+            below = self._levels[level_index - 1].represents.get(best)
+            if below is None:  # stale representative: fall back to any cluster
+                below = next(iter(self._levels[level_index - 1].clusters))
+            cluster_id = below
+            level_index -= 1
+        level0 = self._levels[0]
+        level0.clusters[cluster_id] = np.append(level0.clusters[cluster_id], node)
+
+    def _leave(
+        self, left: np.ndarray, kept_mask: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        for node in left:
+            self._remove_from_level(0, int(node), rng)
+
+    def _remove_from_level(
+        self, index: int, node: int, rng: np.random.Generator
+    ) -> None:
+        """Remove ``node`` from level ``index``, repairing representatives.
+
+        If the node represented its cluster, a random cluster mate is
+        promoted in its place (and substituted for it up the hierarchy);
+        if the cluster empties, it is deleted and the removal cascades to
+        the level above.
+        """
+        if index >= len(self._levels):
+            return
+        level = self._levels[index]
+        cluster_id = self._cluster_containing(level, node)
+        if cluster_id is None:
+            return
+        remaining = level.clusters[cluster_id]
+        remaining = remaining[remaining != node]
+        represented = level.represents.pop(node, None)
+        if remaining.size == 0:
+            del level.clusters[cluster_id]
+            self._remove_from_level(index + 1, node, rng)
+            return
+        level.clusters[cluster_id] = remaining
+        if represented is not None:
+            promoted = int(rng.choice(remaining))
+            level.represents[promoted] = represented
+            self._substitute_upward(index + 1, node, promoted)
+
+    def _substitute_upward(self, index: int, old: int, new: int) -> None:
+        """Replace a promoted representative in every level above."""
+        if index >= len(self._levels):
+            return
+        level = self._levels[index]
+        cluster_id = self._cluster_containing(level, old)
+        if cluster_id is not None:
+            nodes = level.clusters[cluster_id].copy()
+            nodes[nodes == old] = new
+            level.clusters[cluster_id] = nodes
+        represented = level.represents.pop(old, None)
+        if represented is not None:
+            level.represents[new] = represented
+            self._substitute_upward(index + 1, old, new)
 
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
         measured: dict[int, float] = {}

@@ -52,11 +52,12 @@ def format_trial_records(records: list[TrialRecord]) -> str:
     """Render harness trial records as a head-to-head comparison table.
 
     One row per scheme: the paper's three success/cost metrics plus the
-    auxiliary-probe bill (beacon-to-beacon traffic and the like).
+    auxiliary-probe bill (beacon-to-beacon traffic and the like) and the
+    membership-maintenance bill (0.0 under the static protocols).
     """
     return format_table(
         ["scheme", "P(exact closest)", "P(correct cluster)",
-         "probes/query", "aux/query"],
+         "probes/query", "aux/query", "maint/query"],
         [
             [
                 r.scheme,
@@ -64,6 +65,7 @@ def format_trial_records(records: list[TrialRecord]) -> str:
                 f"{r.cluster_rate:.3f}",
                 f"{r.mean_probes_per_query:.1f}",
                 f"{r.mean_aux_probes_per_query:.1f}",
+                f"{r.mean_maintenance_probes_per_query:.1f}",
             ]
             for r in records
         ],

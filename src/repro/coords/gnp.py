@@ -140,11 +140,16 @@ class GnpEmbedding:
         return float(np.linalg.norm(self.position(a) - self.position(b)))
 
     def place_external(self, rtts_to_landmarks: np.ndarray) -> np.ndarray:
-        """Embed an outside node from its measured landmark RTTs."""
+        """Embed an outside node from its measured landmark RTTs.
+
+        ``rtts_to_landmarks`` is parallel to :attr:`landmark_ids` — which
+        may hold fewer than ``config.n_landmarks`` entries after departed
+        landmarks were trimmed under membership churn.
+        """
         rtts = np.asarray(rtts_to_landmarks, dtype=float)
-        if rtts.shape != (self.config.n_landmarks,):
+        if rtts.shape != (len(self.landmark_ids),):
             raise DataError(
-                f"expected {self.config.n_landmarks} landmark RTTs, got {rtts.shape}"
+                f"expected {len(self.landmark_ids)} landmark RTTs, got {rtts.shape}"
             )
         return _solve_point(
             self.landmark_positions, rtts, self.landmark_positions.mean(axis=0)

@@ -12,6 +12,7 @@ from repro.analysis.compare import (
     format_shape_checks,
 )
 from repro.experiments import (
+    ext_churn_resilience,
     ext_condition_extent,
     fig3_prediction_cdf,
     fig4_prediction_bins,
@@ -40,6 +41,7 @@ ALL_EXPERIMENTS = (
     ("Fig 10", fig10_ucl_hops),
     ("Fig 11", fig11_prefix_rates),
     ("Ext (extent)", ext_condition_extent),
+    ("Ext (churn)", ext_churn_resilience),
 )
 
 

@@ -24,17 +24,21 @@ it to the engine.
 from repro.harness.engine import QueryEngine
 from repro.harness.results import AggregateStats, ScenarioResult, TrialRecord
 from repro.harness.scenario import (
+    ChurnSpec,
     NoiseSpec,
     SamplingSpec,
     Scenario,
     get_scenario,
     list_scenarios,
     register_scenario,
+    temporary_scenario,
+    unregister_scenario,
 )
-from repro.harness.scoring import score_batch, score_single
+from repro.harness.scoring import score_batch, score_epochs, score_single
 
 __all__ = [
     "AggregateStats",
+    "ChurnSpec",
     "NoiseSpec",
     "QueryEngine",
     "SamplingSpec",
@@ -45,5 +49,8 @@ __all__ = [
     "list_scenarios",
     "register_scenario",
     "score_batch",
+    "score_epochs",
     "score_single",
+    "temporary_scenario",
+    "unregister_scenario",
 ]

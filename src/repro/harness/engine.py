@@ -7,25 +7,30 @@ score it with the vectorised matrix slice, and aggregate across trials —
 optionally fanning independent trials out over a
 :class:`~concurrent.futures.ProcessPoolExecutor`.
 
-Two query protocols cover the repo's workloads (see
+Three query protocols cover the repo's workloads (see
 :mod:`repro.harness.scenario`): ``sampled`` reproduces the Meridian
 Section 4 batch (targets drawn with replacement, one rng threaded through
-build and queries) and ``per-target`` reproduces the head-to-head
+build and queries), ``per-target`` reproduces the head-to-head
 comparison (each target once, per-target query seeds, schemes sharing one
-noisy oracle so they face identical measurement error).
+noisy oracle so they face identical measurement error), and ``churn``
+drives the dynamic-membership lifecycle (join/leave events from a
+:class:`~repro.harness.scenario.ChurnSpec` interleaved with sampled
+queries on one seeded stream, scored against the membership at query
+time, with per-query ``maintenance_probes`` accounting).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.algorithms.base import NearestPeerAlgorithm
 from repro.harness.results import ScenarioResult, TrialRecord
-from repro.harness.scenario import NoiseSpec, SamplingSpec, Scenario
-from repro.harness.scoring import score_batch
+from repro.harness.scenario import ChurnSpec, NoiseSpec, SamplingSpec, Scenario
+from repro.harness.scoring import score_batch, score_epochs
 from repro.latency.builder import ClusteredWorld, build_clustered_oracle
 from repro.topology.oracle import LatencyOracle
 from repro.util.errors import ConfigurationError
@@ -97,6 +102,7 @@ class QueryEngine:
             n_queries=scenario.n_queries,
             seed=world_seed,
             noise=scenario.noise,
+            churn=scenario.churn,
         )
 
     def run_world_trial(
@@ -110,6 +116,7 @@ class QueryEngine:
         seed: int | np.random.Generator | None = None,
         noise: NoiseSpec | None = None,
         probe_oracle: LatencyOracle | None = None,
+        churn: ChurnSpec | None = None,
     ) -> TrialRecord:
         """One trial on a pre-built world (the engine's core primitive).
 
@@ -121,7 +128,7 @@ class QueryEngine:
         members = np.setdiff1d(np.arange(world.topology.n_nodes), targets)
         if probe_oracle is None and noise is not None:
             probe_oracle = noise.wrap(world.oracle, seed)
-        query_targets, results = self._run_batch(
+        query_targets, results, churn_log = self._run_batch(
             algorithm,
             world,
             members,
@@ -131,9 +138,11 @@ class QueryEngine:
             rng=rng,
             build_seed=seed,
             probe_oracle=probe_oracle,
+            churn=churn,
         )
         return self._record(
-            world, members, query_targets, results, algorithm.name, seed
+            world, members, query_targets, results, algorithm.name, seed,
+            churn_log=churn_log,
         )
 
     def compare(
@@ -185,7 +194,7 @@ class QueryEngine:
         records = []
         for factory in algorithm_factories:
             algorithm = factory()
-            query_targets, results = self._run_batch(
+            query_targets, results, churn_log = self._run_batch(
                 algorithm,
                 world,
                 members,
@@ -195,11 +204,12 @@ class QueryEngine:
                 rng=make_rng(scheme_seed),
                 build_seed=scenario.seed,
                 probe_oracle=probe_oracle,
+                churn=scenario.churn,
             )
             records.append(
                 self._record(
                     world, members, query_targets, results,
-                    algorithm.name, scenario.seed,
+                    algorithm.name, scenario.seed, churn_log=churn_log,
                 )
             )
         return records
@@ -221,13 +231,16 @@ class QueryEngine:
         rng: np.random.Generator,
         build_seed: int | np.random.Generator | None,
         probe_oracle: LatencyOracle | None,
-    ) -> tuple[np.ndarray, list]:
-        """Build the algorithm and run one query batch (both protocols).
+        churn: ChurnSpec | None = None,
+    ) -> tuple[np.ndarray, list, "_ChurnLog | None"]:
+        """Build the algorithm and run one query batch (all protocols).
 
         ``sampled`` threads ``rng`` through build and queries, drawing each
         query's target just before firing it (the Meridian Section 4
         discipline); ``per-target`` builds from ``build_seed`` and queries
-        each target once with the target id as its seed.
+        each target once with the target id as its seed; ``churn`` is
+        ``sampled`` with membership events interleaved between queries,
+        drawn from the same ``rng`` stream (see :meth:`_run_churn_batch`).
         """
         if protocol == "sampled":
             algorithm.build(world.oracle, members, seed=rng, probe_oracle=probe_oracle)
@@ -253,9 +266,141 @@ class QueryEngine:
             )
             query_targets = targets.astype(int)
             results = [algorithm.query(int(t), seed=int(t)) for t in query_targets]
+        elif protocol == "churn":
+            if churn is None:
+                raise ConfigurationError("the churn protocol requires a ChurnSpec")
+            return self._run_churn_batch(
+                algorithm,
+                world,
+                members,
+                targets,
+                churn=churn,
+                n_queries=n_queries,
+                rng=rng,
+                probe_oracle=probe_oracle,
+            )
         else:
             raise ConfigurationError(f"unknown protocol {protocol!r}")
-        return query_targets, results
+        return query_targets, results, None
+
+    def _run_churn_batch(
+        self,
+        algorithm: NearestPeerAlgorithm,
+        world: ClusteredWorld,
+        members: np.ndarray,
+        targets: np.ndarray,
+        *,
+        churn: ChurnSpec,
+        n_queries: int | None,
+        rng: np.random.Generator,
+        probe_oracle: LatencyOracle | None,
+    ) -> tuple[np.ndarray, list, "_ChurnLog"]:
+        """The churn protocol: events and queries from one seeded trial.
+
+        The member pool splits into an initial live membership and a
+        standby pool.  Each step applies departures (session expiries plus
+        a Poisson draw of random members) and arrivals (a Poisson draw
+        from standby), then fires one sampled query; ``warmup_steps``
+        event-only steps precede the first query.  Membership snapshots
+        are logged per epoch so scoring can judge every query against the
+        members alive when it ran.
+
+        The single incoming ``rng`` is split into two derived streams: a
+        *workload* stream (membership events and query targets) and the
+        *algorithm* stream (build, maintenance and query randomness).
+        One integer seed still replays the whole trial, and — because the
+        split is the first draw — :meth:`compare` gives every scheme the
+        identical world, event sequence and target sequence (common
+        random numbers) no matter how much randomness each scheme's own
+        maintenance consumes.
+        """
+        count = n_queries if n_queries is not None else targets.size
+        workload_rng = np.random.default_rng(int(rng.integers(2**63)))
+        n_initial = int(round(churn.initial_fraction * members.size))
+        n_initial = min(members.size, max(churn.min_members, n_initial))
+        shuffled = workload_rng.permutation(members)
+        live = np.sort(shuffled[:n_initial])
+        standby = shuffled[n_initial:].tolist()
+        algorithm.build(world.oracle, live, seed=rng, probe_oracle=probe_oracle)
+
+        log = _ChurnLog(memberships=[algorithm.members.copy()])
+        expiries: dict[int, list[int]] = {}  # step -> arrivals due to depart
+        # node -> due step of its *current* session.  Guards the expiry
+        # queue against stale entries: a node that departed early (random
+        # draw) and rejoined must live out its new session, not be killed
+        # by the old timer.
+        session_due: dict[int, int] = {}
+
+        def apply_events(step: int) -> int:
+            """One event step; returns the maintenance probes it cost."""
+            spent = 0
+            current = algorithm.members
+            # Departures: expired sessions first, then the random draw.
+            # dict.fromkeys dedups while keeping order — a stale entry
+            # from an earlier session can share this due step with the
+            # node's live session, and a doubled departure would put two
+            # copies into standby (and eventually a double join).
+            departing = [
+                node
+                for node in dict.fromkeys(expiries.pop(step, []))
+                if node in current and session_due.get(node) == step
+            ]
+            n_random = int(workload_rng.poisson(churn.departure_rate))
+            if n_random > 0:
+                pool = current[~np.isin(current, departing)]
+                n_random = min(n_random, pool.size)
+                if n_random > 0:
+                    departing.extend(
+                        int(x)
+                        for x in workload_rng.choice(pool, size=n_random, replace=False)
+                    )
+            headroom = current.size - churn.min_members
+            if len(departing) > headroom:
+                # The membership floor blocks some departures this step.
+                # Expired sessions sit at the head of the list; any that
+                # get cut off retry next step so they still expire.
+                for node in departing[max(0, headroom):]:
+                    if session_due.get(node) == step:
+                        expiries.setdefault(step + 1, []).append(node)
+                        session_due[node] = step + 1
+                departing = departing[: max(0, headroom)]
+            if departing:
+                spent += algorithm.leave(np.asarray(departing, dtype=int), seed=rng)
+                standby.extend(departing)
+                for node in departing:
+                    session_due.pop(node, None)
+            # Arrivals, capped by standby supply.
+            n_arrive = min(int(workload_rng.poisson(churn.arrival_rate)), len(standby))
+            if n_arrive > 0:
+                picks = workload_rng.choice(len(standby), size=n_arrive, replace=False)
+                arriving = [standby[int(i)] for i in picks]
+                for index in sorted((int(i) for i in picks), reverse=True):
+                    del standby[index]
+                spent += algorithm.join(np.asarray(arriving, dtype=int), seed=rng)
+                if churn.session_length is not None:
+                    lifetimes = workload_rng.exponential(
+                        churn.session_length, size=len(arriving)
+                    )
+                    for node, life in zip(arriving, lifetimes):
+                        due = step + max(1, int(round(life)))
+                        expiries.setdefault(due, []).append(int(node))
+                        session_due[int(node)] = due
+            if departing or n_arrive:
+                log.memberships.append(algorithm.members.copy())
+            return spent
+
+        for step in range(churn.warmup_steps):
+            log.warmup_maintenance += apply_events(step - churn.warmup_steps)
+        query_targets = np.empty(count, dtype=int)
+        results = []
+        for step in range(count):
+            log.maintenance.append(apply_events(step))
+            log.epoch_of_query.append(len(log.memberships) - 1)
+            log.membership_size.append(int(algorithm.members.size))
+            target = int(workload_rng.choice(targets))
+            query_targets[step] = target
+            results.append(algorithm.query(target, seed=rng))
+        return query_targets, results, log
 
     def _record(
         self,
@@ -265,15 +410,28 @@ class QueryEngine:
         results: list,
         scheme: str,
         seed: int | np.random.Generator | None,
+        churn_log: "_ChurnLog | None" = None,
     ) -> TrialRecord:
         found = np.array([r.found for r in results], dtype=int)
-        exact_hit, cluster_hit = score_batch(
-            world.matrix.values,
-            members,
-            query_targets,
-            found,
-            host_cluster=world.topology.host_cluster,
-        )
+        if churn_log is None:
+            exact_hit, cluster_hit = score_batch(
+                world.matrix.values,
+                members,
+                query_targets,
+                found,
+                host_cluster=world.topology.host_cluster,
+            )
+        else:
+            # Churn-aware scoring: "nearest" means nearest among the
+            # members alive at query time, not the build-time set.
+            exact_hit, cluster_hit = score_epochs(
+                world.matrix.values,
+                churn_log.memberships,
+                np.asarray(churn_log.epoch_of_query, dtype=int),
+                query_targets,
+                found,
+                host_cluster=world.topology.host_cluster,
+            )
         return TrialRecord(
             scheme=scheme,
             world_seed=int(seed) if isinstance(seed, (int, np.integer)) else None,
@@ -286,7 +444,36 @@ class QueryEngine:
             exact_hit=exact_hit,
             cluster_hit=cluster_hit,
             found_hub_latency_ms=world.topology.host_hub_latency_ms[found],
+            maintenance_probes=(
+                np.asarray(churn_log.maintenance, dtype=int)
+                if churn_log is not None
+                else None
+            ),
+            membership_size=(
+                np.asarray(churn_log.membership_size, dtype=int)
+                if churn_log is not None
+                else None
+            ),
+            warmup_maintenance_probes=(
+                churn_log.warmup_maintenance if churn_log is not None else 0
+            ),
         )
+
+
+@dataclass
+class _ChurnLog:
+    """Everything a churn trial records beyond the query results."""
+
+    #: Membership snapshot per epoch (epoch 0 = the initial build).
+    memberships: list = field(default_factory=list)
+    #: Maintenance probes billed to each query slot.
+    maintenance: list = field(default_factory=list)
+    #: Index into ``memberships`` for each query.
+    epoch_of_query: list = field(default_factory=list)
+    #: Live membership size at each query.
+    membership_size: list = field(default_factory=list)
+    #: Maintenance probes spent before the first query.
+    warmup_maintenance: int = 0
 
 
 def _run_trial_task(

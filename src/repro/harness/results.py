@@ -41,12 +41,21 @@ class TrialRecord:
     cluster_hit: np.ndarray
     #: Hub latency of each found peer (Fig 9's load-concentration axis).
     found_hub_latency_ms: np.ndarray | None = None
+    #: Membership-maintenance probes billed to each query slot (the events
+    #: applied since the previous query).  ``None`` for static protocols.
+    maintenance_probes: np.ndarray | None = None
+    #: Live membership size at each query (churn protocol only).
+    membership_size: np.ndarray | None = None
+    #: Maintenance probes spent churning before the first query (the
+    #: warmup phase of a churn trial), kept out of the per-query bill.
+    warmup_maintenance_probes: int = 0
 
     def __post_init__(self) -> None:
         n = self.targets.size
         for name in ("found", "found_latency_ms", "probes", "aux_probes",
                      "hops", "exact_hit", "cluster_hit",
-                     "found_hub_latency_ms"):
+                     "found_hub_latency_ms", "maintenance_probes",
+                     "membership_size"):
             arr = getattr(self, name)
             if arr is None:
                 continue
@@ -86,6 +95,30 @@ class TrialRecord:
     @property
     def total_probes(self) -> int:
         return int(self.probes.sum())
+
+    @property
+    def mean_maintenance_probes_per_query(self) -> float:
+        """Per-query maintenance bill; 0 under a static membership."""
+        if self.maintenance_probes is None:
+            return 0.0
+        return float(self.maintenance_probes.mean())
+
+    @property
+    def total_maintenance_probes(self) -> int:
+        """All maintenance probes, including the warmup phase."""
+        billed = (
+            int(self.maintenance_probes.sum())
+            if self.maintenance_probes is not None
+            else 0
+        )
+        return billed + int(self.warmup_maintenance_probes)
+
+    @property
+    def mean_membership_size(self) -> float:
+        """Mean live-membership size over the query batch (0 if static)."""
+        if self.membership_size is None:
+            return 0.0
+        return float(self.membership_size.mean())
 
     @property
     def median_wrong_hub_latency_ms(self) -> float:

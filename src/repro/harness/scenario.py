@@ -11,6 +11,7 @@ dataclass away.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -20,15 +21,18 @@ from repro.topology.clustered import ClusteredConfig
 from repro.topology.oracle import LatencyOracle, NoisyOracle
 from repro.util.errors import ConfigurationError
 from repro.util.rng import spawn_seeds
-from repro.util.validate import require_positive
+from repro.util.validate import require_in_range, require_positive
 
 #: Query protocols.  ``sampled`` is the Meridian Section 4 protocol: draw
 #: ``n_queries`` targets with replacement from the target pool, threading
 #: one rng through build and queries.  ``per-target`` is the head-to-head
 #: comparison protocol: query each target exactly once, in sampling order,
 #: seeding each query with the target id (common random numbers across
-#: schemes).
-PROTOCOLS = ("sampled", "per-target")
+#: schemes).  ``churn`` is the dynamic-membership protocol: the same
+#: sampled-query discipline with membership events (join/leave, see
+#: :class:`ChurnSpec`) interleaved between queries from the same seeded
+#: stream, and correctness scored against the membership at query time.
+PROTOCOLS = ("sampled", "per-target", "churn")
 
 #: Target-sampling policies understood by :class:`SamplingSpec`.
 SAMPLING_POLICIES = ("uniform", "skewed", "single-cluster")
@@ -121,6 +125,59 @@ class SamplingSpec:
 
 
 @dataclass(frozen=True)
+class ChurnSpec:
+    """Membership dynamics for the ``churn`` protocol.
+
+    Time is measured in query steps.  Before each query the engine applies
+    one event step: ``Poisson(departure_rate)`` uniformly random members
+    leave, every arrival whose session expired leaves, and
+    ``Poisson(arrival_rate)`` standby nodes join.  Arrivals draw their
+    session length from an exponential distribution with mean
+    ``session_length`` query steps (``None`` keeps arrivals in until the
+    random-departure process picks them).  ``warmup_steps`` event steps run
+    before the first query so measurements start from churned state rather
+    than a fresh build; their maintenance cost is reported separately
+    (:attr:`~repro.harness.results.TrialRecord.warmup_maintenance_probes`).
+
+    The membership never drops below ``min_members`` (departures are capped
+    at the floor) and never exceeds the scenario's member pool (arrivals
+    are capped by standby supply).  Everything is drawn from the one
+    seeded trial stream, so a churn trial replays from one integer exactly
+    like the static protocols.
+    """
+
+    #: Fraction of the member pool alive at build time; the rest form the
+    #: standby pool arrivals draw from.
+    initial_fraction: float = 0.7
+    arrival_rate: float = 0.5
+    departure_rate: float = 0.5
+    session_length: float | None = None
+    warmup_steps: int = 0
+    min_members: int = 24
+
+    def __post_init__(self) -> None:
+        require_in_range(self.initial_fraction, "initial_fraction", 0.0, 1.0)
+        if self.arrival_rate < 0:
+            raise ConfigurationError(
+                f"arrival_rate must be >= 0, got {self.arrival_rate}"
+            )
+        if self.departure_rate < 0:
+            raise ConfigurationError(
+                f"departure_rate must be >= 0, got {self.departure_rate}"
+            )
+        if self.session_length is not None:
+            require_positive(self.session_length, "session_length")
+        if self.warmup_steps < 0:
+            raise ConfigurationError(
+                f"warmup_steps must be >= 0, got {self.warmup_steps}"
+            )
+        if self.min_members < 2:
+            raise ConfigurationError(
+                f"min_members must be >= 2, got {self.min_members}"
+            )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A full workload: world + noise + sampling + protocol + trials."""
 
@@ -137,6 +194,9 @@ class Scenario:
     seed: int = 2008
     #: Synthetic-core pool size override (see ``build_clustered_oracle``).
     core_pool_size: int | None = None
+    #: Membership dynamics; required by (and exclusive to) the ``churn``
+    #: protocol.
+    churn: ChurnSpec | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -146,6 +206,14 @@ class Scenario:
             )
         require_positive(self.n_queries, "n_queries")
         require_positive(self.trials, "trials")
+        if self.protocol == "churn" and self.churn is None:
+            raise ConfigurationError(
+                "the churn protocol requires a ChurnSpec (scenario.churn)"
+            )
+        if self.protocol != "churn" and self.churn is not None:
+            raise ConfigurationError(
+                f"churn spec set but protocol is {self.protocol!r}"
+            )
 
     def world_seeds(self) -> list[int]:
         """Independent per-trial world seeds derived from the master seed."""
@@ -180,6 +248,40 @@ def get_scenario(name: str) -> Scenario:
         raise ConfigurationError(
             f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
         ) from None
+
+
+def unregister_scenario(name: str) -> Scenario:
+    """Remove (and return) a registered scenario.
+
+    The counterpart of :func:`register_scenario`, so tests and parameter
+    sweeps can clean up after themselves instead of leaking entries into
+    the process-wide registry.
+    """
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+@contextmanager
+def temporary_scenario(scenario: Scenario, overwrite: bool = False):
+    """Register ``scenario`` for the duration of a ``with`` block.
+
+    On exit the previous registry state is restored exactly: the entry is
+    removed, or — when ``overwrite=True`` replaced an existing scenario —
+    the original is put back.
+    """
+    previous = _REGISTRY.get(scenario.name)
+    register_scenario(scenario, overwrite=overwrite)
+    try:
+        yield scenario
+    finally:
+        if previous is not None:
+            _REGISTRY[scenario.name] = previous
+        else:
+            _REGISTRY.pop(scenario.name, None)
 
 
 def list_scenarios() -> list[str]:
@@ -230,5 +332,72 @@ SKEWED_TARGETS = register_scenario(
         n_queries=400,
         trials=2,
         description="zipf-weighted targets: load piles onto low-id clusters",
+    )
+)
+
+# -- churn workloads --------------------------------------------------------
+
+#: Steady-state churn: arrivals balance departures around a ~70% duty
+#: cycle, with exponential session lengths — the operating point real p2p
+#: populations live at.
+STEADY_CHURN = register_scenario(
+    Scenario(
+        name="steady-churn",
+        topology=ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2),
+        sampling=SamplingSpec(n_targets=40),
+        protocol="churn",
+        churn=ChurnSpec(
+            initial_fraction=0.7,
+            arrival_rate=0.6,
+            departure_rate=0.6,
+            session_length=80.0,
+            warmup_steps=25,
+            min_members=32,
+        ),
+        n_queries=200,
+        seed=77,
+        description="balanced join/leave flow with exponential sessions",
+    )
+)
+
+#: Flash crowd: a small seed population, then a burst of arrivals that
+#: almost never leave — the join-dominated regime (a swarm forming).
+FLASH_CROWD = register_scenario(
+    Scenario(
+        name="flash-crowd",
+        topology=ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2),
+        sampling=SamplingSpec(n_targets=40),
+        protocol="churn",
+        churn=ChurnSpec(
+            initial_fraction=0.25,
+            arrival_rate=3.0,
+            departure_rate=0.05,
+            warmup_steps=0,
+            min_members=32,
+        ),
+        n_queries=150,
+        seed=78,
+        description="join burst onto a small seed population",
+    )
+)
+
+#: Mass departure: a nearly full population drains with no replacement —
+#: the leave-dominated regime (a swarm dissolving / a partition).
+MASS_DEPARTURE = register_scenario(
+    Scenario(
+        name="mass-departure",
+        topology=ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2),
+        sampling=SamplingSpec(n_targets=40),
+        protocol="churn",
+        churn=ChurnSpec(
+            initial_fraction=0.95,
+            arrival_rate=0.0,
+            departure_rate=2.0,
+            warmup_steps=0,
+            min_members=32,
+        ),
+        n_queries=150,
+        seed=79,
+        description="population drains toward the membership floor",
     )
 )

@@ -54,6 +54,48 @@ def score_batch(
     return exact_hit, cluster_hit
 
 
+def score_epochs(
+    matrix: np.ndarray,
+    memberships: list,
+    epoch_of_query: np.ndarray,
+    targets: np.ndarray,
+    found: np.ndarray,
+    host_cluster: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Churn-aware scoring: each query judged against *its* membership.
+
+    ``memberships`` holds one member-id array per membership epoch (the
+    intervals between churn events) and ``epoch_of_query[i]`` names the
+    epoch query ``i`` ran under, so "correct closest peer" means closest
+    among the members alive at query time — a peer that had already left
+    is neither a valid answer nor part of the ground-truth minimum.
+    Queries sharing an epoch are scored in one vectorised
+    :func:`score_batch` slice.
+    """
+    epoch_of_query = np.asarray(epoch_of_query, dtype=int)
+    targets = np.asarray(targets, dtype=int)
+    found = np.asarray(found, dtype=int)
+    if epoch_of_query.shape != targets.shape:
+        raise DataError(
+            f"epoch_of_query {epoch_of_query.shape} and targets "
+            f"{targets.shape} must be parallel"
+        )
+    exact_hit = np.zeros(targets.size, dtype=bool)
+    cluster_hit = np.zeros(targets.size, dtype=bool)
+    for epoch in np.unique(epoch_of_query):
+        mask = epoch_of_query == epoch
+        exact, cluster = score_batch(
+            matrix,
+            memberships[int(epoch)],
+            targets[mask],
+            found[mask],
+            host_cluster=host_cluster,
+        )
+        exact_hit[mask] = exact
+        cluster_hit[mask] = cluster
+    return exact_hit, cluster_hit
+
+
 def score_single(
     matrix: np.ndarray,
     members: np.ndarray,

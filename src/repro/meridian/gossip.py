@@ -17,7 +17,7 @@ import numpy as np
 from repro.meridian.overlay import MeridianConfig, MeridianNode, MeridianOverlay
 from repro.netsim.engine import EventLoop
 from repro.netsim.network import Message, Network, SimNode
-from repro.topology.oracle import LatencyOracle
+from repro.topology.oracle import LatencyOracle, batch_latencies_from
 from repro.util.errors import DataError
 from repro.util.rng import make_rng
 
@@ -64,6 +64,38 @@ class GossipMeridianNode(SimNode):
         self.state.insert(member, latency)
         self._cap_ring(self.state.ring_of(latency))
 
+    def _learn_many(self, members) -> None:
+        """Probe and file a whole gossip exchange as one batched round.
+
+        One ``batch_latencies_from`` call over the payload's distinct ids
+        replaces the per-member scalar probes of :meth:`_learn`; the
+        filing loop then replays the scalar discipline exactly —
+        re-checking membership *per item*, so an id evicted by a ring cap
+        earlier in the same payload is re-inserted just as the scalar
+        loop would.  For noise-free oracles the resulting rings are
+        identical; only the probe access pattern changes (the batch may
+        measure ids that turn out to be already known).
+        """
+        distinct = [
+            m
+            for m in dict.fromkeys(int(m) for m in members)
+            if m != self.node_id
+        ]
+        if not distinct:
+            return
+        values = dict(
+            zip(
+                distinct,
+                batch_latencies_from(self._probe_oracle, self.node_id, distinct),
+            )
+        )
+        for member in (int(m) for m in members):
+            if member == self.node_id or member in self.state.all_members():
+                continue
+            latency = float(values[member])
+            self.state.insert(member, latency)
+            self._cap_ring(self.state.ring_of(latency))
+
     def _cap_ring(self, ring_index: int) -> None:
         """Evict a random member when a ring overflows.
 
@@ -95,8 +127,7 @@ class GossipMeridianNode(SimNode):
             sample = self._sample_members(self._gossip.exchange_size)
             self.send(message.src, "ring_reply", payload=sample)
         elif message.kind == "ring_reply":
-            for member in message.payload:
-                self._learn(member)
+            self._learn_many(message.payload)
 
 
 def run_gossip_overlay(
@@ -129,7 +160,8 @@ def run_gossip_overlay(
         )
         nodes[int(node_id)] = node
         network.attach(node)
-    # Bootstrap: everyone knows a few random contacts.
+    # Bootstrap: everyone knows a few random contacts (one batched probe
+    # round per node instead of a scalar probe per contact).
     for node_id, node in nodes.items():
         others = members[members != node_id]
         contacts = rng.choice(
@@ -137,13 +169,13 @@ def run_gossip_overlay(
             size=min(gossip_config.initial_contacts, others.size),
             replace=False,
         )
-        for contact in contacts:
-            node._learn(int(contact))
+        node._learn_many(contacts)
 
     loop.run_until(rounds * gossip_config.period_ms)
 
     # Final diversity pass, then freeze into a plain overlay.
     from repro.meridian.overlay import _select_ring_members
+    from repro.topology.oracle import batch_latency_block
 
     frozen: dict[int, MeridianNode] = {}
     for node_id, node in nodes.items():
@@ -152,7 +184,11 @@ def run_gossip_overlay(
             if len(ring) <= meridian_config.ring_size:
                 continue
             candidates = np.fromiter(ring.keys(), dtype=int)
-            keep = _select_ring_members(candidates, meridian_config, oracle)
+            keep = _select_ring_members(
+                candidates,
+                meridian_config,
+                lambda c: batch_latency_block(oracle, c, c),
+            )
             kept = {int(candidates[i]) for i in keep}
             state.rings[index] = {m: lat for m, lat in ring.items() if m in kept}
         frozen[node_id] = state

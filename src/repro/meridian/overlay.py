@@ -99,6 +99,19 @@ class MeridianNode:
             raise DataError("a node cannot be its own ring member")
         self.rings[self.ring_of(latency_ms)][member] = latency_ms
 
+    def evict(self, member: int) -> bool:
+        """Drop ``member`` from whichever ring holds it.
+
+        The churn-maintenance counterpart of :meth:`insert`: departures
+        and ring-capacity overflows both remove entries through here.
+        Returns ``False`` when the node never knew the member.
+        """
+        for ring in self.rings:
+            if member in ring:
+                del ring[member]
+                return True
+        return False
+
     def all_members(self) -> dict[int, float]:
         """Union of all rings: member -> latency."""
         merged: dict[int, float] = {}
@@ -145,6 +158,27 @@ class MeridianOverlay:
     def node(self, node_id: int) -> MeridianNode:
         return self.nodes[node_id]
 
+    def add_node(self, node: MeridianNode) -> None:
+        """Admit a populated node into the overlay (membership join)."""
+        if node.node_id in self.nodes:
+            raise DataError(f"node {node.node_id} is already an overlay member")
+        self.nodes[node.node_id] = node
+        self.member_ids = np.append(self.member_ids, node.node_id)
+
+    def remove_node(self, node_id: int) -> MeridianNode:
+        """Drop a member from the overlay (membership leave).
+
+        Only removes the node itself; surviving nodes' ring entries for it
+        must be evicted by the caller (see :meth:`MeridianNode.evict`), the
+        way real departures are noticed ring by ring.
+        """
+        try:
+            node = self.nodes.pop(node_id)
+        except KeyError:
+            raise DataError(f"node {node_id} is not an overlay member") from None
+        self.member_ids = self.member_ids[self.member_ids != node_id]
+        return node
+
     # ------------------------------------------------------------------ #
 
     @classmethod
@@ -176,21 +210,14 @@ class MeridianOverlay:
                 others = rng.choice(others, size=knowledge, replace=False)
             # One batched row per node instead of a scalar probe per member.
             latencies = batch_latencies_from(oracle, int(node_id), others)
-            ring_index = np.searchsorted(edges, latencies, side="left")
-            for ring in range(ring_count):
-                mask = ring_index == ring
-                count = int(np.count_nonzero(mask))
-                if count == 0:
-                    continue
-                candidates = others[mask]
-                cand_lat = latencies[mask]
-                if count > config.candidate_pool:
-                    pick = rng.choice(count, size=config.candidate_pool, replace=False)
-                    candidates = candidates[pick]
-                    cand_lat = cand_lat[pick]
-                keep = _select_ring_members(candidates, config, oracle)
-                for idx in keep:
-                    node.rings[ring][int(candidates[idx])] = float(cand_lat[idx])
+            populate_node_rings(
+                node,
+                others,
+                latencies,
+                rng,
+                lambda c: batch_latency_block(oracle, c, c),
+                edges=edges,
+            )
             nodes[int(node_id)] = node
         return cls(config=config, member_ids=members, nodes=nodes)
 
@@ -205,20 +232,61 @@ class MeridianOverlay:
         return float(np.mean(counts)) if counts else 0.0
 
 
+def populate_node_rings(
+    node: MeridianNode,
+    others: np.ndarray,
+    latencies: np.ndarray,
+    rng: np.random.Generator,
+    pairwise,
+    edges: np.ndarray | None = None,
+) -> None:
+    """File ``others`` (with measured ``latencies``) into ``node``'s rings.
+
+    The one ring-population discipline shared by the converged build and
+    incremental joins: vectorised ring binning, ``candidate_pool``
+    subsampling of over-full rings, then diversity selection over the
+    pairwise block ``pairwise(candidates)`` — the caller chooses how that
+    block is measured (raw oracle at build time, counted maintenance
+    probes on a join), so both paths bucket and select identically.
+    """
+    config = node.config
+    ring_count = config.rings.ring_count
+    if edges is None:
+        edges = np.array(
+            [config.rings.ring_bounds(i)[1] for i in range(ring_count - 1)]
+        )
+    ring_index = np.searchsorted(edges, latencies, side="left")
+    for ring in range(ring_count):
+        mask = ring_index == ring
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            continue
+        candidates = others[mask]
+        cand_lat = latencies[mask]
+        if count > config.candidate_pool:
+            pick = rng.choice(count, size=config.candidate_pool, replace=False)
+            candidates = candidates[pick]
+            cand_lat = cand_lat[pick]
+        for idx in _select_ring_members(candidates, config, pairwise):
+            node.rings[ring][int(candidates[idx])] = float(cand_lat[idx])
+
+
 def _select_ring_members(
     candidates: np.ndarray,
     config: MeridianConfig,
-    oracle: LatencyOracle,
-) -> list[int]:
+    pairwise,
+) -> "list[int] | range":
     """Indices (into ``candidates``) of the members a ring retains.
 
-    The O(k²) pairwise measurements arrive as one ``latency_block`` call;
-    both selection strategies then run on the dense block with numpy
+    ``pairwise`` supplies the O(k²) pairwise measurements as one dense
+    block (callers choose the oracle and the accounting — raw build
+    probes, counted maintenance probes, or the gossip simulator's final
+    pass); both selection strategies then run on the block with numpy
     argmax/argsort operations only.
     """
     if candidates.size <= config.ring_size:
-        return list(range(candidates.size))
-    pairwise = batch_latency_block(oracle, candidates, candidates)
+        return range(candidates.size)
+    block = np.asarray(pairwise(candidates), dtype=float)
     if config.selection == "maxmin":
-        return select_maxmin(pairwise, config.ring_size)
-    return select_hypervolume(pairwise, config.ring_size)
+        return select_maxmin(block, config.ring_size)
+    return select_hypervolume(block, config.ring_size)

@@ -129,6 +129,18 @@ class RouterLevelTopology:
             hub_ms[host.host_id] = chain[-1][1]
         self._host_pop_router = pop_router
         self._host_hub_ms = hub_ms
+        # Padded per-host chain arrays for the vectorised lowest-common-
+        # router scan (-1 pads past each chain's end; chains are short, so
+        # the (n_hosts, max_depth) arrays are tiny).
+        depth = max(len(chain) for chain in self._upward.values())
+        chain_router = np.full((len(self.hosts), depth), -1, dtype=int)
+        chain_cum = np.zeros((len(self.hosts), depth), dtype=float)
+        for host_id, chain in self._upward.items():
+            for idx, (router, cum) in enumerate(chain):
+                chain_router[host_id, idx] = router
+                chain_cum[host_id, idx] = cum
+        self._chain_router = chain_router
+        self._chain_cum = chain_cum
 
     # -- basic accessors -------------------------------------------------------
 
@@ -320,6 +332,43 @@ class RouterLevelTopology:
             self._host_hub_ms[a] + distance + self._host_hub_ms[b]
         )
 
+    def _lca_pair_latencies(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised RTTs for host pairs that share an attachment router.
+
+        The grouped-array form of the scalar lowest-common-router scan in
+        :meth:`_pair_latency_ms`: compare the two padded chain arrays as a
+        ``(pairs, depth, depth)`` match cube, take the first hit in a-chain
+        order (each router appears at most once per chain, so the a-major
+        ``argmax`` lands on exactly the router the scalar scan returns) and
+        add the two cumulative latencies at the hit — the same two floats
+        in the same order, so results are bit-identical.  Works in bounded
+        chunks to keep the cube small.
+        """
+        a = np.asarray(a, dtype=int)
+        b = np.asarray(b, dtype=int)
+        out = np.empty(a.size, dtype=float)
+        depth = self._chain_router.shape[1]
+        chunk = max(1, (1 << 18) // max(1, depth * depth))
+        for start in range(0, a.size, chunk):
+            sl = slice(start, min(a.size, start + chunk))
+            ra = self._chain_router[a[sl]]  # (P, depth)
+            rb = self._chain_router[b[sl]]
+            match = (ra[:, :, None] == rb[:, None, :]) & (ra >= 0)[:, :, None]
+            flat = match.reshape(match.shape[0], -1)
+            if not flat.any(axis=1).all():
+                bad = int(np.flatnonzero(~flat.any(axis=1))[0])
+                raise SimulationError(
+                    f"hosts {int(a[sl][bad])} and {int(b[sl][bad])} share an "
+                    "attachment PoP router but no chain router"
+                )
+            first = flat.argmax(axis=1)
+            ia, ib = np.divmod(first, depth)
+            out[sl] = (
+                self._chain_cum[a[sl], ia] + self._chain_cum[b[sl], ib]
+            )
+        out[a == b] = 0.0
+        return out
+
     def latency_ms(self, a: int, b: int) -> float:
         """RTT between two hosts (oracle interface)."""
         return self._pair_latency_ms(a, b)
@@ -342,8 +391,10 @@ class RouterLevelTopology:
         ``hub(a) + core_distance(pop(a), pop(b)) + hub(b)``, filled in one
         vectorised expression from the all-pairs core matrix.  Pairs whose
         attachment chains terminate at the same PoP router may share a
-        router below the PoP, so those entries are corrected with the exact
-        lowest-common-router scan.  Equal ids yield 0.
+        router below the PoP, so those entries are corrected with the
+        grouped-array lowest-common-router scan
+        (:meth:`_lca_pair_latencies` — bit-identical to the scalar scan).
+        Equal ids yield 0.
         """
         rows = np.asarray(host_ids, dtype=int)
         cols = rows if col_host_ids is None else np.asarray(col_host_ids, dtype=int)
@@ -376,8 +427,8 @@ class RouterLevelTopology:
         if np.any(np.isinf(block[needs_core])):
             raise SimulationError("core graph is disconnected")
         if np.any(same_top):
-            for i, j in zip(*np.nonzero(same_top)):
-                block[i, j] = self._pair_latency_ms(int(rows[i]), int(cols[j]))
+            i, j = np.nonzero(same_top)
+            block[i, j] = self._lca_pair_latencies(rows[i], cols[j])
         return block
 
     def pair_latencies(
@@ -411,8 +462,9 @@ class RouterLevelTopology:
         out = (
             self._host_hub_ms[a] + self._core_dist[ia, ib]
         ) + self._host_hub_ms[b]
-        for i in np.flatnonzero(same_top):
-            out[i] = self._pair_latency_ms(int(a[i]), int(b[i]))
+        idx = np.flatnonzero(same_top)
+        if idx.size:
+            out[idx] = self._lca_pair_latencies(a[idx], b[idx])
         if np.any(np.isinf(out[~same_top])):
             raise SimulationError("core graph is disconnected")
         return out

@@ -232,6 +232,30 @@ class TestTopologyLatencyMatrix:
                 small_internet.route(a, b).latency_ms, abs=1e-12
             )
 
+    def test_vectorised_lca_bit_identical_on_same_pop_pairs(
+        self, small_internet
+    ):
+        """The grouped-array LCA scan must reproduce the scalar scan bit
+        for bit on pairs sharing an attachment PoP router (the cells the
+        vectorised correction rewrites)."""
+        by_router: dict[int, list[int]] = {}
+        for host in small_internet.hosts:
+            router = small_internet.attachment_pop_router(host.host_id)
+            by_router.setdefault(router, []).append(host.host_id)
+        pairs = [
+            (a, b)
+            for hosts in by_router.values()
+            for a in hosts[:5]
+            for b in hosts[:5]
+        ]
+        assert pairs, "expected at least one shared attachment router"
+        arr = np.asarray(pairs)
+        values = small_internet._lca_pair_latencies(arr[:, 0], arr[:, 1])
+        expected = np.array(
+            [small_internet._pair_latency_ms(a, b) for a, b in pairs]
+        )
+        assert np.array_equal(values, expected)
+
     def test_ad_hoc_route_caches_are_gone(self, small_internet):
         # Regression for the unbounded per-pair caches the all-pairs
         # precomputation replaced.

@@ -42,7 +42,9 @@ class TestPublicApi:
         assert result.stage in ("registry", "ucl", "fallback")
 
 
-@pytest.mark.parametrize("script", ["quickstart.py", "assumption_audit.py"])
+@pytest.mark.parametrize(
+    "script", ["quickstart.py", "assumption_audit.py", "churn_lifecycle.py"]
+)
 def test_example_scripts_run(script, capsys):
     """The light examples execute end to end (heavier ones are exercised
     through the benchmark suite's equivalent code paths)."""

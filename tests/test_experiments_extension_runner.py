@@ -34,12 +34,44 @@ class TestConditionExtentExtension:
         assert result.comparisons()
 
 
+class TestChurnResilienceExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_churn_resilience
+
+        return ext_churn_resilience.run(ExperimentScale())
+
+    def test_every_scheme_reports_a_record(self, result):
+        assert [r.scheme for r in result.records] == [
+            "random-probe", "beaconing", "meridian",
+        ]
+        for record in result.records:
+            assert record.maintenance_probes is not None
+            assert 0.0 <= record.exact_rate <= 1.0
+
+    def test_common_random_numbers_across_schemes(self, result):
+        """compare() must give every scheme the identical event and query
+        streams: same targets, same membership sizes."""
+        a, b = result.records[0], result.records[-1]
+        assert (a.targets == b.targets).all()
+        assert (a.membership_size == b.membership_size).all()
+
+    def test_shape_checks_hold(self, result):
+        for check in result.shape_checks():
+            assert check.evaluate(), check.claim
+
+    def test_render_and_comparisons(self, result):
+        assert "churn" in result.render().lower()
+        assert result.comparisons()
+
+
 class TestRunner:
     def test_experiment_registry_covers_the_paper(self):
         names = [name for name, _ in ALL_EXPERIMENTS]
         assert names[0] == "Table 1"
         for figure in range(3, 12):
             assert f"Fig {figure}" in names
+        assert "Ext (churn)" in names
 
     def test_run_subset(self):
         report = run_all(ExperimentScale(), only=("Table 1",))

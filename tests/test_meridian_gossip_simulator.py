@@ -52,6 +52,43 @@ class TestGossip:
         with pytest.raises(DataError):
             run_gossip_overlay(MatrixOracle(uniform_matrix), [3], seed=0)
 
+    @pytest.mark.parametrize(
+        "ring_size,payload",
+        [
+            (2, [5, 9, 5, 9, 17, 0, 23, 42, 42, 17, 8]),
+            # ring_size=1 with >2*ring_size same-ring ids (1, 5, 6, 8, 13
+            # all land in node 0's ring 5) plus repeats forces
+            # evict-then-reappear: an id capped out of a ring earlier in
+            # the payload must be re-inserted exactly as the scalar loop
+            # re-inserts it.
+            (1, [1, 5, 6, 8, 13, 1, 5, 6, 8, 13, 1, 5, 6, 8, 13]),
+        ],
+    )
+    def test_batched_learn_matches_scalar_loop(
+        self, uniform_matrix, ring_size, payload
+    ):
+        """Regression for the batched gossip exchange: ``_learn_many``
+        must produce the same rings as the historical per-member
+        ``_learn`` loop (noise-free oracle, identical rng stream)."""
+        from repro.meridian.gossip import GossipMeridianNode
+
+        oracle = MatrixOracle(uniform_matrix)
+
+        def build_node(seed):
+            return GossipMeridianNode(
+                0, MeridianConfig(ring_size=ring_size), GossipConfig(), oracle,
+                np.random.default_rng(seed),
+            )
+
+        batched = build_node(3)
+        batched._learn_many(payload)
+        scalar = build_node(3)
+        for member in payload:
+            scalar._learn(int(member))
+        assert batched.state.all_members() == scalar.state.all_members()
+        for ring_b, ring_s in zip(batched.state.rings, scalar.state.rings):
+            assert ring_b == ring_s
+
 
 class TestSimulator:
     def test_trial_metrics_consistent(self):
