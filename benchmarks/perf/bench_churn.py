@@ -11,14 +11,22 @@ schemes with distinct maintenance policies, and reports each scheme's
 * ``exact_rate`` / ``mean_membership_size`` — accuracy against the
   membership alive at query time, and the population the trial averaged.
 
+A second section sweeps the **maintenance disciplines** (eager vs
+coalesce-8 vs lazy, see
+:class:`repro.algorithms.base.MaintenanceScheduler`) for the
+rebuild-policy schemes on the registered ``steady-churn`` spec itself —
+the schemes whose per-event |M|² bill the scheduler exists to amortise —
+and reports each discipline's ``maintenance_probes_per_event`` plus the
+eager/coalesce savings ratio.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_churn.py \
         --scale paper --output BENCH_churn.json
 
 ``--scale tiny`` is the CI smoke setting (the registered scenario's own
-240-host world, trimmed query count); ``--scale paper`` scales the same
-spec up to n=2000 hosts with 300 queries — the committed perf baseline.
+240-host world, trimmed query count); ``--scale paper`` scales the main
+suite up to n=2000 hosts with 300 queries — the committed perf baseline.
 """
 
 from __future__ import annotations
@@ -26,9 +34,16 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from dataclasses import replace
 from pathlib import Path
 
-from repro.algorithms import BeaconSearch, MeridianSearch, RandomProbeSearch
+from repro.algorithms import (
+    BeaconSearch,
+    KargerRuhlSearch,
+    MeridianSearch,
+    RandomProbeSearch,
+    TapestrySearch,
+)
 from repro.harness import ChurnSpec, QueryEngine, SamplingSpec, get_scenario
 from repro.latency.builder import build_clustered_oracle
 from repro.topology.clustered import ClusteredConfig
@@ -38,11 +53,22 @@ SCALES = ("tiny", "paper")
 #: Schemes spanning the maintenance-policy spectrum: free incremental
 #: (random-probe), cheap incremental (beaconing), structural incremental
 #: (meridian ring insert/evict).  The rebuild-policy schemes bill |M|² per
-#: event by design and are exercised by the lifecycle tests instead.
+#: event by design and are exercised by the discipline sweep below.
 SCHEMES = (
     ("random-probe", lambda: RandomProbeSearch(budget=32)),
     ("beaconing", BeaconSearch),
     ("meridian", MeridianSearch),
+)
+
+#: The scheduling disciplines under comparison.
+DISCIPLINES = ("eager", "coalesce:8", "lazy")
+
+#: Rebuild-policy schemes: every applied event costs a counted |M|²
+#: reconstruction, so the coalescing window translates directly into the
+#: per-event bill.
+DISCIPLINE_SCHEMES = (
+    ("karger-ruhl", KargerRuhlSearch),
+    ("tapestry", TapestrySearch),
 )
 
 
@@ -103,6 +129,91 @@ def bench_scheme(name: str, factory, scenario, world) -> dict:
     }
 
 
+def discipline_scenario(scale: str):
+    """The discipline sweep workload: steady-churn's own 240-host spec.
+
+    Rebuild-policy schemes pay a counted |M|² reconstruction per applied
+    event, so the sweep runs on the registered scenario's own world (the
+    comparison is about the *ratio* between disciplines, which the
+    membership size scales out of) with the query count trimmed per
+    scale — eager tapestry at n=2000 would spend minutes per trial
+    re-deriving a number the 240-host run already pins.
+    """
+    base = get_scenario("steady-churn")
+    if scale == "tiny":
+        return base.with_(
+            n_queries=15,
+            trials=1,
+            churn=replace(base.churn, warmup_steps=5),
+        )
+    return base.with_(n_queries=80, trials=1)
+
+
+def bench_discipline(name, factory, discipline: str, scenario, world) -> dict:
+    algorithm = factory(maintenance=discipline)
+    engine = QueryEngine()
+    start = time.perf_counter()
+    record = engine.run_world_trial(
+        world,
+        algorithm,
+        sampling=scenario.sampling,
+        protocol="churn",
+        n_queries=scenario.n_queries,
+        seed=scenario.seed,
+        noise=scenario.noise,
+        churn=scenario.churn,
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "name": name,
+        "discipline": discipline,
+        "n_queries": record.n_queries,
+        "n_events": record.n_churn_events,
+        "trial_s": elapsed,
+        "queries_per_sec": record.n_queries / elapsed,
+        "total_maintenance_probes": record.total_maintenance_probes,
+        "maintenance_probes_per_event": record.maintenance_probes_per_event,
+        "rebuilds": int(algorithm.rebuild_count),
+        "exact_rate": record.exact_rate,
+        "cluster_rate": record.cluster_rate,
+    }
+
+
+def run_discipline_sweep(scale: str, seed: int) -> dict:
+    scenario = discipline_scenario(scale).with_(seed=seed)
+    world = build_clustered_oracle(
+        scenario.topology, seed=seed, core_pool_size=scenario.core_pool_size
+    )
+    schemes = []
+    for name, factory in DISCIPLINE_SCHEMES:
+        rows = []
+        for discipline in DISCIPLINES:
+            row = bench_discipline(name, factory, discipline, scenario, world)
+            print(
+                f"{name} [{discipline}]: "
+                f"maint/event={row['maintenance_probes_per_event']:.0f}  "
+                f"rebuilds={row['rebuilds']}  "
+                f"exact={row['exact_rate']:.2f}  {row['trial_s']:.1f}s"
+            )
+            rows.append(row)
+        per_event = {r["discipline"]: r["maintenance_probes_per_event"] for r in rows}
+        ratio = (
+            per_event["eager"] / per_event["coalesce:8"]
+            if per_event["coalesce:8"] > 0
+            else float("inf")
+        )
+        print(f"{name}: eager/coalesce-8 maintenance ratio {ratio:.1f}x")
+        schemes.append(
+            {"name": name, "rows": rows, "eager_over_coalesce8": ratio}
+        )
+    return {
+        "scenario": "steady-churn",
+        "n_hosts": int(world.topology.n_nodes),
+        "n_queries": scenario.n_queries,
+        "schemes": schemes,
+    }
+
+
 def run_suite(scale: str, seed: int) -> dict:
     scenario = churn_scenario(scale)
     world = build_clustered_oracle(
@@ -127,6 +238,7 @@ def run_suite(scale: str, seed: int) -> dict:
         "scenario": "steady-churn",
         "n_hosts": int(world.topology.n_nodes),
         "benchmarks": results,
+        "disciplines": run_discipline_sweep(scale, seed),
     }
 
 

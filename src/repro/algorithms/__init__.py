@@ -20,7 +20,11 @@ them degrade under the clustering condition (the library's mechanisms
 package holds the fixes that use extra information).
 """
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.algorithms.base import (
+    MaintenanceScheduler,
+    NearestPeerAlgorithm,
+    SearchResult,
+)
 from repro.algorithms.beaconing import BeaconSearch
 from repro.algorithms.karger_ruhl import KargerRuhlSearch
 from repro.algorithms.meridian_search import MeridianSearch
@@ -30,6 +34,7 @@ from repro.algorithms.tapestry import TapestrySearch
 from repro.algorithms.tiers import TiersSearch
 
 __all__ = [
+    "MaintenanceScheduler",
     "NearestPeerAlgorithm",
     "SearchResult",
     "MeridianSearch",

@@ -25,6 +25,126 @@ from repro.util.rng import make_rng
 #: the query probe bill is.
 MAINTENANCE_POLICIES = ("incremental", "rebuild")
 
+#: Maintenance-scheduling disciplines (see :class:`MaintenanceScheduler`).
+#: ``eager`` applies every membership event to the index the moment it is
+#: observed (the historical behaviour, bit-identical).  ``coalesce`` buffers
+#: events and applies their *net* effect once per ``window`` events, so a
+#: rebuild-policy scheme pays one reconstruction per window instead of one
+#: per event (queries between flushes run against the bounded-staleness
+#: index).  ``lazy`` buffers events until the next query touches the stale
+#: index, so event-only phases cost nothing and the whole deferred bill
+#: lands on the query that finally needs the index fresh.
+MAINTENANCE_DISCIPLINES = ("eager", "coalesce", "lazy")
+
+
+class MaintenanceScheduler:
+    """Decides *when* observed membership events are applied to the index.
+
+    The scheduler decouples observing a join/leave from paying for it: the
+    member set is always updated the moment an event is observed (the
+    overlay knows who is alive), but the scheme's *index* — ring sets,
+    routing tables, beacon columns — is only re-aligned when the scheduler
+    says so.  Deferred probes are still honestly billed when they fire: a
+    flush runs under the same counted-maintenance accounting as an eager
+    event, and its bill is reported on the next query's
+    :attr:`SearchResult.maintenance_probes`.
+
+    Disciplines (:data:`MAINTENANCE_DISCIPLINES`):
+
+    * ``eager`` — flush on every event.  Bit-identical to the pre-scheduler
+      code path: same draws, same probes, same results.
+    * ``coalesce`` — flush after every ``window`` buffered events.  Queries
+      between flushes answer from the stale index (staleness bounded by the
+      window), which is how real deployments batch repairs.
+    * ``lazy`` — flush only when a query arrives and the index is stale, so
+      the index is always fresh at query time but event-only stretches
+      (e.g. a churn warmup, or many events between sparse queries) coalesce
+      into a single application.
+
+    The scheduler itself holds only the *decision* state (discipline,
+    window, pending-event count); the mechanics of applying buffered events
+    live in :meth:`NearestPeerAlgorithm._flush`.
+    """
+
+    def __init__(self, discipline: str = "eager", window: int = 8) -> None:
+        if discipline not in MAINTENANCE_DISCIPLINES:
+            raise ConfigurationError(
+                f"unknown maintenance discipline {discipline!r}; "
+                f"choose from {MAINTENANCE_DISCIPLINES}"
+            )
+        if discipline == "coalesce" and window < 1:
+            raise ConfigurationError(f"coalesce window must be >= 1, got {window}")
+        self.discipline = discipline
+        self.window = window
+        #: Events buffered since the last flush.
+        self.pending_events = 0
+        #: Flushes performed since :meth:`reset` (diagnostic).
+        self.flush_count = 0
+
+    @classmethod
+    def from_spec(
+        cls, spec: "str | MaintenanceScheduler | None"
+    ) -> "MaintenanceScheduler":
+        """Coerce a user-facing spec into a scheduler.
+
+        Accepts ``None`` (eager), a ready-made scheduler (its
+        *configuration* is copied into a fresh instance — schedulers
+        carry per-algorithm runtime state, so sharing one object between
+        algorithms would tangle their buffers), or a string: ``"eager"``,
+        ``"lazy"``, ``"coalesce"`` (default window) or ``"coalesce:<k>"``.
+        """
+        if spec is None:
+            return cls()
+        if isinstance(spec, MaintenanceScheduler):
+            return cls(spec.discipline, window=spec.window)
+        if not isinstance(spec, str):
+            raise ConfigurationError(
+                f"maintenance spec must be a string or MaintenanceScheduler, "
+                f"got {type(spec).__name__}"
+            )
+        name, _, arg = spec.partition(":")
+        if arg:
+            if name != "coalesce":
+                raise ConfigurationError(
+                    f"only the coalesce discipline takes a window, got {spec!r}"
+                )
+            try:
+                window = int(arg)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad coalesce window in {spec!r}"
+                ) from None
+            return cls("coalesce", window=window)
+        return cls(name)
+
+    @property
+    def eager(self) -> bool:
+        return self.discipline == "eager"
+
+    @property
+    def flush_on_query(self) -> bool:
+        """Whether a stale index must be refreshed before answering."""
+        return self.discipline == "lazy"
+
+    def note_event(self) -> bool:
+        """Record one buffered event; True when the flush is due now."""
+        self.pending_events += 1
+        return self.discipline == "coalesce" and self.pending_events >= self.window
+
+    def note_flush(self) -> None:
+        self.pending_events = 0
+        self.flush_count += 1
+
+    def reset(self) -> None:
+        """Forget all scheduling state (a fresh :meth:`~NearestPeerAlgorithm.build`)."""
+        self.pending_events = 0
+        self.flush_count = 0
+
+    def describe(self) -> str:
+        if self.discipline == "coalesce":
+            return f"coalesce:{self.window}"
+        return self.discipline
+
 
 @dataclass
 class SearchResult:
@@ -67,6 +187,12 @@ class NearestPeerAlgorithm(abc.ABC):
     :data:`MAINTENANCE_POLICIES`): ``incremental`` schemes patch their
     index per event, ``rebuild`` schemes re-run the full build per event
     with every probe counted (``rebuild_count`` tracks how often).
+
+    *When* maintenance fires is the :class:`MaintenanceScheduler`'s call
+    (the ``maintenance`` constructor argument): under the default
+    ``eager`` discipline events are applied immediately (bit-identical to
+    the pre-scheduler code), while ``coalesce``/``lazy`` buffer events and
+    apply their net effect later — see :meth:`_flush`.
     """
 
     #: Human-readable scheme name (class attribute).
@@ -74,7 +200,9 @@ class NearestPeerAlgorithm(abc.ABC):
     #: Declared membership-maintenance policy (class attribute).
     maintenance_policy: str = "rebuild"
 
-    def __init__(self) -> None:
+    def __init__(
+        self, maintenance: "str | MaintenanceScheduler | None" = None
+    ) -> None:
         self._oracle: LatencyOracle | None = None
         self._probe_oracle: LatencyOracle | None = None
         self._members: np.ndarray | None = None
@@ -84,6 +212,12 @@ class NearestPeerAlgorithm(abc.ABC):
         self._maintenance_since_query = 0
         self._in_maintenance = False
         self.rebuild_count = 0
+        self._scheduler = MaintenanceScheduler.from_spec(maintenance)
+        # The membership the *index* currently reflects, or None when the
+        # index is in sync with ``self._members``.  Member arrays are
+        # replaced (never mutated in place), so holding the pre-event
+        # reference is a free snapshot.
+        self._indexed_members: np.ndarray | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -106,6 +240,8 @@ class NearestPeerAlgorithm(abc.ABC):
         self._oracle = oracle
         self._probe_oracle = probe_oracle or oracle
         self._members = np.asarray(member_ids, dtype=int)
+        self._indexed_members = None
+        self._scheduler.reset()
         self._build(make_rng(seed))
 
     @abc.abstractmethod
@@ -127,6 +263,11 @@ class NearestPeerAlgorithm(abc.ABC):
         :attr:`maintenance_probes_total` and reported on the next query's
         :attr:`SearchResult.maintenance_probes`) is the event's
         measurement bill.
+
+        Under a deferred discipline (``coalesce``/``lazy``) the member set
+        is updated immediately but the index is not: the event is buffered
+        and the call returns 0 unless it triggers a coalesced
+        :meth:`_flush`, whose bill it then returns.
         """
         if self._oracle is None or self._members is None:
             raise ConfigurationError(f"{self.name}: join() before build()")
@@ -142,6 +283,10 @@ class NearestPeerAlgorithm(abc.ABC):
             raise ConfigurationError(
                 f"{self.name}: join() ids outside oracle range "
                 f"[0, {self._oracle.n_nodes})"
+            )
+        if not self._scheduler.eager:
+            return self._defer_event(
+                np.concatenate([self._members, joined]), seed
             )
         before = self._maintenance_probe_count
         self._members = np.concatenate([self._members, joined])
@@ -181,6 +326,8 @@ class NearestPeerAlgorithm(abc.ABC):
                 f"{self.name}: leave() would drop membership below 2 "
                 f"({int(kept_mask.sum())} would remain)"
             )
+        if not self._scheduler.eager:
+            return self._defer_event(self._members[kept_mask], seed)
         before = self._maintenance_probe_count
         self._members = self._members[kept_mask]
         self._in_maintenance = True
@@ -188,6 +335,102 @@ class NearestPeerAlgorithm(abc.ABC):
             self._leave(left, kept_mask, make_rng(seed))
         finally:
             self._in_maintenance = False
+        spent = self._maintenance_probe_count - before
+        self._maintenance_since_query += spent
+        return spent
+
+    # -- deferred maintenance (non-eager disciplines) --------------------------
+
+    def _defer_event(
+        self,
+        members_after: np.ndarray,
+        seed: int | np.random.Generator | None,
+    ) -> int:
+        """Buffer one observed membership event; flush if the window fills."""
+        if self._indexed_members is None:
+            self._indexed_members = self._members
+        self._members = members_after
+        if self._scheduler.note_event():
+            return self._flush(make_rng(seed))
+        return 0
+
+    @property
+    def maintenance_discipline(self) -> str:
+        """The scheduling discipline in force (``eager``/``coalesce``/``lazy``)."""
+        return self._scheduler.discipline
+
+    @property
+    def has_pending_maintenance(self) -> bool:
+        """Whether buffered events have yet to be applied to the index."""
+        return self._indexed_members is not None
+
+    @property
+    def pending_maintenance_events(self) -> int:
+        """Buffered events since the last flush."""
+        return self._scheduler.pending_events
+
+    def flush_maintenance(
+        self, seed: int | np.random.Generator | None = None
+    ) -> int:
+        """Apply all buffered events to the index now; returns probes spent.
+
+        A no-op (0) when the index is already in sync.  The harness's
+        churn session drains through here at every phase/trial boundary
+        (so an unfilled coalesce window cannot leave its bill off the
+        books); tests use it to force a deterministic application point.
+        """
+        if self._indexed_members is None:
+            return 0
+        return self._flush(make_rng(seed))
+
+    def _flush(self, rng: np.random.Generator) -> int:
+        """Apply the *net* buffered membership change to the index.
+
+        Rebuild-policy schemes pay one counted reconstruction over the
+        current membership, however many events were buffered — that is
+        the whole point of coalescing.  Incremental schemes replay the net
+        change through their own :meth:`_leave` / :meth:`_join` hooks:
+        departures first (with ``kept_mask`` relative to the indexed
+        member order the hooks' per-member arrays are aligned to), then
+        arrivals appended behind the survivors.  A node that left and
+        rejoined inside the buffer window nets out to nothing — its index
+        entries are still valid — and a join-then-leave never touches the
+        index at all.  After the flush the member array is the survivors
+        (in indexed order) followed by the net arrivals, which keeps
+        per-member index arrays aligned with :attr:`members`.
+        """
+        flushed = self._indexed_members
+        assert flushed is not None
+        current = self._members
+        assert current is not None
+        before = self._maintenance_probe_count
+        self._in_maintenance = True
+        try:
+            kept_mask = np.isin(flushed, current)
+            survivors = flushed[kept_mask]
+            net_left = flushed[~kept_mask]
+            net_joined = current[~np.isin(current, flushed)]
+            if net_left.size == 0 and net_joined.size == 0:
+                # Every buffered event netted out (join-then-leave,
+                # leave-then-rejoin): the index is already consistent —
+                # restore its member order and pay nothing.
+                self._members = flushed
+            elif self.maintenance_policy == "rebuild":
+                self.rebuild_count += 1
+                self._build(rng)
+            else:
+                if net_left.size:
+                    self._members = survivors
+                    self._leave(net_left, kept_mask, rng)
+                if net_joined.size:
+                    self._members = np.concatenate([survivors, net_joined])
+                    self._join(net_joined, rng)
+                else:
+                    self._members = survivors
+        finally:
+            self._in_maintenance = False
+        self._indexed_members = None
+        self._scheduler.note_flush()
         spent = self._maintenance_probe_count - before
         self._maintenance_since_query += spent
         return spent
@@ -223,13 +466,32 @@ class NearestPeerAlgorithm(abc.ABC):
         target: int,
         seed: int | np.random.Generator | None = None,
     ) -> SearchResult:
-        """Find the nearest member to ``target`` (not itself a member)."""
+        """Find the nearest member to ``target`` (not itself a member).
+
+        Under the ``lazy`` discipline a stale index is flushed first (the
+        deferred bill lands on this query's ``maintenance_probes``); under
+        ``coalesce`` the query answers from the bounded-staleness index —
+        it may return a recently departed member or miss a very recent
+        arrival, exactly the trade real batched-repair deployments make.
+        """
         if self._oracle is None or self._members is None:
             raise ConfigurationError(f"{self.name}: query() before build()")
+        rng = make_rng(seed)
+        if self._indexed_members is not None and self._scheduler.flush_on_query:
+            self._flush(rng)
         self._probe_count = 0
         self._aux_probe_count = 0
-        rng = make_rng(seed)
-        result = self._query(int(target), rng)
+        stale_view = self._indexed_members
+        if stale_view is not None:
+            # Answer from the membership the index actually reflects.
+            live = self._members
+            self._members = stale_view
+            try:
+                result = self._query(int(target), rng)
+            finally:
+                self._members = live
+        else:
+            result = self._query(int(target), rng)
         result.probes = self._probe_count
         result.aux_probes = self._aux_probe_count
         result.maintenance_probes = self._maintenance_since_query

@@ -39,8 +39,9 @@ class BeaconSearch(NearestPeerAlgorithm):
         n_beacons: int = 10,
         band_fraction: float = 0.15,
         probe_budget: int = 16,
+        maintenance=None,
     ) -> None:
-        super().__init__()
+        super().__init__(maintenance=maintenance)
         require_positive(n_beacons, "n_beacons")
         self._n_beacons = n_beacons
         self._band_fraction = band_fraction

@@ -29,6 +29,9 @@ class KargerRuhlSearch(NearestPeerAlgorithm):
     :meth:`join` / :meth:`leave` re-runs the full sample construction with
     every measurement billed as maintenance — ``|M|²`` probes per event,
     which is exactly the honesty the paper demands of probe accounting.
+    A deferred discipline (``maintenance="coalesce:8"`` or ``"lazy"``)
+    amortises the bill: events buffer and one counted rebuild covers the
+    whole batch, which is how real deployments schedule repair.
     """
 
     name = "karger-ruhl"
@@ -40,8 +43,9 @@ class KargerRuhlSearch(NearestPeerAlgorithm):
         min_scale_ms: float = 0.05,
         max_scale_ms: float = 512.0,
         max_rounds: int = 48,
+        maintenance=None,
     ) -> None:
-        super().__init__()
+        super().__init__(maintenance=maintenance)
         require_positive(samples_per_scale, "samples_per_scale")
         self._samples_per_scale = samples_per_scale
         self._min_scale_ms = min_scale_ms

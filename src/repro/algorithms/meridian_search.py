@@ -5,10 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.meridian.gossip import repair_overlay_rings
 from repro.meridian.overlay import (
     MeridianConfig,
     MeridianNode,
     MeridianOverlay,
+    insert_with_cap,
     populate_node_rings,
 )
 from repro.meridian.query import closest_node_query
@@ -24,16 +26,28 @@ class MeridianSearch(NearestPeerAlgorithm):
     existing nodes, each of which probes it once and files it with random
     eviction on ring overflow — Meridian's incremental gossip behaviour.
     A leave removes the node and evicts its id from every survivor's rings
-    for free; thinned rings are only re-fattened by the next arrivals,
-    exactly as in the live protocol.
+    for free, then (with ``ring_repair`` on, the default) runs the gossip
+    ring-repair pass: nodes whose rings underflowed pull candidate samples
+    from ring neighbours and re-fatten their rings with counted
+    maintenance probes (see
+    :func:`repro.meridian.gossip.repair_overlay_rings`), instead of
+    waiting for fresh arrivals to do it.
     """
 
     name = "meridian"
     maintenance_policy = "incremental"
 
-    def __init__(self, config: MeridianConfig | None = None) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        config: MeridianConfig | None = None,
+        maintenance=None,
+        ring_repair: bool = True,
+        repair_exchange_size: int = 16,
+    ) -> None:
+        super().__init__(maintenance=maintenance)
         self._config = config or MeridianConfig()
+        self._ring_repair = ring_repair
+        self._repair_exchange_size = repair_exchange_size
         self._overlay: MeridianOverlay | None = None
 
     def _build(self, rng: np.random.Generator) -> None:
@@ -72,12 +86,9 @@ class MeridianSearch(NearestPeerAlgorithm):
             self._overlay.add_node(node)
             host_lat = self.maintenance_probe_block(hosts, [node_id])[:, 0]
             for host, lat in zip(hosts, host_lat):
-                host_node = self._overlay.node(int(host))
-                host_node.insert(node_id, float(lat))
-                ring = host_node.rings[host_node.ring_of(float(lat))]
-                if len(ring) > config.ring_size:
-                    victim = int(rng.choice(list(ring)))
-                    del ring[victim]
+                insert_with_cap(
+                    self._overlay.node(int(host)), node_id, float(lat), rng
+                )
 
     def _leave(
         self, left: np.ndarray, kept_mask: np.ndarray, rng: np.random.Generator
@@ -85,10 +96,14 @@ class MeridianSearch(NearestPeerAlgorithm):
         assert self._overlay is not None
         for node_id in left:
             self._overlay.remove_node(int(node_id))
-        departed = [int(x) for x in left]
-        for node in self._overlay.nodes.values():
-            for x in departed:
-                node.evict(x)
+        self._overlay.evict_everywhere(left)
+        if self._ring_repair:
+            repair_overlay_rings(
+                self._overlay,
+                self.maintenance_probe_many,
+                rng,
+                exchange_size=self._repair_exchange_size,
+            )
 
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
         assert self._overlay is not None

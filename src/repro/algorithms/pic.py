@@ -45,8 +45,9 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
         placement_probes: int = 12,
         final_probe_count: int = 8,
         max_steps: int = 64,
+        maintenance=None,
     ) -> None:
-        super().__init__()
+        super().__init__(maintenance=maintenance)
         require_positive(neighbors_per_node, "neighbors_per_node")
         require_positive(n_walks, "n_walks")
         self._neighbors_per_node = neighbors_per_node

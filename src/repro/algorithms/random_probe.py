@@ -25,8 +25,8 @@ class RandomProbeSearch(NearestPeerAlgorithm):
     name = "random-probe"
     maintenance_policy = "incremental"
 
-    def __init__(self, budget: int = 32) -> None:
-        super().__init__()
+    def __init__(self, budget: int = 32, maintenance=None) -> None:
+        super().__init__(maintenance=maintenance)
         require_positive(budget, "budget")
         self._budget = budget
 

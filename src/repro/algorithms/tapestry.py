@@ -35,7 +35,9 @@ class TapestrySearch(NearestPeerAlgorithm):
     membership events re-run the full construction with every measurement
     billed as maintenance (``|M|²`` probes per event).  Real Tapestry
     deployments amortise this with background repair; the counted rebuild
-    keeps the cost explicit instead of hiding it.
+    keeps the cost explicit instead of hiding it, and a deferred
+    discipline (``maintenance="coalesce:8"`` or ``"lazy"``) models the
+    amortisation — one counted rebuild per buffered event batch.
     """
 
     name = "tapestry"
@@ -46,8 +48,9 @@ class TapestrySearch(NearestPeerAlgorithm):
         id_digits: int = 8,
         neighbors_per_entry: int = 3,
         probe_budget_per_level: int = 16,
+        maintenance=None,
     ) -> None:
-        super().__init__()
+        super().__init__(maintenance=maintenance)
         require_positive(id_digits, "id_digits")
         self._id_digits = id_digits
         self._neighbors_per_entry = neighbors_per_entry

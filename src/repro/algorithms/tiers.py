@@ -48,8 +48,10 @@ class TiersSearch(NearestPeerAlgorithm):
     name = "tiers"
     maintenance_policy = "incremental"
 
-    def __init__(self, branching: int = 12, max_levels: int = 12) -> None:
-        super().__init__()
+    def __init__(
+        self, branching: int = 12, max_levels: int = 12, maintenance=None
+    ) -> None:
+        super().__init__(maintenance=maintenance)
         require_positive(branching, "branching")
         self._branching = branching
         self._max_levels = max_levels

@@ -22,12 +22,18 @@ it to the engine.
 """
 
 from repro.harness.engine import QueryEngine
-from repro.harness.results import AggregateStats, ScenarioResult, TrialRecord
+from repro.harness.results import (
+    AggregateStats,
+    MembershipLog,
+    ScenarioResult,
+    TrialRecord,
+)
 from repro.harness.scenario import (
     ChurnSpec,
     NoiseSpec,
     SamplingSpec,
     Scenario,
+    ServicePhase,
     get_scenario,
     list_scenarios,
     register_scenario,
@@ -39,11 +45,13 @@ from repro.harness.scoring import score_batch, score_epochs, score_single
 __all__ = [
     "AggregateStats",
     "ChurnSpec",
+    "MembershipLog",
     "NoiseSpec",
     "QueryEngine",
     "SamplingSpec",
     "Scenario",
     "ScenarioResult",
+    "ServicePhase",
     "TrialRecord",
     "get_scenario",
     "list_scenarios",

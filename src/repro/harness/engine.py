@@ -7,16 +7,20 @@ score it with the vectorised matrix slice, and aggregate across trials —
 optionally fanning independent trials out over a
 :class:`~concurrent.futures.ProcessPoolExecutor`.
 
-Three query protocols cover the repo's workloads (see
+Four query protocols cover the repo's workloads (see
 :mod:`repro.harness.scenario`): ``sampled`` reproduces the Meridian
 Section 4 batch (targets drawn with replacement, one rng threaded through
 build and queries), ``per-target`` reproduces the head-to-head
 comparison (each target once, per-target query seeds, schemes sharing one
-noisy oracle so they face identical measurement error), and ``churn``
+noisy oracle so they face identical measurement error), ``churn``
 drives the dynamic-membership lifecycle (join/leave events from a
 :class:`~repro.harness.scenario.ChurnSpec` interleaved with sampled
 queries on one seeded stream, scored against the membership at query
-time, with per-query ``maintenance_probes`` accounting).
+time, with per-query ``maintenance_probes`` accounting), and ``service``
+keeps one built algorithm alive across a sequence of churn phases
+(:meth:`QueryEngine.run_service_trial` — warm restarts, one
+:class:`TrialRecord` per phase, epoch history in one shared
+:class:`~repro.harness.results.MembershipLog` diff log).
 """
 
 from __future__ import annotations
@@ -28,8 +32,14 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.algorithms.base import NearestPeerAlgorithm
-from repro.harness.results import ScenarioResult, TrialRecord
-from repro.harness.scenario import ChurnSpec, NoiseSpec, SamplingSpec, Scenario
+from repro.harness.results import MembershipLog, ScenarioResult, TrialRecord
+from repro.harness.scenario import (
+    ChurnSpec,
+    NoiseSpec,
+    SamplingSpec,
+    Scenario,
+    ServicePhase,
+)
 from repro.harness.scoring import score_batch, score_epochs
 from repro.latency.builder import ClusteredWorld, build_clustered_oracle
 from repro.topology.oracle import LatencyOracle
@@ -62,24 +72,33 @@ class QueryEngine:
         scenario: Scenario,
         algorithm_factory: AlgorithmFactory,
     ) -> ScenarioResult:
-        """Run every trial of ``scenario`` and collect the records."""
+        """Run every trial of ``scenario`` and collect the records.
+
+        A ``service`` scenario yields one record per phase per world seed
+        (phases of one seed are consecutive, tagged by ``record.phase``).
+        """
         seeds = scenario.world_seeds()
+        task = (
+            _run_service_task if scenario.protocol == "service" else _run_trial_task
+        )
         if self.workers > 1 and len(seeds) > 1:
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(seeds))
             ) as pool:
-                records = list(
+                outputs = list(
                     pool.map(
-                        _run_trial_task,
+                        task,
                         [scenario] * len(seeds),
                         [algorithm_factory] * len(seeds),
                         seeds,
                     )
                 )
         else:
-            records = [
-                self.run_trial(scenario, algorithm_factory, seed) for seed in seeds
-            ]
+            outputs = [task(scenario, algorithm_factory, seed) for seed in seeds]
+        if scenario.protocol == "service":
+            records = [record for batch in outputs for record in batch]
+        else:
+            records = list(outputs)
         return ScenarioResult(scenario=scenario, records=records)
 
     def run_trial(
@@ -89,6 +108,11 @@ class QueryEngine:
         world_seed: int,
     ) -> TrialRecord:
         """Build one world from the scenario and run one trial on it."""
+        if scenario.protocol == "service":
+            raise ConfigurationError(
+                "a service scenario produces one record per phase; use "
+                "run_scenario() or run_service_trial()"
+            )
         world = build_clustered_oracle(
             scenario.topology,
             seed=world_seed,
@@ -173,6 +197,11 @@ class QueryEngine:
                 f"compare() runs one shared world but scenario "
                 f"{scenario.name!r} has trials={scenario.trials}; use "
                 "scenario.with_(trials=1) or run_scenario() per scheme"
+            )
+        if scenario.protocol == "service":
+            raise ConfigurationError(
+                "compare() does not support the service protocol; run each "
+                "scheme through run_scenario() instead"
             )
         if world is None:
             world = build_clustered_oracle(
@@ -295,112 +324,58 @@ class QueryEngine:
         rng: np.random.Generator,
         probe_oracle: LatencyOracle | None,
     ) -> tuple[np.ndarray, list, "_ChurnLog"]:
-        """The churn protocol: events and queries from one seeded trial.
-
-        The member pool splits into an initial live membership and a
-        standby pool.  Each step applies departures (session expiries plus
-        a Poisson draw of random members) and arrivals (a Poisson draw
-        from standby), then fires one sampled query; ``warmup_steps``
-        event-only steps precede the first query.  Membership snapshots
-        are logged per epoch so scoring can judge every query against the
-        members alive when it ran.
-
-        The single incoming ``rng`` is split into two derived streams: a
-        *workload* stream (membership events and query targets) and the
-        *algorithm* stream (build, maintenance and query randomness).
-        One integer seed still replays the whole trial, and — because the
-        split is the first draw — :meth:`compare` gives every scheme the
-        identical world, event sequence and target sequence (common
-        random numbers) no matter how much randomness each scheme's own
-        maintenance consumes.
-        """
+        """The churn protocol: one :class:`_ChurnSession` phase."""
         count = n_queries if n_queries is not None else targets.size
-        workload_rng = np.random.default_rng(int(rng.integers(2**63)))
-        n_initial = int(round(churn.initial_fraction * members.size))
-        n_initial = min(members.size, max(churn.min_members, n_initial))
-        shuffled = workload_rng.permutation(members)
-        live = np.sort(shuffled[:n_initial])
-        standby = shuffled[n_initial:].tolist()
-        algorithm.build(world.oracle, live, seed=rng, probe_oracle=probe_oracle)
+        session = _ChurnSession(
+            algorithm, world, members, targets, churn, rng, probe_oracle
+        )
+        return session.run_phase(churn, count)
 
-        log = _ChurnLog(memberships=[algorithm.members.copy()])
-        expiries: dict[int, list[int]] = {}  # step -> arrivals due to depart
-        # node -> due step of its *current* session.  Guards the expiry
-        # queue against stale entries: a node that departed early (random
-        # draw) and rejoined must live out its new session, not be killed
-        # by the old timer.
-        session_due: dict[int, int] = {}
+    def run_service_trial(
+        self,
+        world: ClusteredWorld,
+        algorithm: NearestPeerAlgorithm,
+        phases: Sequence["ServicePhase"],
+        *,
+        sampling: SamplingSpec,
+        seed: int | np.random.Generator | None = None,
+        noise: NoiseSpec | None = None,
+        probe_oracle: LatencyOracle | None = None,
+    ) -> list[TrialRecord]:
+        """Long-running service mode: one live algorithm across phases.
 
-        def apply_events(step: int) -> int:
-            """One event step; returns the maintenance probes it cost."""
-            spent = 0
-            current = algorithm.members
-            # Departures: expired sessions first, then the random draw.
-            # dict.fromkeys dedups while keeping order — a stale entry
-            # from an earlier session can share this due step with the
-            # node's live session, and a doubled departure would put two
-            # copies into standby (and eventually a double join).
-            departing = [
-                node
-                for node in dict.fromkeys(expiries.pop(step, []))
-                if node in current and session_due.get(node) == step
-            ]
-            n_random = int(workload_rng.poisson(churn.departure_rate))
-            if n_random > 0:
-                pool = current[~np.isin(current, departing)]
-                n_random = min(n_random, pool.size)
-                if n_random > 0:
-                    departing.extend(
-                        int(x)
-                        for x in workload_rng.choice(pool, size=n_random, replace=False)
-                    )
-            headroom = current.size - churn.min_members
-            if len(departing) > headroom:
-                # The membership floor blocks some departures this step.
-                # Expired sessions sit at the head of the list; any that
-                # get cut off retry next step so they still expire.
-                for node in departing[max(0, headroom):]:
-                    if session_due.get(node) == step:
-                        expiries.setdefault(step + 1, []).append(node)
-                        session_due[node] = step + 1
-                departing = departing[: max(0, headroom)]
-            if departing:
-                spent += algorithm.leave(np.asarray(departing, dtype=int), seed=rng)
-                standby.extend(departing)
-                for node in departing:
-                    session_due.pop(node, None)
-            # Arrivals, capped by standby supply.
-            n_arrive = min(int(workload_rng.poisson(churn.arrival_rate)), len(standby))
-            if n_arrive > 0:
-                picks = workload_rng.choice(len(standby), size=n_arrive, replace=False)
-                arriving = [standby[int(i)] for i in picks]
-                for index in sorted((int(i) for i in picks), reverse=True):
-                    del standby[index]
-                spent += algorithm.join(np.asarray(arriving, dtype=int), seed=rng)
-                if churn.session_length is not None:
-                    lifetimes = workload_rng.exponential(
-                        churn.session_length, size=len(arriving)
-                    )
-                    for node, life in zip(arriving, lifetimes):
-                        due = step + max(1, int(round(life)))
-                        expiries.setdefault(due, []).append(int(node))
-                        session_due[int(node)] = due
-            if departing or n_arrive:
-                log.memberships.append(algorithm.members.copy())
-            return spent
-
-        for step in range(churn.warmup_steps):
-            log.warmup_maintenance += apply_events(step - churn.warmup_steps)
-        query_targets = np.empty(count, dtype=int)
-        results = []
-        for step in range(count):
-            log.maintenance.append(apply_events(step))
-            log.epoch_of_query.append(len(log.memberships) - 1)
-            log.membership_size.append(int(algorithm.members.size))
-            target = int(workload_rng.choice(targets))
-            query_targets[step] = target
-            results.append(algorithm.query(target, seed=rng))
-        return query_targets, results, log
+        The algorithm is built once and then carried *warm* through the
+        phase sequence — its index, membership, standby pool, session
+        timers and epoch log all persist across phase boundaries, so a
+        later phase starts from whatever state the previous one left
+        (exactly what a deployed service restarting its workload does,
+        and what a cold per-phase rebuild would hide).  Each phase runs
+        its own churn dynamics (``phase.churn``), with the phase's
+        ``warmup_steps`` acting as an event-only transition period, and
+        yields one :class:`TrialRecord` tagged ``phase=phase.name``.
+        """
+        if not phases:
+            raise ConfigurationError("service mode needs at least one phase")
+        rng = make_rng(seed)
+        targets = sampling.sample(world, rng)
+        members = np.setdiff1d(np.arange(world.topology.n_nodes), targets)
+        if probe_oracle is None and noise is not None:
+            probe_oracle = noise.wrap(world.oracle, seed)
+        session = _ChurnSession(
+            algorithm, world, members, targets, phases[0].churn, rng, probe_oracle
+        )
+        records = []
+        for phase in phases:
+            query_targets, results, log = session.run_phase(
+                phase.churn, phase.n_queries
+            )
+            records.append(
+                self._record(
+                    world, members, query_targets, results,
+                    algorithm.name, seed, churn_log=log, phase=phase.name,
+                )
+            )
+        return records
 
     def _record(
         self,
@@ -411,6 +386,7 @@ class QueryEngine:
         scheme: str,
         seed: int | np.random.Generator | None,
         churn_log: "_ChurnLog | None" = None,
+        phase: str | None = None,
     ) -> TrialRecord:
         found = np.array([r.found for r in results], dtype=int)
         if churn_log is None:
@@ -457,23 +433,199 @@ class QueryEngine:
             warmup_maintenance_probes=(
                 churn_log.warmup_maintenance if churn_log is not None else 0
             ),
+            n_churn_events=(
+                churn_log.n_events if churn_log is not None else 0
+            ),
+            phase=phase,
         )
 
 
 @dataclass
 class _ChurnLog:
-    """Everything a churn trial records beyond the query results."""
+    """Everything one churn phase records beyond the query results."""
 
-    #: Membership snapshot per epoch (epoch 0 = the initial build).
-    memberships: list = field(default_factory=list)
-    #: Maintenance probes billed to each query slot.
+    #: Diff log of membership epochs (epoch 0 = the initial build).  In
+    #: service mode the same log is shared by every phase's record —
+    #: ``epoch_of_query`` indices are global into it.
+    memberships: MembershipLog
+    #: Maintenance probes billed to each query slot (the events applied
+    #: since the previous query plus any query-triggered flush).
     maintenance: list = field(default_factory=list)
     #: Index into ``memberships`` for each query.
     epoch_of_query: list = field(default_factory=list)
     #: Live membership size at each query.
     membership_size: list = field(default_factory=list)
-    #: Maintenance probes spent before the first query.
+    #: Maintenance probes spent before the phase's first query.
     warmup_maintenance: int = 0
+    #: Non-empty join/leave calls applied during the phase.
+    n_events: int = 0
+
+
+class _ChurnSession:
+    """Live dynamic-membership state, threaded across one or more phases.
+
+    Owns everything that must survive a phase boundary in service mode:
+    the built algorithm, the standby pool, the session-expiry timers, the
+    event clock and the epoch diff log.  The single-phase ``churn``
+    protocol is the degenerate case (one session, one phase) and its draw
+    sequence is unchanged: the workload-stream split is the session's
+    first draw, the initial split and build follow, and each query step
+    applies events then queries exactly as before.
+
+    The incoming ``rng`` is split into two derived streams: a *workload*
+    stream (membership events and query targets) and the *algorithm*
+    stream (build, maintenance and query randomness).  One integer seed
+    still replays the whole session, and — because the split is the first
+    draw — :meth:`QueryEngine.compare` gives every scheme the identical
+    world, event sequence and target sequence (common random numbers) no
+    matter how much randomness each scheme's own maintenance consumes.
+    """
+
+    def __init__(
+        self,
+        algorithm: NearestPeerAlgorithm,
+        world: ClusteredWorld,
+        members: np.ndarray,
+        targets: np.ndarray,
+        first_churn: ChurnSpec,
+        rng: np.random.Generator,
+        probe_oracle: LatencyOracle | None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.targets = targets
+        self.rng = rng
+        self.workload_rng = np.random.default_rng(int(rng.integers(2**63)))
+        n_initial = int(round(first_churn.initial_fraction * members.size))
+        n_initial = min(members.size, max(first_churn.min_members, n_initial))
+        shuffled = self.workload_rng.permutation(members)
+        live = np.sort(shuffled[:n_initial])
+        self.standby: list[int] = shuffled[n_initial:].tolist()
+        algorithm.build(world.oracle, live, seed=rng, probe_oracle=probe_oracle)
+        self.memberships = MembershipLog(algorithm.members)
+        #: event-step -> arrivals due to depart at that step.
+        self.expiries: dict[int, list[int]] = {}
+        # node -> due step of its *current* session.  Guards the expiry
+        # queue against stale entries: a node that departed early (random
+        # draw) and rejoined must live out its new session, not be killed
+        # by the old timer.
+        self.session_due: dict[int, int] = {}
+        #: The event clock, in event steps; phases share it monotonically.
+        self.clock = 0
+        self._started = False
+
+    def _apply_events(self, spec: ChurnSpec, step: int) -> tuple[int, int]:
+        """One event step; returns (maintenance probes, events applied)."""
+        algorithm = self.algorithm
+        workload_rng = self.workload_rng
+        spent = 0
+        current = algorithm.members
+        # Departures: expired sessions first, then the random draw.
+        # dict.fromkeys dedups while keeping order — a stale entry
+        # from an earlier session can share this due step with the
+        # node's live session, and a doubled departure would put two
+        # copies into standby (and eventually a double join).
+        departing = [
+            node
+            for node in dict.fromkeys(self.expiries.pop(step, []))
+            if node in current and self.session_due.get(node) == step
+        ]
+        n_random = int(workload_rng.poisson(spec.departure_rate))
+        if n_random > 0:
+            pool = current[~np.isin(current, departing)]
+            n_random = min(n_random, pool.size)
+            if n_random > 0:
+                departing.extend(
+                    int(x)
+                    for x in workload_rng.choice(pool, size=n_random, replace=False)
+                )
+        headroom = current.size - spec.min_members
+        if len(departing) > headroom:
+            # The membership floor blocks some departures this step.
+            # Expired sessions sit at the head of the list; any that
+            # get cut off retry next step so they still expire.
+            for node in departing[max(0, headroom):]:
+                if self.session_due.get(node) == step:
+                    self.expiries.setdefault(step + 1, []).append(node)
+                    self.session_due[node] = step + 1
+            departing = departing[: max(0, headroom)]
+        if departing:
+            spent += algorithm.leave(np.asarray(departing, dtype=int), seed=self.rng)
+            self.standby.extend(departing)
+            for node in departing:
+                self.session_due.pop(node, None)
+        # Arrivals, capped by standby supply.
+        standby = self.standby
+        n_arrive = min(int(workload_rng.poisson(spec.arrival_rate)), len(standby))
+        arriving: list[int] = []
+        if n_arrive > 0:
+            picks = workload_rng.choice(len(standby), size=n_arrive, replace=False)
+            arriving = [standby[int(i)] for i in picks]
+            for index in sorted((int(i) for i in picks), reverse=True):
+                del standby[index]
+            spent += algorithm.join(np.asarray(arriving, dtype=int), seed=self.rng)
+            if spec.session_length is not None:
+                lifetimes = workload_rng.exponential(
+                    spec.session_length, size=len(arriving)
+                )
+                for node, life in zip(arriving, lifetimes):
+                    due = step + max(1, int(round(life)))
+                    self.expiries.setdefault(due, []).append(int(node))
+                    self.session_due[int(node)] = due
+        if departing or n_arrive:
+            self.memberships.append_event(arriving, departing)
+        return spent, (1 if departing else 0) + (1 if arriving else 0)
+
+    def run_phase(
+        self, spec: ChurnSpec, count: int
+    ) -> tuple[np.ndarray, list, _ChurnLog]:
+        """Run one phase: warmup event steps, then event+query steps.
+
+        Each query is preceded by ``spec.events_per_query`` event steps;
+        its maintenance slot bills those events *plus* any deferred flush
+        the query itself triggered, so deferred-discipline accounting
+        stays on the books (eager schemes flush nothing at query time and
+        are bit-identical to the historical path).  At the end of the
+        phase any still-buffered maintenance is drained and billed to the
+        final query slot — a coalescing window that never filled must not
+        leave its events' bill off the phase's record (and, in service
+        mode, must not leak into the next phase's ledger).
+        """
+        algorithm = self.algorithm
+        log = _ChurnLog(memberships=self.memberships)
+        if not self._started:
+            # The historical clock convention: warmup at -w..-1, queries
+            # from 0.  Later phases just continue the running clock.
+            self.clock = -spec.warmup_steps
+            self._started = True
+        for _ in range(spec.warmup_steps):
+            spent, events = self._apply_events(spec, self.clock)
+            self.clock += 1
+            log.warmup_maintenance += spent
+            log.n_events += events
+        query_targets = np.empty(count, dtype=int)
+        results: list = []
+        for step in range(count):
+            event_spent = 0
+            for _ in range(spec.events_per_query):
+                spent, events = self._apply_events(spec, self.clock)
+                self.clock += 1
+                event_spent += spent
+                log.n_events += events
+            log.epoch_of_query.append(self.memberships.n_epochs - 1)
+            log.membership_size.append(int(algorithm.members.size))
+            target = int(self.workload_rng.choice(self.targets))
+            query_targets[step] = target
+            before_flush = algorithm.maintenance_probes_total
+            results.append(algorithm.query(target, seed=self.rng))
+            log.maintenance.append(
+                event_spent + algorithm.maintenance_probes_total - before_flush
+            )
+        # Phase-boundary drain (a no-op for eager/lazy, whose buffers are
+        # empty after a query).
+        drained = algorithm.flush_maintenance(seed=self.rng)
+        if drained:
+            log.maintenance[-1] += drained
+        return query_targets, results, log
 
 
 def _run_trial_task(
@@ -481,3 +633,20 @@ def _run_trial_task(
 ) -> TrialRecord:
     """Module-level trial entry point (picklable for the process pool)."""
     return QueryEngine(workers=1).run_trial(scenario, algorithm_factory, seed)
+
+
+def _run_service_task(
+    scenario: Scenario, algorithm_factory: AlgorithmFactory, seed: int
+) -> list[TrialRecord]:
+    """Module-level service-trial entry point (picklable, one per world)."""
+    world = build_clustered_oracle(
+        scenario.topology, seed=seed, core_pool_size=scenario.core_pool_size
+    )
+    return QueryEngine(workers=1).run_service_trial(
+        world,
+        algorithm_factory(),
+        scenario.phases,
+        sampling=scenario.sampling,
+        seed=seed,
+        noise=scenario.noise,
+    )

@@ -19,6 +19,95 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.harness.scenario import Scenario
 
 
+class MembershipLog:
+    """Persistent diff log of the membership epochs of a churn trial.
+
+    Epoch 0 is the initial membership; epoch ``t`` is epoch ``t - 1`` with
+    ``left[t]`` removed and ``joined[t]`` appended (sorted, the order
+    :meth:`repro.algorithms.base.NearestPeerAlgorithm.join` maintains).
+    Recording an event stores only the changed ids — O(changes) per event
+    rather than the O(|M|) full-array copy the engine used to take — so a
+    long trial over a large membership costs O(events + total changes)
+    memory.  Epoch member arrays are reconstructed on demand
+    (:meth:`membership`, or the sequential :meth:`walk` that
+    :func:`repro.harness.scoring.score_epochs` drives).
+    """
+
+    def __init__(self, initial: np.ndarray) -> None:
+        self._initial = np.array(initial, dtype=int, copy=True)
+        self._joined: list[np.ndarray] = []
+        self._left: list[np.ndarray] = []
+
+    def append_event(
+        self,
+        joined: np.ndarray | Sequence[int],
+        left: np.ndarray | Sequence[int],
+    ) -> int:
+        """Record one membership event; returns the new epoch index."""
+        self._joined.append(np.asarray(joined, dtype=int))
+        self._left.append(np.asarray(left, dtype=int))
+        return len(self._joined)
+
+    @property
+    def n_epochs(self) -> int:
+        """Epoch count, including the initial epoch 0."""
+        return len(self._joined) + 1
+
+    @property
+    def stored_entries(self) -> int:
+        """Total member ids held by the log — the memory-regression metric.
+
+        Exactly ``|initial| + Σ |changes|``; the per-event full-snapshot
+        representation this replaces stored ``Σ |M_t|`` instead.
+        """
+        return int(
+            self._initial.size
+            + sum(j.size for j in self._joined)
+            + sum(x.size for x in self._left)
+        )
+
+    def _apply(self, members: np.ndarray, epoch: int) -> np.ndarray:
+        left = self._left[epoch - 1]
+        joined = self._joined[epoch - 1]
+        if left.size:
+            members = members[~np.isin(members, left)]
+        if joined.size:
+            members = np.concatenate([members, np.sort(joined)])
+        return members
+
+    def membership(self, epoch: int) -> np.ndarray:
+        """Reconstruct the member array of one epoch."""
+        if not 0 <= epoch < self.n_epochs:
+            raise DataError(
+                f"epoch {epoch} out of range [0, {self.n_epochs})"
+            )
+        members = self._initial
+        for e in range(1, epoch + 1):
+            members = self._apply(members, e)
+        return members
+
+    def walk(self, epochs: np.ndarray | Sequence[int]):
+        """Yield the member array of each requested epoch, in order.
+
+        ``epochs`` must be sorted ascending; the diffs are applied once in
+        a single forward pass, so scoring a whole trial costs one walk.
+        """
+        members = self._initial
+        cursor = 0
+        for epoch in epochs:
+            epoch = int(epoch)
+            if epoch < cursor:
+                raise DataError("walk() epochs must be sorted ascending")
+            if epoch >= self.n_epochs:
+                raise DataError(
+                    f"epoch {epoch} out of range [0, {self.n_epochs})"
+                )
+            while cursor < epoch:
+                cursor += 1
+                members = self._apply(members, cursor)
+            yield members
+
+
 @dataclass(frozen=True)
 class TrialRecord:
     """Per-query outcomes of one trial, scored against ground truth.
@@ -48,7 +137,15 @@ class TrialRecord:
     membership_size: np.ndarray | None = None
     #: Maintenance probes spent churning before the first query (the
     #: warmup phase of a churn trial), kept out of the per-query bill.
+    #: Under a deferred maintenance discipline warmup events may buffer at
+    #: zero cost here and land on the first query's bill instead.
     warmup_maintenance_probes: int = 0
+    #: Membership events (non-empty join/leave calls) the trial applied,
+    #: so maintenance cost can be normalised per event as well as per
+    #: query.  0 for static protocols.
+    n_churn_events: int = 0
+    #: Service-mode phase this record belongs to (``None`` elsewhere).
+    phase: str | None = None
 
     def __post_init__(self) -> None:
         n = self.targets.size
@@ -112,6 +209,17 @@ class TrialRecord:
             else 0
         )
         return billed + int(self.warmup_maintenance_probes)
+
+    @property
+    def maintenance_probes_per_event(self) -> float:
+        """Total maintenance bill (warmup included) per membership event.
+
+        The discipline-comparison metric: an eager rebuild scheme pays
+        |M|² here per event, a coalescing one ~|M|²/k.
+        """
+        if self.n_churn_events == 0:
+            return 0.0
+        return self.total_maintenance_probes / self.n_churn_events
 
     @property
     def mean_membership_size(self) -> float:

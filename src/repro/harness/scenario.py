@@ -32,7 +32,10 @@ from repro.util.validate import require_in_range, require_positive
 #: sampled-query discipline with membership events (join/leave, see
 #: :class:`ChurnSpec`) interleaved between queries from the same seeded
 #: stream, and correctness scored against the membership at query time.
-PROTOCOLS = ("sampled", "per-target", "churn")
+#: ``service`` is long-running service mode: one built algorithm stays
+#: alive across a sequence of churn phases (:class:`ServicePhase`), with
+#: warm restarts between phases and one :class:`TrialRecord` per phase.
+PROTOCOLS = ("sampled", "per-target", "churn", "service")
 
 #: Target-sampling policies understood by :class:`SamplingSpec`.
 SAMPLING_POLICIES = ("uniform", "skewed", "single-cluster")
@@ -144,6 +147,13 @@ class ChurnSpec:
     are capped by standby supply).  Everything is drawn from the one
     seeded trial stream, so a churn trial replays from one integer exactly
     like the static protocols.
+
+    ``events_per_query`` decouples the event rate from the query rate:
+    each query is preceded by that many event steps (default 1, the
+    historical behaviour), so a high-event-rate / sparse-query workload —
+    the regime where deferred maintenance disciplines win — is one knob
+    away.  ``warmup_steps`` and ``session_length`` are measured in *event
+    steps* on the same clock.
     """
 
     #: Fraction of the member pool alive at build time; the rest form the
@@ -154,6 +164,8 @@ class ChurnSpec:
     session_length: float | None = None
     warmup_steps: int = 0
     min_members: int = 24
+    #: Event steps applied before each query (the event:query rate ratio).
+    events_per_query: int = 1
 
     def __post_init__(self) -> None:
         require_in_range(self.initial_fraction, "initial_fraction", 0.0, 1.0)
@@ -175,6 +187,31 @@ class ChurnSpec:
             raise ConfigurationError(
                 f"min_members must be >= 2, got {self.min_members}"
             )
+        require_positive(self.events_per_query, "events_per_query")
+
+
+@dataclass(frozen=True)
+class ServicePhase:
+    """One phase of a long-running ``service`` trial.
+
+    A service trial keeps one built algorithm alive across its phases
+    (warm restarts: the index carries over, no rebuild).  Each phase runs
+    ``churn.warmup_steps`` event-only transition steps followed by
+    ``n_queries`` interleaved event+query steps under its own churn
+    dynamics, and yields its own
+    :class:`~repro.harness.results.TrialRecord` (tagged with ``name``).
+    The first phase's ``initial_fraction`` seeds the session's initial
+    membership split; later phases inherit the live membership.
+    """
+
+    name: str
+    churn: ChurnSpec
+    n_queries: int = 100
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a service phase needs a name")
+        require_positive(self.n_queries, "n_queries")
 
 
 @dataclass(frozen=True)
@@ -197,6 +234,9 @@ class Scenario:
     #: Membership dynamics; required by (and exclusive to) the ``churn``
     #: protocol.
     churn: ChurnSpec | None = None
+    #: Phase sequence; required by (and exclusive to) the ``service``
+    #: protocol (``n_queries`` is then per-phase, from each phase).
+    phases: tuple[ServicePhase, ...] | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -213,6 +253,15 @@ class Scenario:
         if self.protocol != "churn" and self.churn is not None:
             raise ConfigurationError(
                 f"churn spec set but protocol is {self.protocol!r}"
+            )
+        if self.protocol == "service" and not self.phases:
+            raise ConfigurationError(
+                "the service protocol requires a non-empty phase sequence "
+                "(scenario.phases)"
+            )
+        if self.protocol != "service" and self.phases is not None:
+            raise ConfigurationError(
+                f"phases set but protocol is {self.protocol!r}"
             )
 
     def world_seeds(self) -> list[int]:
@@ -399,5 +448,80 @@ MASS_DEPARTURE = register_scenario(
         n_queries=150,
         seed=79,
         description="population drains toward the membership floor",
+    )
+)
+
+#: High event rate, sparse queries: eight event steps between consecutive
+#: queries.  The regime deferred maintenance disciplines are built for —
+#: under ``maintenance="lazy"`` the eight steps coalesce into one index
+#: application per query, under ``"coalesce:8"`` into roughly one per
+#: window, while ``"eager"`` pays per event.
+CHURN_LAZY_INDEX = register_scenario(
+    Scenario(
+        name="churn-lazy-index",
+        topology=ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2),
+        sampling=SamplingSpec(n_targets=40),
+        protocol="churn",
+        churn=ChurnSpec(
+            initial_fraction=0.7,
+            arrival_rate=0.7,
+            departure_rate=0.7,
+            session_length=300.0,
+            warmup_steps=24,
+            min_members=32,
+            events_per_query=8,
+        ),
+        n_queries=60,
+        seed=81,
+        description="8 event steps per query: the deferred-maintenance regime",
+    )
+)
+
+#: Long-running service mode: one built algorithm survives three operating
+#: regimes back to back — steady flux, an arrival surge, then a drain —
+#: with warm restarts (the index carries across phase boundaries) and one
+#: TrialRecord per phase.
+SERVICE_MODE_RESTARTS = register_scenario(
+    Scenario(
+        name="service-mode-restarts",
+        topology=ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2),
+        sampling=SamplingSpec(n_targets=40),
+        protocol="service",
+        phases=(
+            ServicePhase(
+                "steady",
+                ChurnSpec(
+                    initial_fraction=0.6,
+                    arrival_rate=0.5,
+                    departure_rate=0.5,
+                    session_length=100.0,
+                    warmup_steps=10,
+                    min_members=32,
+                ),
+                n_queries=60,
+            ),
+            ServicePhase(
+                "surge",
+                ChurnSpec(
+                    arrival_rate=2.5,
+                    departure_rate=0.2,
+                    warmup_steps=5,
+                    min_members=32,
+                ),
+                n_queries=60,
+            ),
+            ServicePhase(
+                "drain",
+                ChurnSpec(
+                    arrival_rate=0.1,
+                    departure_rate=1.8,
+                    warmup_steps=5,
+                    min_members=32,
+                ),
+                n_queries=60,
+            ),
+        ),
+        seed=82,
+        description="steady -> surge -> drain phases on one live algorithm",
     )
 )

@@ -56,7 +56,7 @@ def score_batch(
 
 def score_epochs(
     matrix: np.ndarray,
-    memberships: list,
+    memberships,
     epoch_of_query: np.ndarray,
     targets: np.ndarray,
     found: np.ndarray,
@@ -64,14 +64,20 @@ def score_epochs(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Churn-aware scoring: each query judged against *its* membership.
 
-    ``memberships`` holds one member-id array per membership epoch (the
-    intervals between churn events) and ``epoch_of_query[i]`` names the
-    epoch query ``i`` ran under, so "correct closest peer" means closest
-    among the members alive at query time — a peer that had already left
-    is neither a valid answer nor part of the ground-truth minimum.
-    Queries sharing an epoch are scored in one vectorised
-    :func:`score_batch` slice.
+    ``memberships`` holds the membership of every epoch (the intervals
+    between churn events) — either a list with one member-id array per
+    epoch, or a :class:`~repro.harness.results.MembershipLog` whose diff
+    representation is reconstructed on demand in one forward walk.
+    ``epoch_of_query[i]`` names the epoch query ``i`` ran under, so
+    "correct closest peer" means closest among the members alive at query
+    time — a peer that had already left is neither a valid answer nor part
+    of the ground-truth minimum.  Accordingly a ``found`` id outside its
+    epoch's membership (a stale answer from a deferred-maintenance index)
+    scores as a miss on both metrics.  Queries sharing an epoch are scored
+    in one vectorised :func:`score_batch` slice.
     """
+    from repro.harness.results import MembershipLog
+
     epoch_of_query = np.asarray(epoch_of_query, dtype=int)
     targets = np.asarray(targets, dtype=int)
     found = np.asarray(found, dtype=int)
@@ -82,17 +88,23 @@ def score_epochs(
         )
     exact_hit = np.zeros(targets.size, dtype=bool)
     cluster_hit = np.zeros(targets.size, dtype=bool)
-    for epoch in np.unique(epoch_of_query):
+    unique_epochs = np.unique(epoch_of_query)
+    if isinstance(memberships, MembershipLog):
+        epoch_members = memberships.walk(unique_epochs)
+    else:
+        epoch_members = (memberships[int(e)] for e in unique_epochs)
+    for epoch, members in zip(unique_epochs, epoch_members):
         mask = epoch_of_query == epoch
         exact, cluster = score_batch(
             matrix,
-            memberships[int(epoch)],
+            members,
             targets[mask],
             found[mask],
             host_cluster=host_cluster,
         )
-        exact_hit[mask] = exact
-        cluster_hit[mask] = cluster
+        live = np.isin(found[mask], members)
+        exact_hit[mask] = exact & live
+        cluster_hit[mask] = cluster & live
     return exact_hit, cluster_hit
 
 

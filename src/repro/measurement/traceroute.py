@@ -58,10 +58,19 @@ class Rockettrace:
         factor = float(np.exp(self._rng.normal(0.0, self._config.rtt_noise_sigma)))
         return rtt_ms * factor + float(self._rng.exponential(self._config.queueing_scale_ms))
 
-    def trace(self, src_host: int, dst_host: int) -> TracerouteResult:
-        """Run one traceroute; hop annotations follow router *names*."""
+    def trace(
+        self, src_host: int, dst_host: int, route=None
+    ) -> TracerouteResult:
+        """Run one traceroute; hop annotations follow router *names*.
+
+        ``route`` optionally supplies the precomputed
+        :class:`~repro.topology.graph.Route` (see :meth:`trace_many`);
+        the noise draws are untouched, so a trace over a precomputed
+        route is bit-identical to one that routes on the fly.
+        """
         internet = self._internet
-        route = internet.route(src_host, dst_host)
+        if route is None:
+            route = internet.route(src_host, dst_host)
         hops: list[TracerouteHop] = []
         for position, (router_id, cum_ms) in enumerate(
             zip(route.routers, route.cumulative_ms)
@@ -101,6 +110,24 @@ class Rockettrace:
             destination_responded=responded,
             destination_rtt_ms=self._noisy(route.latency_ms) if responded else None,
         )
+
+    def trace_many(
+        self, src_host: int, dst_hosts: "list[int] | np.ndarray"
+    ) -> list[TracerouteResult]:
+        """Traceroutes from one vantage to many destinations, batched.
+
+        Route construction goes through the topology's
+        :meth:`~repro.topology.graph.RouterLevelTopology.routes_from`
+        fast path (shared upward-chain prefix, core segments cached per
+        destination PoP), while the per-hop noise draws replay the scalar
+        :meth:`trace` loop in destination order — results are
+        bit-identical to tracing each destination individually.
+        """
+        routes = self._internet.routes_from(int(src_host), dst_hosts)
+        return [
+            self.trace(int(src_host), int(dst), route=route)
+            for dst, route in zip(dst_hosts, routes)
+        ]
 
 
 def last_common_router(

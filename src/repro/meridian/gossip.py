@@ -6,6 +6,15 @@ each node periodically picks a random acquaintance, requests a sample of its
 ring members, probes the returned nodes and files them into rings.  Used by
 tests (to show the direct construction approximates the protocol's fixed
 point) and by the quickstart example.
+
+The same ``ring_request``/``ring_reply`` exchange, collapsed off the event
+loop, powers the churn-time **ring-repair pass**
+(:func:`repair_overlay_rings`): after departures thin an overlay's rings,
+each underfull node pulls candidate samples from its surviving ring
+neighbours (free metadata, as a gossip reply is), probes the unknown ones
+through the caller's counted-maintenance channel and files them back into
+rings — which is how a live deployment re-fattens rings without waiting for
+fresh arrivals.
 """
 
 from __future__ import annotations
@@ -110,11 +119,7 @@ class GossipMeridianNode(SimNode):
             del ring[int(victim)]
 
     def _sample_members(self, count: int) -> list[int]:
-        members = list(self.state.all_members())
-        if not members:
-            return []
-        count = min(count, len(members))
-        return [int(m) for m in self._rng.choice(members, size=count, replace=False)]
+        return sample_ring_members(self.state, count, self._rng)
 
     def on_message(self, message: Message) -> None:
         if message.kind == "tick":
@@ -128,6 +133,132 @@ class GossipMeridianNode(SimNode):
             self.send(message.src, "ring_reply", payload=sample)
         elif message.kind == "ring_reply":
             self._learn_many(message.payload)
+
+
+#: Exchange rounds one repair pass may spend per underfull node before
+#: giving up (overlapping replies from drained neighbours converge fast;
+#: this only bounds the pathological fully-overlapping case).
+_MAX_REPAIR_ROUNDS = 4
+
+
+def sample_ring_members(
+    state: MeridianNode, count: int, rng: np.random.Generator
+) -> list[int]:
+    """A gossip reply: a uniform sample of ``state``'s ring members.
+
+    The one exchange payload of the protocol, shared by the live
+    simulator's ``ring_request`` handler and the collapsed repair pass.
+    """
+    members = list(state.all_members())
+    if not members:
+        return []
+    count = min(count, len(members))
+    return [int(m) for m in rng.choice(members, size=count, replace=False)]
+
+
+def repair_overlay_rings(
+    overlay: MeridianOverlay,
+    probe_many,
+    rng: np.random.Generator,
+    exchange_size: int = 16,
+    occupancy_floor: int | None = None,
+) -> int:
+    """Gossip-style ring repair after departures; returns nodes repaired.
+
+    Departures only ever *evict* ring entries, so under sustained churn
+    rings thin out until arrivals re-fatten them.  This pass runs the
+    gossip exchange to quiescence for every node whose total ring
+    occupancy fell below its floor:
+
+    1. the node asks surviving ring members for a
+       :func:`sample_ring_members` payload each — candidate *identities*
+       are gossip metadata and cost nothing, exactly as a ``ring_reply``
+       does on the event loop;
+    2. previously unknown candidates are probed through ``probe_many``
+       (``(node_id, candidates) -> latencies``) — the caller supplies the
+       counted-maintenance channel, so every repair measurement is billed;
+    3. measured candidates are filed with the incremental random-eviction
+       cap (:func:`repro.meridian.overlay.insert_with_cap`).
+
+    The default floor is *per node*: half of the node's own
+    :attr:`~repro.meridian.overlay.MeridianNode.peak_occupancy`, capped by
+    the live population.  Ring caps and the latency distribution bound
+    what a node's rings can structurally hold (in a clustered world most
+    members land in a few capped rings), so a floor derived from the raw
+    knowledge size can sit *above* that bound — every node then stays
+    "underfull" forever and re-repairs on each event.  Half of the
+    demonstrated peak is always reachable and leaves repair quiescent
+    under steady churn, firing only after genuine drain.  Pass
+    ``occupancy_floor`` to pin one explicit floor for every node instead.
+
+    A node with no surviving acquaintances bootstraps from uniformly
+    random live members, as a rejoining node would.
+    """
+    from repro.meridian.overlay import insert_with_cap
+
+    n = overlay.n_members
+    if n < 2:
+        return 0
+    repaired = 0
+    member_ids = overlay.member_ids
+    for node_id in member_ids:
+        node = overlay.nodes[int(node_id)]
+        floor = (
+            occupancy_floor
+            if occupancy_floor is not None
+            else max(1, min(node.peak_occupancy, n - 1) // 2)
+        )
+        if node.member_count() >= floor:
+            continue
+        # Exchange rounds to quiescence: drained neighbours offer thin
+        # replies at first, so keep pulling (against progressively
+        # repaired views) until the floor is met or a round goes dry.
+        for _ in range(_MAX_REPAIR_ROUNDS):
+            known = node.all_members()
+            deficit = floor - len(known)
+            if deficit <= 0:
+                break
+            neighbours = list(known)
+            if not neighbours:
+                pool = member_ids[member_ids != node.node_id]
+                take = min(max(deficit, 1), pool.size)
+                neighbours = [
+                    int(m) for m in rng.choice(pool, size=take, replace=False)
+                ]
+            # Enough exchanges to cover the deficit if replies were disjoint.
+            n_partners = min(
+                len(neighbours), max(1, -(-deficit // max(1, exchange_size)))
+            )
+            partners = [
+                int(m)
+                for m in rng.choice(neighbours, size=n_partners, replace=False)
+            ]
+            # Bootstrap partners are themselves unknown: probe and file
+            # them first, then whatever their replies surface.
+            candidates = [p for p in partners if p not in known]
+            seen = set(known)
+            seen.add(node.node_id)
+            seen.update(partners)
+            for partner in partners:
+                for member in sample_ring_members(
+                    overlay.nodes[partner], exchange_size, rng
+                ):
+                    if member not in seen:
+                        seen.add(member)
+                        candidates.append(member)
+            if len(candidates) > deficit:
+                pick = rng.choice(len(candidates), size=deficit, replace=False)
+                candidates = [candidates[int(i)] for i in sorted(pick)]
+            if not candidates:
+                break  # the neighbourhood has nothing new to offer
+            latencies = probe_many(
+                node.node_id, np.asarray(candidates, dtype=int)
+            )
+            for member, latency in zip(candidates, latencies):
+                insert_with_cap(node, int(member), float(latency), rng)
+        if node.member_count() >= floor:
+            repaired += 1
+    return repaired
 
 
 def run_gossip_overlay(

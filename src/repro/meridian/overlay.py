@@ -89,6 +89,12 @@ class MeridianNode:
         self.rings: list[dict[int, float]] = [
             {} for _ in range(config.rings.ring_count)
         ]
+        #: Highest total ring occupancy this node ever held.  Ring caps
+        #: and the latency distribution bound what a node's rings *can*
+        #: hold (a clustered world concentrates members into a few capped
+        #: rings), so repair targets are set relative to this demonstrated
+        #: capacity, not the raw knowledge size.
+        self.peak_occupancy = 0
 
     def ring_of(self, latency_ms: float) -> int:
         return self.config.rings.ring_index(latency_ms)
@@ -98,6 +104,13 @@ class MeridianNode:
         if member == self.node_id:
             raise DataError("a node cannot be its own ring member")
         self.rings[self.ring_of(latency_ms)][member] = latency_ms
+        self.note_peak()
+
+    def note_peak(self) -> None:
+        """Fold the current occupancy into :attr:`peak_occupancy`."""
+        count = self.member_count()
+        if count > self.peak_occupancy:
+            self.peak_occupancy = count
 
     def evict(self, member: int) -> bool:
         """Drop ``member`` from whichever ring holds it.
@@ -195,11 +208,8 @@ class MeridianOverlay:
         members = np.asarray(member_ids, dtype=int)
         if members.size < 2:
             raise DataError("an overlay needs at least two members")
-        ring_count = config.rings.ring_count
         # Ring edges for vectorised assignment: index i covers (edge[i-1], edge[i]].
-        edges = np.array(
-            [config.rings.ring_bounds(i)[1] for i in range(ring_count - 1)]
-        )
+        edges = np.array(config.rings.outer_edges())
 
         nodes: dict[int, MeridianNode] = {}
         knowledge = config.knowledge_size(members.size)
@@ -220,6 +230,18 @@ class MeridianOverlay:
             )
             nodes[int(node_id)] = node
         return cls(config=config, member_ids=members, nodes=nodes)
+
+    def evict_everywhere(self, departed) -> None:
+        """Drop every departed id from every surviving node's rings.
+
+        The overlay-wide counterpart of :meth:`MeridianNode.evict`, run
+        after :meth:`remove_node` — real departures are noticed ring by
+        ring, so this is free (no measurements).
+        """
+        departed = [int(x) for x in departed]
+        for node in self.nodes.values():
+            for x in departed:
+                node.evict(x)
 
     def average_ring_occupancy(self) -> float:
         """Mean members per non-empty ring (diagnostic)."""
@@ -252,9 +274,7 @@ def populate_node_rings(
     config = node.config
     ring_count = config.rings.ring_count
     if edges is None:
-        edges = np.array(
-            [config.rings.ring_bounds(i)[1] for i in range(ring_count - 1)]
-        )
+        edges = np.array(config.rings.outer_edges())
     ring_index = np.searchsorted(edges, latencies, side="left")
     for ring in range(ring_count):
         mask = ring_index == ring
@@ -269,6 +289,24 @@ def populate_node_rings(
             cand_lat = cand_lat[pick]
         for idx in _select_ring_members(candidates, config, pairwise):
             node.rings[ring][int(candidates[idx])] = float(cand_lat[idx])
+    node.note_peak()
+
+
+def insert_with_cap(
+    node: MeridianNode, member: int, latency_ms: float, rng: np.random.Generator
+) -> None:
+    """Incremental insert: file ``member`` and randomly evict on overflow.
+
+    Meridian's incremental behaviour between periodic re-selections —
+    used by join advertisements and the ring-repair pass, so a capped
+    ring stays at ``ring_size`` without paying a diversity-selection
+    block per insert.
+    """
+    node.insert(member, latency_ms)
+    ring = node.rings[node.ring_of(latency_ms)]
+    if len(ring) > node.config.ring_size:
+        victim = int(rng.choice(list(ring)))
+        del ring[victim]
 
 
 def _select_ring_members(

@@ -51,3 +51,13 @@ class RingStructure:
         if index >= self.n_rings:
             return inner, math.inf
         return inner, self.alpha_ms * self.base**index
+
+    def outer_edges(self) -> list[float]:
+        """Outer bounds of every ring but the last, in ring order.
+
+        These are the bin edges for vectorised ring assignment
+        (``np.searchsorted(edges, latencies, side="left")`` reproduces
+        :meth:`ring_index` element-wise); the overlay builder, incremental
+        joins and the ring-repair pass all bin against the same schedule.
+        """
+        return [self.ring_bounds(i)[1] for i in range(self.ring_count - 1)]

@@ -264,47 +264,94 @@ class RouterLevelTopology:
         Follows the paper's model: if the two attachment chains share a
         router below or at the PoP, the message turns around at the first
         (lowest) shared router; otherwise it goes up to each host's PoP
-        router and across the core graph.
+        router and across the core graph.  One implementation serves both
+        the scalar and the batched path: this is :meth:`routes_from` with
+        a single destination.
         """
-        if a == b:
-            return Route(routers=(), latency_ms=0.0)
-        chain_a = self._upward[a]
-        chain_b = self._upward[b]
-        position_b = self._upward_pos[b]
-        for idx_a, (router, cum_a) in enumerate(chain_a):
-            hit = position_b.get(router)
-            if hit is not None:
-                idx_b, lca_cum_b = hit
+        return self.routes_from(a, [b])[0]
+
+    def routes_from(
+        self, src: int, dst_hosts: "np.ndarray | list[int]"
+    ) -> list[Route]:
+        """Routes from one source to many destinations, sharing source work.
+
+        The one routing implementation (:meth:`route` is the
+        single-destination call).  Per-source work is shared across
+        destinations: the source's upward-chain prefix and the core
+        segment (shortest-path reconstruction plus the per-edge
+        ``core_graph`` latency lookups, historically the per-pair
+        dominant cost) are computed once per distinct destination PoP
+        router instead of once per destination host — the same router
+        tuples and the same floats in the same association order as a
+        per-pair loop.  This is the fast path for traceroute campaigns,
+        where one vantage traces thousands of hosts whose routes fan out
+        over a handful of PoPs.
+        """
+        chain_a = self._upward[src]
+        # destination PoP router -> (prefix routers, prefix cums,
+        # cumulative RTT at that router, core latency), exactly the state
+        # route() rebuilds per call before descending the b-chain.
+        core_cache: dict[int, tuple[list[int], list[float], float, float]] = {}
+        routes: list[Route] = []
+        for dst in dst_hosts:
+            dst = int(dst)
+            if dst == src:
+                routes.append(Route(routers=(), latency_ms=0.0))
+                continue
+            chain_b = self._upward[dst]
+            position_b = self._upward_pos[dst]
+            shared = None
+            for idx_a, (router, cum_a) in enumerate(chain_a):
+                hit = position_b.get(router)
+                if hit is not None:
+                    shared = idx_a, cum_a, hit
+                    break
+            if shared is not None:
+                # Same-PoP pair: the chains are short, keep the scalar scan.
+                idx_a, cum_a, (idx_b, lca_cum_b) = shared
                 routers = [r for r, _ in chain_a[: idx_a + 1]]
                 cums = [c for _, c in chain_a[: idx_a + 1]]
-                # Descend b's chain from just below the LCA to b's side.
                 for j in range(idx_b - 1, -1, -1):
                     routers.append(chain_b[j][0])
                     cums.append(cum_a + (lca_cum_b - chain_b[j][1]))
-                return Route(
+                routes.append(
+                    Route(
+                        routers=tuple(routers),
+                        latency_ms=cum_a + lca_cum_b,
+                        cumulative_ms=tuple(cums),
+                    )
+                )
+                continue
+            router_a, cum_a = chain_a[-1]
+            router_b, cum_b = chain_b[-1]
+            cached = core_cache.get(router_b)
+            if cached is None:
+                core_latency, core_path = self._core_route(router_a, router_b)
+                prefix_routers = [r for r, _ in chain_a]
+                prefix_cums = [c for _, c in chain_a]
+                running = cum_a
+                for prev, node in zip(core_path, core_path[1:]):
+                    running += float(
+                        self.core_graph.edges[prev, node]["latency_ms"]
+                    )
+                    prefix_routers.append(node)
+                    prefix_cums.append(running)
+                cached = (prefix_routers, prefix_cums, running, core_latency)
+                core_cache[router_b] = cached
+            prefix_routers, prefix_cums, running, core_latency = cached
+            routers = list(prefix_routers)
+            cums = list(prefix_cums)
+            for j in range(len(chain_b) - 2, -1, -1):
+                routers.append(chain_b[j][0])
+                cums.append(running + (cum_b - chain_b[j][1]))
+            routes.append(
+                Route(
                     routers=tuple(routers),
-                    latency_ms=cum_a + lca_cum_b,
+                    latency_ms=cum_a + core_latency + cum_b,
                     cumulative_ms=tuple(cums),
                 )
-        router_a, cum_a = chain_a[-1]
-        router_b, cum_b = chain_b[-1]
-        core_latency, core_path = self._core_route(router_a, router_b)
-        routers = [r for r, _ in chain_a]
-        cums = [c for _, c in chain_a]
-        running = cum_a
-        for prev, node in zip(core_path, core_path[1:]):
-            running += float(self.core_graph.edges[prev, node]["latency_ms"])
-            routers.append(node)
-            cums.append(running)
-        # ``running`` now sits at b's PoP router; descend b's chain.
-        for j in range(len(chain_b) - 2, -1, -1):
-            routers.append(chain_b[j][0])
-            cums.append(running + (cum_b - chain_b[j][1]))
-        return Route(
-            routers=tuple(routers),
-            latency_ms=cum_a + core_latency + cum_b,
-            cumulative_ms=tuple(cums),
-        )
+            )
+        return routes
 
     def _pair_latency_ms(self, a: int, b: int) -> float:
         """RTT between two hosts without materialising the router path."""

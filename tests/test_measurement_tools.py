@@ -121,6 +121,27 @@ class TestRockettrace:
         if "edge" in kinds:
             assert kinds["edge"] is False
 
+    def test_routes_from_bit_identical_to_scalar(self, small_internet):
+        """The batched per-vantage route construction must not move a
+        single float: same router tuples, same cumulative latencies."""
+        src = small_internet.vantage_ids[0]
+        dsts = list(small_internet.peer_ids[:120]) + [src]
+        batched = small_internet.routes_from(src, dsts)
+        for dst, route in zip(dsts, batched):
+            scalar = small_internet.route(src, int(dst))
+            assert route.routers == scalar.routers
+            assert route.latency_ms == scalar.latency_ms
+            assert route.cumulative_ms == scalar.cumulative_ms
+
+    def test_trace_many_bit_identical_to_scalar_traces(self, small_internet):
+        """Batched tracing replays the scalar noise stream exactly."""
+        src = small_internet.vantage_ids[0]
+        dsts = small_internet.peer_ids[:60]
+        batched = Rockettrace(small_internet, seed=11).trace_many(src, dsts)
+        scalar_tracer = Rockettrace(small_internet, seed=11)
+        for dst, result in zip(dsts, batched):
+            assert result == scalar_tracer.trace(src, int(dst))
+
     def test_closest_upstream_pop_matches_ground_truth_mostly(self, small_internet):
         tracer = Rockettrace(
             small_internet, TracerouteConfig(router_response_rate=1.0), seed=4
