@@ -27,6 +27,8 @@ from repro.core.finder import NearestPeerFinder
 from repro.core.opportunity import opportunity_cost
 from repro.harness import (
     AggregateStats,
+    DaemonSpec,
+    DaemonTrialRecord,
     NoiseSpec,
     QueryEngine,
     SamplingSpec,
@@ -74,6 +76,8 @@ __all__ = [
     "ClusterReport",
     "opportunity_cost",
     "AggregateStats",
+    "DaemonSpec",
+    "DaemonTrialRecord",
     "NoiseSpec",
     "QueryEngine",
     "SamplingSpec",

@@ -23,7 +23,9 @@ package holds the fixes that use extra information).
 from repro.algorithms.base import (
     MaintenanceScheduler,
     NearestPeerAlgorithm,
+    ProbeOp,
     SearchResult,
+    probe_round,
 )
 from repro.algorithms.beaconing import BeaconSearch
 from repro.algorithms.karger_ruhl import KargerRuhlSearch
@@ -36,7 +38,9 @@ from repro.algorithms.tiers import TiersSearch
 __all__ = [
     "MaintenanceScheduler",
     "NearestPeerAlgorithm",
+    "ProbeOp",
     "SearchResult",
+    "probe_round",
     "MeridianSearch",
     "KargerRuhlSearch",
     "TapestrySearch",

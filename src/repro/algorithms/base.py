@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Generator, Iterable
 
 import numpy as np
 
@@ -146,6 +147,52 @@ class MaintenanceScheduler:
         return self.discipline
 
 
+@dataclass(frozen=True)
+class ProbeOp:
+    """One already-measured probe whose *completion* a plan driver times.
+
+    The stepwise query protocol (:meth:`NearestPeerAlgorithm.query_plan`)
+    yields batches of these.  The measurement itself has already happened
+    through the algorithm's counted probe channel when the batch is
+    yielded — accounting, noise-stream order and rng consumption are
+    therefore identical to the blocking :meth:`~NearestPeerAlgorithm.query`
+    by construction — but the *plan generator does not act on the values
+    until the driver resumes it*, so a latency-faithful driver (the
+    simulated-time daemon) simply holds the resume until every probe's
+    ``rtt_ms`` has elapsed on its clock.  An instantaneous driver resumes
+    immediately and reproduces the blocking query bit for bit.
+    """
+
+    #: The member issuing the measurement.
+    src: int
+    #: The node measured (the query target for ``kind="probe"``).
+    dst: int
+    #: The RTT the probe observed — also its completion time.
+    rtt_ms: float
+    #: ``"probe"`` (counts against the target-probe bill) or ``"aux"``.
+    kind: str = "probe"
+
+
+#: The stepwise query protocol: a generator yielding probe rounds (each a
+#: ``list[ProbeOp]`` fan-out that completes when its slowest probe does;
+#: rounds are sequential) and returning the final :class:`SearchResult`
+#: via ``StopIteration.value``.  Drive it with ``plan.send(None)``.
+QueryPlan = Generator  # Generator[list[ProbeOp], None, SearchResult]
+
+
+def probe_round(
+    nodes: Iterable[int],
+    target: int,
+    values: Iterable[float],
+    kind: str = "probe",
+) -> list[ProbeOp]:
+    """Package one fan-out (``nodes`` each probing ``target``) as a round."""
+    return [
+        ProbeOp(int(n), int(target), float(v), kind)
+        for n, v in zip(nodes, values)
+    ]
+
+
 @dataclass
 class SearchResult:
     """Outcome of one nearest-peer search.
@@ -193,12 +240,23 @@ class NearestPeerAlgorithm(abc.ABC):
     ``eager`` discipline events are applied immediately (bit-identical to
     the pre-scheduler code), while ``coalesce``/``lazy`` buffer events and
     apply their net effect later — see :meth:`_flush`.
+
+    Every scheme also answers *stepwise* through :meth:`query_plan` — the
+    sans-io protocol the simulated-time daemon drives, where each probe
+    fan-out is a round whose completion the driver times.  Schemes with
+    ``plan_native = True`` implement the rounds directly in :meth:`_plan`
+    (and derive ``_query`` from it); the rest go through the generic
+    record-and-replay adapter.
     """
 
     #: Human-readable scheme name (class attribute).
     name: str = "abstract"
     #: Declared membership-maintenance policy (class attribute).
     maintenance_policy: str = "rebuild"
+    #: Whether the scheme implements a native multi-round :meth:`_plan`
+    #: (class attribute).  Schemes without one still serve
+    #: :meth:`query_plan` through the generic record-and-replay adapter.
+    plan_native: bool = False
 
     def __init__(
         self, maintenance: "str | MaintenanceScheduler | None" = None
@@ -211,6 +269,7 @@ class NearestPeerAlgorithm(abc.ABC):
         self._maintenance_probe_count = 0
         self._maintenance_since_query = 0
         self._in_maintenance = False
+        self._plan_recorder: list[list[ProbeOp]] | None = None
         self.rebuild_count = 0
         self._scheduler = MaintenanceScheduler.from_spec(maintenance)
         # The membership the *index* currently reflects, or None when the
@@ -502,6 +561,133 @@ class NearestPeerAlgorithm(abc.ABC):
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
         """Subclass hook: the actual search."""
 
+    # -- stepwise query protocol (sans-io) -------------------------------------
+
+    def query_plan(
+        self,
+        target: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> QueryPlan:
+        """The stepwise counterpart of :meth:`query`.
+
+        Returns a generator that yields probe rounds (``list[ProbeOp]``)
+        and finally returns the :class:`SearchResult` through
+        ``StopIteration.value``.  Each round is a parallel fan-out whose
+        measurements have *already been taken* through the counted probe
+        channel; the driver decides when the round "completes" — after the
+        simulated RTTs on the daemon's event loop, or immediately for an
+        instantaneous driver.  Driving a fresh plan to exhaustion with no
+        delay reproduces :meth:`query` bit for bit (same rng draws, same
+        probes, same result) — the daemon's zero-delay regression anchors
+        on this.
+
+        Lazy-discipline flushes fire when the plan *starts* (its first
+        ``send(None)``), mirroring the blocking query; under ``coalesce``
+        the plan answers from the bounded-staleness indexed view.  The
+        plan snapshots that member view once and re-presents it on every
+        step, so a daemon whose membership churns mid-flight gives each
+        in-flight query a consistent membership.
+        """
+        if self._oracle is None or self._members is None:
+            raise ConfigurationError(f"{self.name}: query_plan() before build()")
+        return self._drive_plan(int(target), make_rng(seed))
+
+    def _drive_plan(self, target: int, rng: np.random.Generator) -> QueryPlan:
+        """Wrap :meth:`_plan` with the bookkeeping :meth:`query` performs.
+
+        Per-plan probe counters are swapped into the shared slots around
+        every generator step, so concurrently in-flight plans (the daemon
+        interleaves them on one event loop) each keep an exact private
+        bill; likewise the plan's member view is swapped in so a step
+        never sees a membership newer than its snapshot.
+        """
+        if self._indexed_members is not None and self._scheduler.flush_on_query:
+            self._flush(rng)
+        view = (
+            self._indexed_members
+            if self._indexed_members is not None
+            else self._members
+        )
+        inner = self._plan(target, rng)
+        probes = 0
+        aux = 0
+        result: SearchResult | None = None
+        while True:
+            live = self._members
+            saved_probes, saved_aux = self._probe_count, self._aux_probe_count
+            self._members = view
+            self._probe_count, self._aux_probe_count = probes, aux
+            try:
+                batch = next(inner)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            finally:
+                probes, aux = self._probe_count, self._aux_probe_count
+                self._members = live
+                self._probe_count, self._aux_probe_count = saved_probes, saved_aux
+            yield batch
+        if result is None:
+            raise ConfigurationError(
+                f"{self.name}: query plan finished without a SearchResult"
+            )
+        result.probes = probes
+        result.aux_probes = aux
+        result.maintenance_probes = self._maintenance_since_query
+        self._maintenance_since_query = 0
+        return result
+
+    def _plan(self, target: int, rng: np.random.Generator) -> QueryPlan:
+        """Subclass hook: the stepwise search (generator).
+
+        Converted schemes override this with a native multi-round plan —
+        one ``yield`` per probe fan-out, issuing the *same* probe calls in
+        the same order as the blocking search — and derive ``_query`` from
+        it via :meth:`_query_via_plan`, so the two code paths cannot
+        drift.
+
+        The default is the generic record-and-replay adapter for
+        unconverted schemes: it runs the blocking :meth:`_query` eagerly
+        (probes/noise/rng consumed exactly as a direct query would), with
+        every probe-channel call recorded as one round, then replays the
+        recorded rounds stepwise.  The timing a driver derives from the
+        replay is faithful — each blocking ``probe_many`` *was* one
+        parallel fan-out — but all measurements are taken at plan start
+        rather than spread over the rounds, so a stateful noisy oracle is
+        consumed up front.  Native plans interleave measurement with the
+        rounds and should be preferred for schemes whose round structure
+        matters.
+        """
+        recorder: list[list[ProbeOp]] = []
+        if self._plan_recorder is not None:
+            raise ConfigurationError(
+                f"{self.name}: recording plans cannot nest"
+            )
+        self._plan_recorder = recorder
+        try:
+            result = self._query(target, rng)
+        finally:
+            self._plan_recorder = None
+        for batch in recorder:
+            yield batch
+        return result
+
+    def _query_via_plan(
+        self, target: int, rng: np.random.Generator
+    ) -> SearchResult:
+        """Run a native :meth:`_plan` to completion with no delays.
+
+        Converted schemes implement ``_query`` as exactly this call, which
+        is what makes zero-delay plan driving bit-identical to the
+        blocking query: they are the same code.
+        """
+        plan = self._plan(target, rng)
+        try:
+            while True:
+                plan.send(None)
+        except StopIteration as stop:
+            return stop.value
+
     # -- probing --------------------------------------------------------------
 
     @property
@@ -520,7 +706,12 @@ class NearestPeerAlgorithm(abc.ABC):
         """Measure RTT between a member and the target (counted, noisy)."""
         self._probe_count += 1
         assert self._probe_oracle is not None
-        return self._probe_oracle.latency_ms(node, target)
+        value = self._probe_oracle.latency_ms(node, target)
+        if self._plan_recorder is not None:
+            self._plan_recorder.append(
+                [ProbeOp(int(node), int(target), float(value))]
+            )
+        return value
 
     def probe_many(
         self, nodes: np.ndarray | list[int], target: int
@@ -553,7 +744,16 @@ class NearestPeerAlgorithm(abc.ABC):
             return np.empty((rows.size, cols.size), dtype=float)
         self._probe_count += int(rows.size * cols.size)
         assert self._probe_oracle is not None
-        return batch_latency_block(self._probe_oracle, rows, cols)
+        block = batch_latency_block(self._probe_oracle, rows, cols)
+        if self._plan_recorder is not None:
+            self._plan_recorder.append(
+                [
+                    ProbeOp(int(a), int(b), float(block[i, j]))
+                    for i, a in enumerate(rows)
+                    for j, b in enumerate(cols)
+                ]
+            )
+        return block
 
     def aux_probe(self, a: int, b: int) -> float:
         """Measure RTT between two non-target nodes at query time.
@@ -564,7 +764,12 @@ class NearestPeerAlgorithm(abc.ABC):
         """
         self._aux_probe_count += 1
         assert self._probe_oracle is not None
-        return self._probe_oracle.latency_ms(a, b)
+        value = self._probe_oracle.latency_ms(a, b)
+        if self._plan_recorder is not None:
+            self._plan_recorder.append(
+                [ProbeOp(int(a), int(b), float(value), kind="aux")]
+            )
+        return value
 
     def aux_probe_many(
         self, a: int, nodes: np.ndarray | list[int]
@@ -579,7 +784,15 @@ class NearestPeerAlgorithm(abc.ABC):
             return np.empty(0, dtype=float)
         self._aux_probe_count += int(nodes.size)
         assert self._probe_oracle is not None
-        return batch_latencies_from(self._probe_oracle, int(a), nodes)
+        values = batch_latencies_from(self._probe_oracle, int(a), nodes)
+        if self._plan_recorder is not None:
+            self._plan_recorder.append(
+                [
+                    ProbeOp(int(a), int(n), float(v), kind="aux")
+                    for n, v in zip(nodes, values)
+                ]
+            )
+        return values
 
     def offline_distances_from(self, node: int) -> np.ndarray:
         """RTTs from ``node`` to every member, for *build/maintenance* use.
@@ -600,6 +813,17 @@ class NearestPeerAlgorithm(abc.ABC):
     def maintenance_probes_total(self) -> int:
         """All maintenance measurements since :meth:`build` (cumulative)."""
         return self._maintenance_probe_count
+
+    @property
+    def unclaimed_maintenance_probes(self) -> int:
+        """Maintenance accrued since the last query claimed its bill.
+
+        The next :meth:`query` / finished :meth:`query_plan` reports this
+        on its ``maintenance_probes`` and zeroes it; the daemon reads it
+        at shutdown so maintenance that lands after the final answer stays
+        on the books.
+        """
+        return self._maintenance_since_query
 
     def maintenance_probe(self, a: int, b: int) -> float:
         """One counted maintenance measurement (overlay-internal RTT).

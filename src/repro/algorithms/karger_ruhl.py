@@ -16,7 +16,7 @@ import math
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
 from repro.util.validate import require_positive
 
 
@@ -36,6 +36,7 @@ class KargerRuhlSearch(NearestPeerAlgorithm):
 
     name = "karger-ruhl"
     maintenance_policy = "rebuild"
+    plan_native = True
 
     def __init__(
         self,
@@ -79,20 +80,29 @@ class KargerRuhlSearch(NearestPeerAlgorithm):
                 per_scale.append(inside)
             self._samples[node] = per_scale
 
-    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+    def _plan(self, target: int, rng: np.random.Generator):
+        """Stepwise search: one round per sampling hop (native plan)."""
         current = int(rng.choice(self.members))
-        measured = {current: self.probe(current, target)}
+        first = self.probe(current, target)
+        yield probe_round([current], target, [first])
+        measured = {current: first}
         path = [current]
         for _ in range(self._max_rounds):
             d = measured[current]
             scale = self._scale_index(2.0 * d)
-            candidates = self._samples[current][min(scale, len(self._scales) - 1)]
+            per_scale = self._samples.get(current)
+            if per_scale is None:  # departed mid-flight under daemon churn
+                break
+            candidates = per_scale[min(scale, len(self._scales) - 1)]
             fresh = [
                 m
                 for m in (int(c) for c in candidates)
                 if m not in measured and m != target
             ]
-            measured.update(zip(fresh, self.probe_many(fresh, target).tolist()))
+            values = self.probe_many(fresh, target)
+            if fresh:
+                yield probe_round(fresh, target, values)
+            measured.update(zip(fresh, values.tolist()))
             best = min(measured, key=measured.get)
             # Move only on a halving, the Karger-Ruhl progress criterion.
             if measured[best] <= d / 2.0 and best != current:
@@ -101,3 +111,6 @@ class KargerRuhlSearch(NearestPeerAlgorithm):
             else:
                 break
         return self.result(target, measured, hops=len(path) - 1, path=path)
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        return self._query_via_plan(target, rng)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
 from repro.meridian.gossip import repair_overlay_rings
 from repro.meridian.overlay import (
     MeridianConfig,
@@ -13,7 +13,8 @@ from repro.meridian.overlay import (
     insert_with_cap,
     populate_node_rings,
 )
-from repro.meridian.query import closest_node_query
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
 
 
 class MeridianSearch(NearestPeerAlgorithm):
@@ -36,6 +37,7 @@ class MeridianSearch(NearestPeerAlgorithm):
 
     name = "meridian"
     maintenance_policy = "incremental"
+    plan_native = True
 
     def __init__(
         self,
@@ -105,37 +107,81 @@ class MeridianSearch(NearestPeerAlgorithm):
                 exchange_size=self._repair_exchange_size,
             )
 
-    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
-        assert self._overlay is not None
-        outcome = closest_node_query(
-            self._overlay, _CountingProxy(self), target, seed=rng
+    def repair_rings(
+        self, seed: int | np.random.Generator | None = None
+    ) -> tuple[int, int]:
+        """One gossip ring-repair pass over the live overlay, counted.
+
+        The entry point the simulated-time daemon re-drives continuously
+        (see :class:`repro.meridian.gossip.PeriodicRepair`): every repair
+        measurement is billed as maintenance, exactly as the leave-time
+        pass bills.  Returns ``(nodes_repaired, probes_spent)``.
+        """
+        if self._overlay is None:
+            raise ConfigurationError(f"{self.name}: repair_rings() before build()")
+        before = self._maintenance_probe_count
+        repaired = repair_overlay_rings(
+            self._overlay,
+            self.maintenance_probe_many,
+            make_rng(seed),
+            exchange_size=self._repair_exchange_size,
         )
+        spent = self._maintenance_probe_count - before
+        self._maintenance_since_query += spent
+        return repaired, spent
+
+    def _plan(self, target: int, rng: np.random.Generator):
+        """Native stepwise plan: one round per ring-descent hop.
+
+        Replays :func:`repro.meridian.query.closest_node_query` probe for
+        probe (same rng draw for the start node, same scalar first probe,
+        same batched ring sweeps through the counted channel), with a
+        ``yield`` between hops so a latency-faithful driver can hold each
+        hop until its slowest candidate probe completes.
+        """
+        assert self._overlay is not None
+        overlay = self._overlay
+        beta = overlay.config.beta
+        current = int(rng.choice(overlay.member_ids))
+        current_d = self.probe(current, target)
+        yield probe_round([current], target, [current_d])
+        best, best_d = current, current_d
+        measured: dict[int, float] = {current: current_d}
+        path = [current]
+        for _hop in range(overlay.config.max_hops):
+            node = overlay.nodes.get(current)
+            if node is None:  # departed mid-flight under daemon churn
+                break
+            low = (1.0 - beta) * current_d
+            high = (1.0 + beta) * current_d
+            candidates = node.members_within(low, high)
+            fresh = list(
+                dict.fromkeys(
+                    m for m in candidates if m != target and m not in measured
+                )
+            )
+            if fresh:
+                values = self.probe_block(fresh, [target])[:, 0]
+                yield probe_round(fresh, target, values)
+                measured.update(zip(fresh, values.tolist()))
+            if measured:
+                round_best = min(measured, key=measured.get)
+                if measured[round_best] < best_d:
+                    best, best_d = round_best, measured[round_best]
+            # Forward only on a beta-fraction improvement; otherwise finish.
+            if best_d <= beta * current_d and best != current:
+                current, current_d = best, best_d
+                path.append(current)
+                continue
+            break
         return SearchResult(
             target=target,
-            found=outcome.found,
-            found_latency_ms=outcome.found_latency_ms,
+            found=best,
+            found_latency_ms=best_d,
             probes=0,  # replaced by the base class from the counter
-            hops=outcome.hops,
-            path=outcome.path,
+            hops=len(path) - 1,
+            path=path,
         )
 
-
-class _CountingProxy:
-    """LatencyOracle view that routes probes through the algorithm counter.
-
-    Exposes the batch fast path too, so the query's ring sweeps stay
-    vectorised end-to-end while every probe is still counted exactly once.
-    """
-
-    def __init__(self, algorithm: MeridianSearch) -> None:
-        self._algorithm = algorithm
-
-    @property
-    def n_nodes(self) -> int:
-        return self._algorithm.oracle.n_nodes
-
-    def latency_ms(self, a: int, b: int) -> float:
-        return self._algorithm.probe(a, b)
-
-    def latency_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-        return self._algorithm.probe_block(rows, cols)
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        return self._query_via_plan(target, rng)

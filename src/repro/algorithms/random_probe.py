@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
 from repro.util.validate import require_positive
 
 
@@ -19,11 +19,13 @@ class RandomProbeSearch(NearestPeerAlgorithm):
 
     Maintenance policy: ``incremental`` at zero cost — there is no index,
     so :meth:`join` / :meth:`leave` only update the member set (0
-    maintenance probes per event).
+    maintenance probes per event).  The stepwise plan is a single round:
+    the whole budget fans out in parallel.
     """
 
     name = "random-probe"
     maintenance_policy = "incremental"
+    plan_native = True
 
     def __init__(self, budget: int = 32, maintenance=None) -> None:
         super().__init__(maintenance=maintenance)
@@ -41,10 +43,14 @@ class RandomProbeSearch(NearestPeerAlgorithm):
     ) -> None:
         pass  # nothing to maintain
 
-    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+    def _plan(self, target: int, rng: np.random.Generator):
         members = self.members[self.members != target]
         count = min(self._budget, members.size)
         picks = rng.choice(members, size=count, replace=False)
         values = self.probe_many(picks, target)
+        yield probe_round(picks, target, values)
         measured = dict(zip((int(m) for m in picks), values.tolist()))
         return self.result(target, measured, hops=0)
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        return self._query_via_plan(target, rng)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
 from repro.util.validate import require_positive
 
 _HEX_DIGITS = 16
@@ -42,6 +42,7 @@ class TapestrySearch(NearestPeerAlgorithm):
 
     name = "tapestry"
     maintenance_policy = "rebuild"
+    plan_native = True
 
     def __init__(
         self,
@@ -104,12 +105,17 @@ class TapestrySearch(NearestPeerAlgorithm):
             self._tables[node] = levels
         self._members_by_prefix_built = True
 
-    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+    def _plan(self, target: int, rng: np.random.Generator):
+        """Stepwise search: one round per routing level (native plan)."""
         current = int(rng.choice(self.members))
-        measured = {current: self.probe(current, target)}
+        first = self.probe(current, target)
+        yield probe_round([current], target, [first])
+        measured = {current: first}
         path = [current]
         for level in range(self._id_digits):
-            table = self._tables[current]
+            table = self._tables.get(current)
+            if table is None:  # departed mid-flight under daemon churn
+                break
             if level >= len(table) or table[level].size == 0:
                 break
             candidates = table[level]
@@ -122,9 +128,15 @@ class TapestrySearch(NearestPeerAlgorithm):
                 for m in (int(c) for c in candidates)
                 if m not in measured and m != target
             ]
-            measured.update(zip(fresh, self.probe_many(fresh, target).tolist()))
+            values = self.probe_many(fresh, target)
+            if fresh:
+                yield probe_round(fresh, target, values)
+            measured.update(zip(fresh, values.tolist()))
             best = min(measured, key=measured.get)
             if best != current:
                 current = best
                 path.append(current)
         return self.result(target, measured, hops=len(path) - 1, path=path)
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        return self._query_via_plan(target, rng)

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
 from repro.util.validate import require_positive
 
 
@@ -47,6 +47,7 @@ class TiersSearch(NearestPeerAlgorithm):
 
     name = "tiers"
     maintenance_policy = "incremental"
+    plan_native = True
 
     def __init__(
         self, branching: int = 12, max_levels: int = 12, maintenance=None
@@ -181,7 +182,8 @@ class TiersSearch(NearestPeerAlgorithm):
             level.represents[new] = represented
             self._substitute_upward(index + 1, old, new)
 
-    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+    def _plan(self, target: int, rng: np.random.Generator):
+        """Stepwise search: one round per hierarchy level (native plan)."""
         measured: dict[int, float] = {}
         path: list[int] = []
         # Start at the single top-level cluster and descend.
@@ -189,13 +191,18 @@ class TiersSearch(NearestPeerAlgorithm):
         cluster_id = next(iter(self._levels[level_index].clusters))
         while level_index >= 0:
             level = self._levels[level_index]
-            nodes = level.clusters[cluster_id]
+            nodes = level.clusters.get(cluster_id)
+            if nodes is None:  # cluster dissolved mid-flight under churn
+                break
             fresh = [
                 n
                 for n in (int(node) for node in nodes)
                 if n not in measured and n != target
             ]
-            measured.update(zip(fresh, self.probe_many(fresh, target).tolist()))
+            values = self.probe_many(fresh, target)
+            if fresh:
+                yield probe_round(fresh, target, values)
+            measured.update(zip(fresh, values.tolist()))
             in_cluster = {
                 int(n): measured[int(n)] for n in nodes if int(n) in measured
             }
@@ -211,3 +218,6 @@ class TiersSearch(NearestPeerAlgorithm):
                 break
             level_index -= 1
         return self.result(target, measured, hops=len(path), path=path)
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        return self._query_via_plan(target, rng)

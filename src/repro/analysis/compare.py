@@ -53,23 +53,69 @@ def format_trial_records(records: list[TrialRecord]) -> str:
 
     One row per scheme: the paper's three success/cost metrics plus the
     auxiliary-probe bill (beacon-to-beacon traffic and the like) and the
-    membership-maintenance bill (0.0 under the static protocols).
+    membership-maintenance bill (0.0 under the static protocols).  When
+    any record carries simulated timing (a daemon-protocol
+    :class:`~repro.harness.results.DaemonTrialRecord`), three
+    time-to-answer columns are appended — median/p95/p99 simulated ms —
+    and records without timing degrade gracefully to ``-`` cells.
     """
-    return format_table(
-        ["scheme", "P(exact closest)", "P(correct cluster)",
-         "probes/query", "aux/query", "maint/query"],
-        [
-            [
-                r.scheme,
-                f"{r.exact_rate:.3f}",
-                f"{r.cluster_rate:.3f}",
-                f"{r.mean_probes_per_query:.1f}",
-                f"{r.mean_aux_probes_per_query:.1f}",
-                f"{r.mean_maintenance_probes_per_query:.1f}",
-            ]
-            for r in records
-        ],
+    headers = ["scheme", "P(exact closest)", "P(correct cluster)",
+               "probes/query", "aux/query", "maint/query"]
+    timed = any(_has_timing(r) for r in records)
+    if timed:
+        headers += ["tta p50 (ms)", "tta p95 (ms)", "tta p99 (ms)"]
+    rows = []
+    for r in records:
+        row = [
+            r.scheme,
+            f"{r.exact_rate:.3f}",
+            f"{r.cluster_rate:.3f}",
+            f"{r.mean_probes_per_query:.1f}",
+            f"{r.mean_aux_probes_per_query:.1f}",
+            f"{r.mean_maintenance_probes_per_query:.1f}",
+        ]
+        if timed:
+            if _has_timing(r):
+                row += [
+                    f"{r.tta_median_ms:.1f}",
+                    f"{r.tta_p95_ms:.1f}",
+                    f"{r.tta_p99_ms:.1f}",
+                ]
+            else:
+                row += ["-", "-", "-"]
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _has_timing(record: TrialRecord) -> bool:
+    """Whether a record carries the daemon timing arrays.
+
+    Checks the arrays themselves (not the percentile properties): a
+    :class:`~repro.harness.results.DaemonTrialRecord` built without its
+    optional timing fields must degrade like an untimed record rather
+    than crash the percentile computation.
+    """
+    return (
+        getattr(record, "arrival_ms", None) is not None
+        and getattr(record, "finish_ms", None) is not None
     )
+
+
+def rank_by_time_to_answer(records: list[TrialRecord]) -> list[TrialRecord]:
+    """Order daemon records by median time to answer, fastest first.
+
+    The daemon protocol's headline ranking: schemes are judged by how
+    quickly they *answer* under load, not how few probes they issue.
+    Records without timing (non-daemon protocols) sort after all timed
+    ones, keeping their relative order.
+    """
+    def key(indexed: tuple[int, TrialRecord]) -> tuple[int, float, int]:
+        index, record = indexed
+        if not _has_timing(record):
+            return (1, 0.0, index)
+        return (0, float(record.tta_median_ms), index)
+
+    return [record for _, record in sorted(enumerate(records), key=key)]
 
 
 def format_comparisons(comparisons: list[Comparison]) -> str:

@@ -24,12 +24,14 @@ it to the engine.
 from repro.harness.engine import QueryEngine
 from repro.harness.results import (
     AggregateStats,
+    DaemonTrialRecord,
     MembershipLog,
     ScenarioResult,
     TrialRecord,
 )
 from repro.harness.scenario import (
     ChurnSpec,
+    DaemonSpec,
     NoiseSpec,
     SamplingSpec,
     Scenario,
@@ -45,6 +47,8 @@ from repro.harness.scoring import score_batch, score_epochs, score_single
 __all__ = [
     "AggregateStats",
     "ChurnSpec",
+    "DaemonSpec",
+    "DaemonTrialRecord",
     "MembershipLog",
     "NoiseSpec",
     "QueryEngine",

@@ -16,11 +16,16 @@ noisy oracle so they face identical measurement error), ``churn``
 drives the dynamic-membership lifecycle (join/leave events from a
 :class:`~repro.harness.scenario.ChurnSpec` interleaved with sampled
 queries on one seeded stream, scored against the membership at query
-time, with per-query ``maintenance_probes`` accounting), and ``service``
+time, with per-query ``maintenance_probes`` accounting), ``service``
 keeps one built algorithm alive across a sequence of churn phases
 (:meth:`QueryEngine.run_service_trial` — warm restarts, one
 :class:`TrialRecord` per phase, epoch history in one shared
-:class:`~repro.harness.results.MembershipLog` diff log).
+:class:`~repro.harness.results.MembershipLog` diff log), and ``daemon``
+runs the simulated-time service (:meth:`QueryEngine.run_daemon_trial` —
+Poisson arrivals, per-node concurrency caps, membership events and
+continuous ring repair on one event loop, producing a
+:class:`~repro.harness.results.DaemonTrialRecord` whose headline metric
+is time to answer).
 """
 
 from __future__ import annotations
@@ -32,9 +37,15 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.algorithms.base import NearestPeerAlgorithm
-from repro.harness.results import MembershipLog, ScenarioResult, TrialRecord
+from repro.harness.results import (
+    DaemonTrialRecord,
+    MembershipLog,
+    ScenarioResult,
+    TrialRecord,
+)
 from repro.harness.scenario import (
     ChurnSpec,
+    DaemonSpec,
     NoiseSpec,
     SamplingSpec,
     Scenario,
@@ -118,6 +129,16 @@ class QueryEngine:
             seed=world_seed,
             core_pool_size=scenario.core_pool_size,
         )
+        if scenario.protocol == "daemon":
+            return self.run_daemon_trial(
+                world,
+                algorithm_factory(),
+                scenario.daemon,
+                sampling=scenario.sampling,
+                n_queries=scenario.n_queries,
+                seed=world_seed,
+                noise=scenario.noise,
+            )
         return self.run_world_trial(
             world,
             algorithm_factory(),
@@ -147,6 +168,11 @@ class QueryEngine:
         ``probe_oracle`` overrides the noise spec when callers need to share
         one stateful oracle across trials (see :meth:`compare`).
         """
+        if protocol == "daemon":
+            raise ConfigurationError(
+                "the daemon protocol carries its own spec; use "
+                "run_daemon_trial() (or run_trial() on a daemon scenario)"
+            )
         rng = make_rng(seed)
         targets = sampling.sample(world, rng)
         members = np.setdiff1d(np.arange(world.topology.n_nodes), targets)
@@ -180,7 +206,12 @@ class QueryEngine:
         All schemes see the same members, the same targets in the same
         order, and (under the ``per-target`` protocol) per-target query
         seeds — common random numbers, so measured differences are scheme
-        differences.
+        differences.  Under the ``daemon`` protocol every scheme replays
+        the identical simulated-time workload — the same query arrival
+        times, targets, entry nodes and membership events — so the
+        resulting :class:`~repro.harness.results.DaemonTrialRecord` rows
+        rank schemes by *time to answer* under one load, not just by
+        probe count (see :func:`repro.analysis.compare.rank_by_time_to_answer`).
 
         Comparison is single-world by construction (schemes must share the
         world), so the world is built from ``scenario.seed`` directly and
@@ -209,6 +240,28 @@ class QueryEngine:
                 seed=scenario.seed,
                 core_pool_size=scenario.core_pool_size,
             )
+        if scenario.protocol == "daemon":
+            # run_daemon_trial re-derives targets and the whole workload
+            # stream from the scenario seed, so every scheme faces the
+            # identical simulated-time load; only the noisy probe oracle
+            # (when set) is shared statefully, as in the other protocols.
+            probe_oracle = (
+                scenario.noise.wrap(world.oracle, scenario.seed)
+                if scenario.noise is not None
+                else None
+            )
+            return [
+                self.run_daemon_trial(
+                    world,
+                    factory(),
+                    scenario.daemon,
+                    sampling=scenario.sampling,
+                    n_queries=scenario.n_queries,
+                    seed=scenario.seed,
+                    probe_oracle=probe_oracle,
+                )
+                for factory in algorithm_factories
+            ]
         rng = make_rng(scenario.seed)
         targets = scenario.sampling.sample(world, rng)
         members = np.setdiff1d(np.arange(world.topology.n_nodes), targets)
@@ -376,6 +429,104 @@ class QueryEngine:
                 )
             )
         return records
+
+    def run_daemon_trial(
+        self,
+        world: ClusteredWorld,
+        algorithm: NearestPeerAlgorithm,
+        spec: "DaemonSpec",
+        *,
+        sampling: SamplingSpec,
+        n_queries: int = 100,
+        seed: int | np.random.Generator | None = None,
+        noise: NoiseSpec | None = None,
+        probe_oracle: LatencyOracle | None = None,
+    ) -> DaemonTrialRecord:
+        """Simulated-time service: one daemon run, scored and recorded.
+
+        Mirrors the churn session's stream discipline — the workload
+        stream (arrivals, targets, entry nodes, membership draws) is split
+        off the trial rng *first*, so one integer seed replays the whole
+        run and every scheme compared under the same seed faces the
+        identical load no matter how much randomness its own build and
+        maintenance consume.  Queries are scored against the membership
+        alive when they entered service (:func:`score_epochs` over the
+        daemon's epoch log).
+        """
+        from repro.service.daemon import QueryDaemon
+
+        if spec is None:
+            raise ConfigurationError("the daemon protocol requires a DaemonSpec")
+        rng = make_rng(seed)
+        targets = sampling.sample(world, rng)
+        members = np.setdiff1d(np.arange(world.topology.n_nodes), targets)
+        if probe_oracle is None and noise is not None:
+            probe_oracle = noise.wrap(world.oracle, seed)
+        workload_rng = np.random.default_rng(int(rng.integers(2**63)))
+        n_initial = int(round(spec.initial_fraction * members.size))
+        n_initial = min(members.size, max(spec.min_members, n_initial))
+        shuffled = workload_rng.permutation(members)
+        live = np.sort(shuffled[:n_initial])
+        standby = shuffled[n_initial:].tolist()
+        algorithm.build(world.oracle, live, seed=rng, probe_oracle=probe_oracle)
+        daemon = QueryDaemon(
+            algorithm,
+            spec,
+            targets=targets,
+            workload_rng=workload_rng,
+            algo_rng=rng,
+            standby=standby,
+        )
+        run = daemon.run(n_queries)
+        jobs = run.jobs
+        query_targets = np.array([job.target for job in jobs], dtype=int)
+        found = np.array([job.result.found for job in jobs], dtype=int)
+        exact_hit, cluster_hit = score_epochs(
+            world.matrix.values,
+            run.memberships,
+            np.array([job.epoch for job in jobs], dtype=int),
+            query_targets,
+            found,
+            host_cluster=world.topology.host_cluster,
+        )
+        return DaemonTrialRecord(
+            scheme=algorithm.name,
+            world_seed=int(seed) if isinstance(seed, (int, np.integer)) else None,
+            targets=query_targets,
+            found=found,
+            found_latency_ms=np.array(
+                [job.result.found_latency_ms for job in jobs]
+            ),
+            probes=np.array([job.result.probes for job in jobs], dtype=int),
+            aux_probes=np.array(
+                [job.result.aux_probes for job in jobs], dtype=int
+            ),
+            hops=np.array([job.result.hops for job in jobs], dtype=int),
+            exact_hit=exact_hit,
+            cluster_hit=cluster_hit,
+            found_hub_latency_ms=world.topology.host_hub_latency_ms[found],
+            maintenance_probes=np.array(
+                [job.result.maintenance_probes for job in jobs], dtype=int
+            ),
+            membership_size=np.array(
+                [job.membership_size for job in jobs], dtype=int
+            ),
+            warmup_maintenance_probes=run.trailing_maintenance_probes,
+            n_churn_events=run.n_events,
+            arrival_ms=np.array([job.arrival_ms for job in jobs]),
+            start_ms=np.array([job.start_ms for job in jobs]),
+            finish_ms=np.array([job.finish_ms for job in jobs]),
+            probe_rounds=np.array([job.rounds for job in jobs], dtype=int),
+            makespan_ms=run.makespan_ms,
+            queue_depth_time_avg=run.queue_depth_time_avg,
+            queue_depth_max=run.queue_depth_max,
+            in_flight_probes_time_avg=run.in_flight_probes_time_avg,
+            in_flight_probes_max=run.in_flight_probes_max,
+            ring_repair_passes=run.ring_repair_passes,
+            ring_repair_nodes=run.ring_repair_nodes,
+            ring_repair_probes=run.ring_repair_probes,
+            forced_flushes=run.forced_flushes,
+        )
 
     def _record(
         self,

@@ -242,6 +242,107 @@ class TrialRecord:
 
 
 @dataclass(frozen=True)
+class DaemonTrialRecord(TrialRecord):
+    """A :class:`TrialRecord` from the simulated-time query daemon.
+
+    On top of the classic per-query arrays it carries the *timing* arrays
+    (all in simulated ms): when each query arrived, when it entered
+    service (after any FIFO wait behind its entry node's concurrency cap)
+    and when its answer landed.  Queries are in arrival order.  The
+    headline metric is **time to answer** — ``finish - arrival`` —
+    summarised by the percentile properties the daemon scenarios rank
+    schemes with.
+
+    ``warmup_maintenance_probes`` holds the run's *trailing* maintenance
+    (accrued after the last answer, claimed by no query's bill), so
+    :attr:`~TrialRecord.total_maintenance_probes` stays exact.
+    """
+
+    #: Simulated arrival / service-start / answer times per query.
+    arrival_ms: np.ndarray | None = None
+    start_ms: np.ndarray | None = None
+    finish_ms: np.ndarray | None = None
+    #: Probe rounds each query's plan issued (its critical-path depth).
+    probe_rounds: np.ndarray | None = None
+    #: Simulated time from first arrival to last answer.
+    makespan_ms: float = 0.0
+    #: Time-weighted mean / peak of queries FIFO-queued behind node caps.
+    queue_depth_time_avg: float = 0.0
+    queue_depth_max: int = 0
+    #: Time-weighted mean / peak of probes simultaneously in flight.
+    in_flight_probes_time_avg: float = 0.0
+    in_flight_probes_max: int = 0
+    #: Continuous Meridian ring-repair totals (0 for other schemes).
+    ring_repair_passes: int = 0
+    ring_repair_nodes: int = 0
+    ring_repair_probes: int = 0
+    #: Timer-forced deferred-maintenance flushes.
+    forced_flushes: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        n = self.targets.size
+        for name in ("arrival_ms", "start_ms", "finish_ms", "probe_rounds"):
+            arr = getattr(self, name)
+            if arr is not None and arr.shape != (n,):
+                raise DataError(
+                    f"DaemonTrialRecord.{name} has shape {arr.shape}, "
+                    f"expected ({n},)"
+                )
+
+    # -- timing metrics ----------------------------------------------------
+
+    @property
+    def time_to_answer_ms(self) -> np.ndarray:
+        """Per-query answer latency: arrival to answer, queueing included."""
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def queue_wait_ms(self) -> np.ndarray:
+        """Per-query FIFO wait before entering service."""
+        return self.start_ms - self.arrival_ms
+
+    @property
+    def service_time_ms(self) -> np.ndarray:
+        """Per-query in-service time (the probing critical path)."""
+        return self.finish_ms - self.start_ms
+
+    @property
+    def tta_mean_ms(self) -> float:
+        return float(self.time_to_answer_ms.mean())
+
+    @property
+    def tta_median_ms(self) -> float:
+        return float(np.percentile(self.time_to_answer_ms, 50))
+
+    @property
+    def tta_p95_ms(self) -> float:
+        return float(np.percentile(self.time_to_answer_ms, 95))
+
+    @property
+    def tta_p99_ms(self) -> float:
+        return float(np.percentile(self.time_to_answer_ms, 99))
+
+    @property
+    def mean_queue_wait_ms(self) -> float:
+        return float(self.queue_wait_ms.mean())
+
+    @property
+    def mean_probe_rounds(self) -> float:
+        """Mean critical-path depth (sequential probe rounds per query)."""
+        if self.probe_rounds is None:
+            return 0.0
+        return float(self.probe_rounds.mean())
+
+    @property
+    def simulated_queries_per_sec(self) -> float:
+        """Answer throughput in simulated time."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.n_queries / (self.makespan_ms / 1000.0)
+
+
+@dataclass(frozen=True)
 class AggregateStats:
     """One metric summarised across trials (the paper's median/min/max)."""
 

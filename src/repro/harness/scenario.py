@@ -35,7 +35,12 @@ from repro.util.validate import require_in_range, require_positive
 #: ``service`` is long-running service mode: one built algorithm stays
 #: alive across a sequence of churn phases (:class:`ServicePhase`), with
 #: warm restarts between phases and one :class:`TrialRecord` per phase.
-PROTOCOLS = ("sampled", "per-target", "churn", "service")
+#: ``daemon`` is simulated-time service: Poisson query arrivals, per-node
+#: concurrency caps with FIFO queueing, membership events and continuous
+#: Meridian ring repair all interleaved on one netsim event loop, with
+#: time-to-answer percentiles as the headline metric (:class:`DaemonSpec`,
+#: :class:`repro.service.daemon.QueryDaemon`).
+PROTOCOLS = ("sampled", "per-target", "churn", "service", "daemon")
 
 #: Target-sampling policies understood by :class:`SamplingSpec`.
 SAMPLING_POLICIES = ("uniform", "skewed", "single-cluster")
@@ -215,6 +220,77 @@ class ServicePhase:
 
 
 @dataclass(frozen=True)
+class DaemonSpec:
+    """Simulated-time service load for the ``daemon`` protocol.
+
+    All times are simulated milliseconds on the daemon's event loop.
+    Queries arrive as a Poisson process (exponential inter-arrival times
+    with mean ``mean_interarrival_ms``); each query enters at a uniformly
+    random live member, which serves at most ``per_node_concurrency``
+    queries simultaneously — excess arrivals wait in that node's FIFO
+    queue.  Probe fan-outs complete after their measured RTTs, so a
+    scheme's *time to answer* is its true critical path (per round, the
+    slowest probe), not its probe count.
+
+    Membership events, when configured, fire as their own Poisson process
+    (mean spacing ``mean_event_interval_ms``); each event draws
+    ``Poisson(departure_rate)`` departures (respecting ``min_members``)
+    and ``Poisson(arrival_rate)`` arrivals from the standby pool, applied
+    through the algorithm's counted join/leave maintenance — index repair
+    happens *between* query rounds on the same loop, exactly the
+    interleaving a live deployment sees.  ``flush_period_ms`` additionally
+    forces deferred-maintenance (coalesce/lazy) flushes on a timer;
+    ``ring_repair_period_ms`` re-drives Meridian's gossip ring repair
+    continuously (ignored by schemes without ``repair_rings``).
+
+    ``zero_delay`` collapses every probe delay to zero — queries then
+    serialise perfectly and the daemon reproduces the blocking
+    :meth:`~repro.algorithms.base.NearestPeerAlgorithm.query` results bit
+    for bit (the regression tests pin this).
+    """
+
+    mean_interarrival_ms: float = 50.0
+    per_node_concurrency: int = 2
+    #: Fraction of the member pool live at build time (rest = standby).
+    initial_fraction: float = 0.7
+    min_members: int = 24
+    #: Mean spacing of membership events; ``None`` keeps membership static.
+    mean_event_interval_ms: float | None = None
+    arrival_rate: float = 0.5
+    departure_rate: float = 0.5
+    #: Forced deferred-maintenance flush period (``None`` = only
+    #: event/query-driven flushes).
+    flush_period_ms: float | None = None
+    #: Continuous Meridian ring-repair period (``None`` disables).
+    ring_repair_period_ms: float | None = None
+    #: Instantaneous probe delivery (testing / equivalence runs).
+    zero_delay: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(self.mean_interarrival_ms, "mean_interarrival_ms")
+        require_positive(self.per_node_concurrency, "per_node_concurrency")
+        require_in_range(self.initial_fraction, "initial_fraction", 0.0, 1.0)
+        if self.min_members < 2:
+            raise ConfigurationError(
+                f"min_members must be >= 2, got {self.min_members}"
+            )
+        if self.mean_event_interval_ms is not None:
+            require_positive(self.mean_event_interval_ms, "mean_event_interval_ms")
+        if self.arrival_rate < 0:
+            raise ConfigurationError(
+                f"arrival_rate must be >= 0, got {self.arrival_rate}"
+            )
+        if self.departure_rate < 0:
+            raise ConfigurationError(
+                f"departure_rate must be >= 0, got {self.departure_rate}"
+            )
+        if self.flush_period_ms is not None:
+            require_positive(self.flush_period_ms, "flush_period_ms")
+        if self.ring_repair_period_ms is not None:
+            require_positive(self.ring_repair_period_ms, "ring_repair_period_ms")
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A full workload: world + noise + sampling + protocol + trials."""
 
@@ -237,6 +313,9 @@ class Scenario:
     #: Phase sequence; required by (and exclusive to) the ``service``
     #: protocol (``n_queries`` is then per-phase, from each phase).
     phases: tuple[ServicePhase, ...] | None = None
+    #: Simulated-time load; required by (and exclusive to) the ``daemon``
+    #: protocol.
+    daemon: DaemonSpec | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -262,6 +341,14 @@ class Scenario:
         if self.protocol != "service" and self.phases is not None:
             raise ConfigurationError(
                 f"phases set but protocol is {self.protocol!r}"
+            )
+        if self.protocol == "daemon" and self.daemon is None:
+            raise ConfigurationError(
+                "the daemon protocol requires a DaemonSpec (scenario.daemon)"
+            )
+        if self.protocol != "daemon" and self.daemon is not None:
+            raise ConfigurationError(
+                f"daemon spec set but protocol is {self.protocol!r}"
             )
 
     def world_seeds(self) -> list[int]:
@@ -474,6 +561,58 @@ CHURN_LAZY_INDEX = register_scenario(
         n_queries=60,
         seed=81,
         description="8 event steps per query: the deferred-maintenance regime",
+    )
+)
+
+# -- simulated-time daemon workloads ----------------------------------------
+
+#: Steady simulated-time service: Poisson queries at a sustainable rate,
+#: background churn, and continuous Meridian ring repair — the workload
+#: where *time to answer* (not probe count) ranks the schemes.
+DAEMON_STEADY = register_scenario(
+    Scenario(
+        name="daemon-steady",
+        topology=ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2),
+        sampling=SamplingSpec(n_targets=40),
+        protocol="daemon",
+        daemon=DaemonSpec(
+            mean_interarrival_ms=40.0,
+            per_node_concurrency=2,
+            initial_fraction=0.7,
+            min_members=32,
+            mean_event_interval_ms=150.0,
+            arrival_rate=0.5,
+            departure_rate=0.5,
+            ring_repair_period_ms=600.0,
+        ),
+        n_queries=150,
+        seed=91,
+        description="Poisson queries + background churn + continuous ring repair",
+    )
+)
+
+#: Flash crowd on the daemon: queries pour in an order of magnitude faster
+#: onto a small seed population while arrivals flood the membership — the
+#: regime where per-node concurrency caps fill and FIFO queueing delay
+#: dominates time-to-answer.
+DAEMON_FLASH_CROWD = register_scenario(
+    Scenario(
+        name="daemon-flash-crowd",
+        topology=ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2),
+        sampling=SamplingSpec(n_targets=40),
+        protocol="daemon",
+        daemon=DaemonSpec(
+            mean_interarrival_ms=5.0,
+            per_node_concurrency=1,
+            initial_fraction=0.25,
+            min_members=32,
+            mean_event_interval_ms=40.0,
+            arrival_rate=3.0,
+            departure_rate=0.05,
+        ),
+        n_queries=150,
+        seed=92,
+        description="query burst onto a small population: queueing delay dominates",
     )
 )
 

@@ -17,22 +17,41 @@ class _Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Returned by :meth:`EventLoop.schedule`; allows cancellation."""
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, loop: "EventLoop") -> None:
         self._event = event
+        self._loop = loop
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._loop._note_cancel()
 
     @property
     def time(self) -> float:
         """Scheduled firing time (ms)."""
         return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending (not fired, not cancelled)."""
+        return not (self._event.cancelled or self._event.fired)
+
+
+#: Lazy-compaction trigger: the heap is rebuilt without its cancelled
+#: entries once at least this many cancellations are buried in it *and*
+#: they make up at least half of the queue.  The absolute floor keeps tiny
+#: queues from paying an O(n) rebuild per cancellation; the fraction keeps
+#: the amortised cost O(1) per cancelled event on large queues.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class EventLoop:
@@ -41,6 +60,11 @@ class EventLoop:
     Time is in **milliseconds** (matching the library's latency unit).
     Events scheduled at equal times fire in scheduling order, so simulations
     are exactly reproducible.
+
+    Cancelled events are dropped lazily: they stay in the heap (marked
+    dead) until they either reach the front or a compaction pass rebuilds
+    the heap without them.  :attr:`pending` is exact either way — it never
+    counts cancelled entries.
     """
 
     def __init__(self) -> None:
@@ -48,6 +72,7 @@ class EventLoop:
         self._queue: list[_Event] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -56,7 +81,12 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of *live* events still queued (cancelled ones excluded)."""
+        return len(self._queue) - self._cancelled
+
+    @property
+    def queue_size(self) -> int:
+        """Raw heap size, cancelled entries included (compaction diagnostic)."""
         return len(self._queue)
 
     @property
@@ -77,12 +107,33 @@ class EventLoop:
             args=args,
         )
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
+
+    def _note_cancel(self) -> None:
+        """Account one cancellation; compact the heap past the threshold."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and 2 * self._cancelled >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Heap order among survivors is fully determined by the unique
+        ``(time, sequence)`` keys, so compaction cannot perturb firing
+        order.
+        """
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def _pop_and_run(self) -> bool:
         """Pop the next event; return True iff it actually executed."""
         event = heapq.heappop(self._queue)
         if event.cancelled:
+            self._cancelled -= 1
             return False
         if event.time < self._now:
             raise SimulationError(
@@ -90,6 +141,7 @@ class EventLoop:
             )
         self._now = event.time
         self._processed += 1
+        event.fired = True
         event.callback(*event.args)
         return True
 

@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.netsim.engine import EventHandle, EventLoop
-from repro.topology.oracle import LatencyOracle
+from repro.topology.oracle import LatencyOracle, batch_latencies_from
 from repro.util.errors import SimulationError
 from repro.util.rng import make_rng
 
@@ -111,9 +111,83 @@ class Network:
         delay = self.oracle.latency_ms(message.src, message.dst) / 2.0
         self.loop.schedule(delay, self._deliver, message)
 
+    def send_many(
+        self,
+        src: int,
+        dsts: np.ndarray | Sequence[int],
+        kind: str,
+        payloads: Sequence[Any] | None = None,
+    ) -> None:
+        """Fan one message out from ``src`` to every node in ``dsts``.
+
+        The batched counterpart of N :meth:`send` calls: the loss decisions
+        come first as one vectorised draw (the same generator stream, so
+        the drop pattern is bit-identical to the scalar loop), then the
+        *surviving* destinations' latencies come from a single
+        :func:`~repro.topology.oracle.batch_latencies_from` draw instead of
+        N scalar ``latency_ms`` calls — exactly the probes the scalar loop
+        would have made, so counting/noisy oracle accounting stays exact
+        (a lost message never consumes an oracle draw, scalar or batched).
+        """
+        dsts = np.asarray(dsts, dtype=int)
+        if payloads is not None and len(payloads) != dsts.size:
+            raise SimulationError(
+                f"send_many got {dsts.size} destinations but "
+                f"{len(payloads)} payloads"
+            )
+        unknown = [int(d) for d in dsts if int(d) not in self._nodes]
+        if unknown:
+            raise SimulationError(f"unknown destination nodes {unknown[:8]}")
+        self.messages_sent += int(dsts.size)
+        if dsts.size == 0:
+            return
+        if self.loss_rate:
+            kept = self._rng.random(size=dsts.size) >= self.loss_rate
+            self.messages_lost += int(dsts.size - kept.sum())
+            if payloads is not None:
+                payloads = [p for p, keep in zip(payloads, kept) if keep]
+            dsts = dsts[kept]
+            if dsts.size == 0:
+                return
+        delays = batch_latencies_from(self.oracle, int(src), dsts) / 2.0
+        for i, (dst, delay) in enumerate(zip(dsts, delays)):
+            message = Message(
+                src=int(src),
+                dst=int(dst),
+                kind=kind,
+                payload=payloads[i] if payloads is not None else None,
+            )
+            self.loop.schedule(float(delay), self._deliver, message)
+
     def deliver_later(self, message: Message, delay_ms: float) -> EventHandle:
         """Schedule a direct (loss-free) delivery; used for timers."""
         return self.loop.schedule(delay_ms, self._deliver, message)
+
+    def deliver_many(
+        self,
+        messages: Sequence[Message],
+        delays_ms: np.ndarray | Sequence[float],
+    ) -> list[EventHandle]:
+        """Schedule one loss-free delivery per message at an explicit delay.
+
+        The batch analogue of :meth:`deliver_later`, for callers that have
+        already *measured* the relevant RTTs (the query daemon's probe
+        fan-outs carry the latency each probe observed through the counted
+        probe channel) — delivery then models timing only, without
+        consulting the oracle again or re-rolling the loss model.
+        """
+        delays = np.asarray(delays_ms, dtype=float)
+        if delays.size != len(messages):
+            raise SimulationError(
+                f"deliver_many got {len(messages)} messages but "
+                f"{delays.size} delays"
+            )
+        if delays.size and float(delays.min()) < 0:
+            raise SimulationError("deliver_many delays must be >= 0")
+        return [
+            self.loop.schedule(float(delay), self._deliver, message)
+            for message, delay in zip(messages, delays)
+        ]
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)

@@ -1,0 +1,408 @@
+"""The discrete-event nearest-peer query daemon.
+
+One :class:`QueryDaemon` owns an :class:`~repro.netsim.engine.EventLoop`,
+a :class:`~repro.netsim.network.Network` and one *built*
+:class:`~repro.algorithms.base.NearestPeerAlgorithm`, and serves a batch
+of Poisson-arriving queries under latency-faithful timing:
+
+* each query is a stepwise plan
+  (:meth:`~repro.algorithms.base.NearestPeerAlgorithm.query_plan`); a
+  round's probes are delivered back to the daemon's coordinator through
+  :meth:`~repro.netsim.network.Network.deliver_many` — one batched
+  scheduling call per fan-out, each probe completing after the RTT it
+  measured — and the plan resumes only when the whole round is in;
+* queries are admitted at a random live entry node, at most
+  ``per_node_concurrency`` in service per node, the rest FIFO-queued;
+* membership events (counted join/leave maintenance), forced
+  deferred-maintenance flushes and continuous Meridian ring repair
+  (:class:`~repro.meridian.gossip.PeriodicRepair`) fire on the same loop.
+
+The daemon is deterministic: one workload generator drives arrivals,
+targets, entry choices and membership draws; one algorithm generator
+drives build/query/maintenance randomness.  Same seeds, same timeline.
+
+**Dispatch model.** A probe round completes after its slowest probe's
+RTT.  The coordination hop (asking member *p* to probe the target) is not
+billed in time — the daemon measures the scheme's *probing* critical
+path, the quantity the paper's lower bound speaks to.  ``zero_delay``
+collapses all delays; the loop then serialises queries and the daemon
+reproduces blocking ``query()`` results bit for bit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm, ProbeOp, SearchResult
+from repro.harness.results import MembershipLog
+from repro.harness.scenario import DaemonSpec
+from repro.meridian.gossip import PeriodicRepair
+from repro.netsim.engine import EventHandle, EventLoop
+from repro.netsim.network import Message, Network, SimNode
+from repro.util.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class QueryJob:
+    """One query's lifecycle on the daemon."""
+
+    index: int
+    target: int
+    entry: int
+    arrival_ms: float
+    start_ms: float = -1.0
+    finish_ms: float = -1.0
+    #: Membership epoch (index into the daemon's log) at service start.
+    epoch: int = 0
+    membership_size: int = 0
+    result: SearchResult | None = None
+    #: Probe rounds the plan issued (diagnostic).
+    rounds: int = 0
+    plan: Iterator | None = field(default=None, repr=False)
+    _outstanding: int = field(default=0, repr=False)
+
+    @property
+    def time_to_answer_ms(self) -> float:
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def queue_wait_ms(self) -> float:
+        return self.start_ms - self.arrival_ms
+
+
+@dataclass
+class DaemonRun:
+    """Raw outcome of one daemon run (pre-scoring).
+
+    ``jobs`` are in arrival order.  The time-weighted means integrate the
+    queue depth / in-flight probe count over the run's makespan, so an
+    idle tail dilutes them exactly as it would a production dashboard's.
+    """
+
+    jobs: list[QueryJob]
+    memberships: MembershipLog
+    #: Non-empty membership events applied (join and leave counted apart).
+    n_events: int
+    makespan_ms: float
+    queue_depth_time_avg: float
+    queue_depth_max: int
+    in_flight_probes_time_avg: float
+    in_flight_probes_max: int
+    #: Maintenance accrued after the last answered query (unclaimed by any
+    #: job's ``maintenance_probes``).
+    trailing_maintenance_probes: int
+    ring_repair_passes: int
+    ring_repair_nodes: int
+    ring_repair_probes: int
+    forced_flushes: int
+    loop_events: int
+
+
+class _Coordinator(SimNode):
+    """The daemon's single attached node: every probe reply lands here."""
+
+    def __init__(self, node_id: int, daemon: "QueryDaemon") -> None:
+        super().__init__(node_id)
+        self._daemon = daemon
+
+    def on_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind == "probe-reply":
+            self._daemon._on_probe_reply(message.payload)
+        elif kind == "round-empty":
+            self._daemon._advance(message.payload)
+        else:
+            raise SimulationError(f"coordinator got unknown message {kind!r}")
+
+
+class QueryDaemon:
+    """Serves nearest-peer queries under concurrent simulated-time load.
+
+    The caller supplies a *built* algorithm plus the workload inputs; the
+    engine front-end (:meth:`repro.harness.engine.QueryEngine.run_daemon_trial`)
+    handles the member/standby split and build, mirroring the churn
+    session's stream discipline so one integer seed replays everything.
+
+    Workload draw order (pinned — the determinism and zero-delay
+    equivalence tests replay it): per arrival, *target*, then *entry
+    node*, then (while arrivals remain) the next *inter-arrival gap*;
+    membership ticks draw departures then arrivals then the next gap.
+    """
+
+    def __init__(
+        self,
+        algorithm: NearestPeerAlgorithm,
+        spec: DaemonSpec,
+        targets: np.ndarray,
+        workload_rng: np.random.Generator,
+        algo_rng: np.random.Generator,
+        standby: list[int] | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.spec = spec
+        self.targets = np.asarray(targets, dtype=int)
+        if self.targets.size == 0:
+            raise ConfigurationError("the daemon needs a non-empty target pool")
+        self.workload_rng = workload_rng
+        self.algo_rng = algo_rng
+        self.standby: list[int] = list(standby) if standby is not None else []
+        self.loop = EventLoop()
+        self.network = Network(self.loop, algorithm.oracle)
+        self._coordinator_id = int(algorithm.oracle.n_nodes)  # off host range
+        self._coordinator = _Coordinator(self._coordinator_id, self)
+        self.network.attach(self._coordinator)
+        self.memberships = MembershipLog(algorithm.members)
+        self.n_events = 0
+        self.jobs: list[QueryJob] = []
+        # Per-entry-node admission state.
+        self._active: dict[int, int] = {}
+        self._fifo: dict[int, deque[QueryJob]] = {}
+        # Time-weighted load accounting.
+        self._queued = 0
+        self._queue_area = 0.0
+        self._queue_last = 0.0
+        self.queue_depth_max = 0
+        self._in_flight = 0
+        self._in_flight_area = 0.0
+        self._in_flight_last = 0.0
+        self.in_flight_probes_max = 0
+        # Run bookkeeping.
+        self._n_queries = 0
+        self._arrived = 0
+        self._answered = 0
+        self._done = False
+        self._membership_timer: EventHandle | None = None
+        self._flush_timer: EventHandle | None = None
+        self._repair: PeriodicRepair | None = None
+        self.forced_flushes = 0
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self, n_queries: int) -> DaemonRun:
+        """Serve ``n_queries`` queries to completion and collect the run."""
+        if n_queries < 1:
+            raise ConfigurationError(f"n_queries must be >= 1, got {n_queries}")
+        if self.jobs:
+            raise ConfigurationError("a QueryDaemon instance runs once")
+        self._n_queries = n_queries
+        spec = self.spec
+        self.loop.schedule(self._next_gap(), self._arrival)
+        if spec.mean_event_interval_ms is not None:
+            self._membership_timer = self.loop.schedule(
+                float(self.workload_rng.exponential(spec.mean_event_interval_ms)),
+                self._membership_tick,
+            )
+        if spec.flush_period_ms is not None:
+            self._flush_timer = self.loop.schedule(
+                spec.flush_period_ms, self._flush_tick
+            )
+        repair_fn = getattr(self.algorithm, "repair_rings", None)
+        if spec.ring_repair_period_ms is not None and repair_fn is not None:
+            self._repair = PeriodicRepair(
+                self.loop,
+                spec.ring_repair_period_ms,
+                lambda: repair_fn(seed=self.algo_rng),
+            )
+            self._repair.start()
+        self.loop.run()
+        if self._answered != n_queries:
+            raise SimulationError(
+                f"daemon drained with {self._answered}/{n_queries} answered"
+            )
+        # Close the time-weighted integrals at the makespan.
+        self._note_queue(0)
+        self._note_in_flight(0)
+        makespan = self.loop.now
+        repair = self._repair
+        return DaemonRun(
+            jobs=self.jobs,
+            memberships=self.memberships,
+            n_events=self.n_events,
+            makespan_ms=makespan,
+            queue_depth_time_avg=(
+                self._queue_area / makespan if makespan > 0 else 0.0
+            ),
+            queue_depth_max=self.queue_depth_max,
+            in_flight_probes_time_avg=(
+                self._in_flight_area / makespan if makespan > 0 else 0.0
+            ),
+            in_flight_probes_max=self.in_flight_probes_max,
+            trailing_maintenance_probes=self.algorithm.unclaimed_maintenance_probes,
+            ring_repair_passes=repair.passes if repair else 0,
+            ring_repair_nodes=repair.nodes_repaired if repair else 0,
+            ring_repair_probes=repair.probes_spent if repair else 0,
+            forced_flushes=self.forced_flushes,
+            loop_events=self.loop.processed,
+        )
+
+    # -- load accounting ---------------------------------------------------
+
+    def _note_queue(self, delta: int) -> None:
+        now = self.loop.now
+        self._queue_area += self._queued * (now - self._queue_last)
+        self._queue_last = now
+        self._queued += delta
+        if self._queued > self.queue_depth_max:
+            self.queue_depth_max = self._queued
+
+    def _note_in_flight(self, delta: int) -> None:
+        now = self.loop.now
+        self._in_flight_area += self._in_flight * (now - self._in_flight_last)
+        self._in_flight_last = now
+        self._in_flight += delta
+        if self._in_flight > self.in_flight_probes_max:
+            self.in_flight_probes_max = self._in_flight
+
+    # -- arrivals and admission --------------------------------------------
+
+    def _next_gap(self) -> float:
+        return float(
+            self.workload_rng.exponential(self.spec.mean_interarrival_ms)
+        )
+
+    def _arrival(self) -> None:
+        wrng = self.workload_rng
+        target = int(wrng.choice(self.targets))
+        live = self.algorithm.members
+        entry = int(wrng.choice(live))
+        job = QueryJob(
+            index=self._arrived,
+            target=target,
+            entry=entry,
+            arrival_ms=self.loop.now,
+        )
+        self._arrived += 1
+        self.jobs.append(job)
+        if self._arrived < self._n_queries:
+            self.loop.schedule(self._next_gap(), self._arrival)
+        if self._active.get(entry, 0) < self.spec.per_node_concurrency:
+            self._start(job)
+        else:
+            self._fifo.setdefault(entry, deque()).append(job)
+            self._note_queue(+1)
+
+    def _start(self, job: QueryJob) -> None:
+        self._active[job.entry] = self._active.get(job.entry, 0) + 1
+        job.start_ms = self.loop.now
+        job.epoch = self.memberships.n_epochs - 1
+        job.membership_size = int(self.algorithm.members.size)
+        job.plan = self.algorithm.query_plan(job.target, seed=self.algo_rng)
+        self._advance(job)
+
+    # -- plan driving ------------------------------------------------------
+
+    def _advance(self, job: QueryJob) -> None:
+        """Resume the plan; schedule the next round or finish the job."""
+        try:
+            batch: list[ProbeOp] = job.plan.send(None)
+        except StopIteration as stop:
+            self._finish(job, stop.value)
+            return
+        job.rounds += 1
+        if not batch:
+            # A round with nothing to measure resumes on the next loop turn.
+            self.network.deliver_later(
+                Message(
+                    src=self._coordinator_id,
+                    dst=self._coordinator_id,
+                    kind="round-empty",
+                    payload=job,
+                ),
+                0.0,
+            )
+            return
+        job._outstanding = len(batch)
+        self._note_in_flight(+len(batch))
+        delays = (
+            [0.0] * len(batch)
+            if self.spec.zero_delay
+            else [op.rtt_ms for op in batch]
+        )
+        messages = [
+            Message(
+                src=op.src,
+                dst=self._coordinator_id,
+                kind="probe-reply",
+                payload=job,
+            )
+            for op in batch
+        ]
+        self.network.deliver_many(messages, delays)
+
+    def _on_probe_reply(self, job: QueryJob) -> None:
+        self._note_in_flight(-1)
+        job._outstanding -= 1
+        if job._outstanding == 0:
+            self._advance(job)
+
+    def _finish(self, job: QueryJob, result: SearchResult) -> None:
+        job.finish_ms = self.loop.now
+        job.result = result
+        self._answered += 1
+        # Release the entry slot; admit the node's next queued query.
+        self._active[job.entry] -= 1
+        fifo = self._fifo.get(job.entry)
+        if fifo:
+            self._note_queue(-1)
+            self._start(fifo.popleft())
+        if self._answered == self._n_queries:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        """Cancel the periodic timers so the loop can drain."""
+        self._done = True
+        if self._membership_timer is not None:
+            self._membership_timer.cancel()
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+        if self._repair is not None:
+            self._repair.stop()
+
+    # -- background processes ----------------------------------------------
+
+    def _membership_tick(self) -> None:
+        if self._done:
+            return
+        spec = self.spec
+        wrng = self.workload_rng
+        algorithm = self.algorithm
+        current = algorithm.members
+        departing: list[int] = []
+        n_departures = int(wrng.poisson(spec.departure_rate))
+        n_departures = min(n_departures, max(0, current.size - spec.min_members))
+        if n_departures > 0:
+            departing = [
+                int(x)
+                for x in wrng.choice(current, size=n_departures, replace=False)
+            ]
+            algorithm.leave(np.asarray(departing, dtype=int), seed=self.algo_rng)
+            self.standby.extend(departing)
+        n_arrivals = min(int(wrng.poisson(spec.arrival_rate)), len(self.standby))
+        arriving: list[int] = []
+        if n_arrivals > 0:
+            picks = wrng.choice(len(self.standby), size=n_arrivals, replace=False)
+            arriving = [self.standby[int(i)] for i in picks]
+            for index in sorted((int(i) for i in picks), reverse=True):
+                del self.standby[index]
+            algorithm.join(np.asarray(arriving, dtype=int), seed=self.algo_rng)
+        if departing or arriving:
+            self.memberships.append_event(arriving, departing)
+            self.n_events += (1 if departing else 0) + (1 if arriving else 0)
+        self._membership_timer = self.loop.schedule(
+            float(wrng.exponential(spec.mean_event_interval_ms)),
+            self._membership_tick,
+        )
+
+    def _flush_tick(self) -> None:
+        if self._done:
+            return
+        if self.algorithm.has_pending_maintenance:
+            self.algorithm.flush_maintenance(seed=self.algo_rng)
+            self.forced_flushes += 1
+        self._flush_timer = self.loop.schedule(
+            self.spec.flush_period_ms, self._flush_tick
+        )

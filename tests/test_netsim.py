@@ -110,6 +110,67 @@ class TestEventLoop:
         loop.run(max_events=1)
         assert loop.pending == 0
 
+    def test_pending_excludes_cancelled_events(self):
+        """Regression: ``pending`` used to count cancelled entries."""
+        loop = EventLoop()
+        handles = [loop.schedule(1.0, lambda: None) for _ in range(10)]
+        assert loop.pending == 10
+        for handle in handles[:7]:
+            handle.cancel()
+        assert loop.pending == 3
+        # Double-cancel and cancel-after-fire must not corrupt the count.
+        handles[0].cancel()
+        assert loop.pending == 3
+        loop.run()
+        assert loop.pending == 0
+        assert loop.processed == 3
+        for handle in handles:
+            handle.cancel()  # all fired or cancelled: no-ops
+        assert loop.pending == 0
+
+    def test_compaction_shrinks_the_heap(self):
+        loop = EventLoop()
+        fired = []
+        keepers = [loop.schedule(float(i), fired.append, i) for i in range(5)]
+        storm = [loop.schedule(10.0, fired.append, -1) for _ in range(500)]
+        assert loop.queue_size == 505
+        for handle in storm:
+            handle.cancel()
+        # The cancellation storm crossed the compaction threshold: dead
+        # entries were swept, so the heap carries at most one threshold's
+        # worth of them (the post-compaction stragglers) — not all 500.
+        assert loop.pending == 5
+        assert loop.queue_size - loop.pending < 64
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert all(not h.active for h in keepers)
+
+    def test_compaction_preserves_firing_order(self):
+        loop = EventLoop()
+        fired = []
+        # Interleave keepers and victims at identical times, so only the
+        # (time, sequence) keys can order the survivors.
+        victims = []
+        for i in range(200):
+            if i % 2:
+                victims.append(loop.schedule(5.0, fired.append, i))
+            else:
+                loop.schedule(5.0, fired.append, i)
+        for handle in victims:
+            handle.cancel()
+        loop.run()
+        assert fired == [i for i in range(200) if i % 2 == 0]
+
+    def test_handle_active_property(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        assert handle.active
+        loop.run()
+        assert not handle.active
+        other = loop.schedule(1.0, lambda: None)
+        other.cancel()
+        assert not other.active
+
 
 class _Echo(SimNode):
     def __init__(self, node_id):
@@ -175,3 +236,105 @@ class TestNetwork:
         loop.run()
         assert net.messages_sent == 2  # ping + pong
         assert net.messages_delivered == 2
+
+
+def fan_out_net(n=8, loss=0.0, seed=0):
+    rng = np.random.default_rng(42)
+    matrix = rng.uniform(5.0, 50.0, size=(n, n))
+    matrix = (matrix + matrix.T) / 2.0
+    np.fill_diagonal(matrix, 0.0)
+    loop = EventLoop()
+    net = Network(loop, MatrixOracle(matrix), loss_rate=loss, seed=seed)
+    nodes = [_Echo(i) for i in range(n)]
+    for node in nodes:
+        net.attach(node)
+    return loop, net, nodes
+
+
+class TestSendMany:
+    def test_matches_scalar_sends_bit_for_bit(self):
+        """Same seed: identical delivery times and loss pattern as a loop."""
+        for loss in (0.0, 0.4):
+            loop_a, net_a, nodes_a = fan_out_net(loss=loss, seed=7)
+            loop_b, net_b, nodes_b = fan_out_net(loss=loss, seed=7)
+            dsts = list(range(1, 8))
+            for dst in dsts:
+                nodes_a[0].send(dst, "probe")
+            net_b.send_many(0, dsts, "probe")
+            loop_a.run()
+            loop_b.run()
+            assert net_a.messages_sent == net_b.messages_sent
+            assert net_a.messages_lost == net_b.messages_lost
+            for a, b in zip(nodes_a[1:], nodes_b[1:]):
+                assert a.received == b.received
+
+    def test_payloads_follow_their_destinations_through_loss(self):
+        class _Recorder(SimNode):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.payloads = []
+
+            def on_message(self, message):
+                self.payloads.append(message.payload)
+
+        rng = np.random.default_rng(42)
+        matrix = rng.uniform(5.0, 50.0, size=(8, 8))
+        matrix = (matrix + matrix.T) / 2.0
+        np.fill_diagonal(matrix, 0.0)
+        loop = EventLoop()
+        net = Network(loop, MatrixOracle(matrix), loss_rate=0.5, seed=3)
+        nodes = [_Recorder(i) for i in range(8)]
+        for node in nodes:
+            net.attach(node)
+        dsts = list(range(1, 8))
+        net.send_many(0, dsts, "tag", payloads=[f"p{d}" for d in dsts])
+        loop.run()
+        assert net.messages_lost > 0  # loss actually exercised the filter
+        for dst in dsts:
+            # Either lost, or delivered with *its own* payload.
+            assert nodes[dst].payloads in ([], [f"p{dst}"])
+        assert sum(len(n.payloads) for n in nodes) + net.messages_lost == 7
+
+    def test_rejects_unknown_destination_and_bad_payloads(self):
+        loop, net, nodes = fan_out_net()
+        with pytest.raises(SimulationError):
+            net.send_many(0, [1, 99], "x")
+        with pytest.raises(SimulationError):
+            net.send_many(0, [1, 2], "x", payloads=["only-one"])
+
+    def test_empty_fan_out_is_a_no_op(self):
+        loop, net, nodes = fan_out_net()
+        net.send_many(0, [], "x")
+        assert net.messages_sent == 0
+        assert loop.pending == 0
+
+
+class TestDeliverMany:
+    def test_delivers_at_explicit_delays(self):
+        loop, net, nodes = fan_out_net()
+        messages = [
+            Message(src=0, dst=d, kind="reply", payload=None) for d in (1, 2, 3)
+        ]
+        handles = net.deliver_many(messages, [3.0, 1.0, 2.0])
+        assert len(handles) == 3
+        loop.run()
+        assert nodes[1].received == [("reply", 3.0)]
+        assert nodes[2].received == [("reply", 1.0)]
+        assert nodes[3].received == [("reply", 2.0)]
+
+    def test_handles_cancel_individual_deliveries(self):
+        loop, net, nodes = fan_out_net()
+        messages = [Message(src=0, dst=d, kind="reply") for d in (1, 2)]
+        handles = net.deliver_many(messages, [1.0, 1.0])
+        handles[0].cancel()
+        loop.run()
+        assert nodes[1].received == []
+        assert nodes[2].received == [("reply", 1.0)]
+
+    def test_mismatched_or_negative_delays_rejected(self):
+        loop, net, nodes = fan_out_net()
+        message = Message(src=0, dst=1, kind="x")
+        with pytest.raises(SimulationError):
+            net.deliver_many([message], [1.0, 2.0])
+        with pytest.raises(SimulationError):
+            net.deliver_many([message], [-1.0])
