@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.algorithms import BeaconSearch, MeridianSearch, RandomProbeSearch
@@ -104,11 +105,7 @@ def bench_scheme(name: str, factory, scenario, world) -> dict:
     }, record
 
 
-def run_suite(scale: str, seed: int) -> dict:
-    scenario = daemon_scenario(scale).with_(seed=seed)
-    world = build_clustered_oracle(
-        scenario.topology, seed=seed, core_pool_size=scenario.core_pool_size
-    )
+def bench_section(scenario, world) -> tuple[list[dict], list]:
     results = []
     records = []
     for name, factory in SCHEMES:
@@ -122,8 +119,26 @@ def run_suite(scale: str, seed: int) -> dict:
         )
         results.append(row)
         records.append(record)
+    return results, records
+
+
+def run_suite(scale: str, seed: int) -> dict:
+    scenario = daemon_scenario(scale).with_(seed=seed)
+    world = build_clustered_oracle(
+        scenario.topology, seed=seed, core_pool_size=scenario.core_pool_size
+    )
+    results, records = bench_section(scenario, world)
     print()
     print(format_trial_records(rank_by_time_to_answer(records)))
+    # Same workload with the coordination hop billed: each probe's
+    # completion also pays the entry->prober dispatch RTT, pricing the
+    # round-trip a real deployment spends asking peers to measure.
+    print()
+    print("dispatch-charged (entry->prober RTT billed per probe):")
+    charged_scenario = scenario.with_(
+        daemon=replace(scenario.daemon, charge_dispatch=True)
+    )
+    charged_results, charged_records = bench_section(charged_scenario, world)
     return {
         "suite": "daemon",
         "scale": scale,
@@ -135,6 +150,10 @@ def run_suite(scale: str, seed: int) -> dict:
             r.scheme for r in rank_by_time_to_answer(records)
         ],
         "benchmarks": results,
+        "ranking_by_tta_median_dispatch_charged": [
+            r.scheme for r in rank_by_time_to_answer(charged_records)
+        ],
+        "dispatch_charged": charged_results,
     }
 
 

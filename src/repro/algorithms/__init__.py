@@ -24,6 +24,7 @@ from repro.algorithms.base import (
     MaintenanceScheduler,
     NearestPeerAlgorithm,
     ProbeOp,
+    ProbeRound,
     SearchResult,
     probe_round,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "MaintenanceScheduler",
     "NearestPeerAlgorithm",
     "ProbeOp",
+    "ProbeRound",
     "SearchResult",
     "probe_round",
     "MeridianSearch",

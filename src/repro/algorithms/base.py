@@ -173,11 +173,64 @@ class ProbeOp:
     kind: str = "probe"
 
 
+class ProbeRound:
+    """One probe fan-out in struct-of-arrays form.
+
+    Sequence-compatible with the historical ``list[ProbeOp]`` round —
+    ``len``, iteration and indexing materialise :class:`ProbeOp` views on
+    demand — while keeping the parallel ``srcs`` / ``dsts`` / ``rtts_ms``
+    arrays the vectorised daemon stepper reads directly, so a round of a
+    thousand probes costs one numpy slice instead of a thousand dataclass
+    instances.
+    """
+
+    __slots__ = ("srcs", "dsts", "rtts_ms", "kind")
+
+    def __init__(
+        self,
+        srcs: np.ndarray | Iterable[int],
+        dsts: np.ndarray | Iterable[int] | int,
+        rtts_ms: np.ndarray | Iterable[float],
+        kind: str = "probe",
+    ) -> None:
+        self.srcs = np.asarray(srcs, dtype=int)
+        dst_arr = np.asarray(dsts, dtype=int)
+        if dst_arr.ndim == 0:
+            dst_arr = np.full(self.srcs.shape, int(dst_arr))
+        self.dsts = dst_arr
+        self.rtts_ms = np.asarray(rtts_ms, dtype=float)
+        self.kind = kind
+
+    def __len__(self) -> int:
+        return int(self.srcs.size)
+
+    def __bool__(self) -> bool:
+        return self.srcs.size > 0
+
+    def __getitem__(self, index: int) -> ProbeOp:
+        return ProbeOp(
+            int(self.srcs[index]),
+            int(self.dsts[index]),
+            float(self.rtts_ms[index]),
+            self.kind,
+        )
+
+    def __iter__(self):
+        kind = self.kind
+        for s, d, r in zip(
+            self.srcs.tolist(), self.dsts.tolist(), self.rtts_ms.tolist()
+        ):
+            yield ProbeOp(int(s), int(d), float(r), kind)
+
+    def __repr__(self) -> str:
+        return f"ProbeRound(n={len(self)}, kind={self.kind!r})"
+
+
 #: The stepwise query protocol: a generator yielding probe rounds (each a
-#: ``list[ProbeOp]`` fan-out that completes when its slowest probe does;
+#: :class:`ProbeRound` fan-out that completes when its slowest probe does;
 #: rounds are sequential) and returning the final :class:`SearchResult`
 #: via ``StopIteration.value``.  Drive it with ``plan.send(None)``.
-QueryPlan = Generator  # Generator[list[ProbeOp], None, SearchResult]
+QueryPlan = Generator  # Generator[ProbeRound, None, SearchResult]
 
 
 def probe_round(
@@ -185,12 +238,9 @@ def probe_round(
     target: int,
     values: Iterable[float],
     kind: str = "probe",
-) -> list[ProbeOp]:
+) -> ProbeRound:
     """Package one fan-out (``nodes`` each probing ``target``) as a round."""
-    return [
-        ProbeOp(int(n), int(target), float(v), kind)
-        for n, v in zip(nodes, values)
-    ]
+    return ProbeRound(nodes, int(target), values, kind)
 
 
 @dataclass
@@ -269,7 +319,7 @@ class NearestPeerAlgorithm(abc.ABC):
         self._maintenance_probe_count = 0
         self._maintenance_since_query = 0
         self._in_maintenance = False
-        self._plan_recorder: list[list[ProbeOp]] | None = None
+        self._plan_recorder: list[ProbeRound] | None = None
         self.rebuild_count = 0
         self._scheduler = MaintenanceScheduler.from_spec(maintenance)
         # The membership the *index* currently reflects, or None when the
@@ -277,6 +327,12 @@ class NearestPeerAlgorithm(abc.ABC):
         # replaced (never mutated in place), so holding the pre-event
         # reference is a free snapshot.
         self._indexed_members: np.ndarray | None = None
+        # Struct-of-arrays liveness: a boolean mask over the oracle's id
+        # space, maintained in O(changes) per membership event, plus the
+        # identity of the member array it reflects (member arrays are
+        # replaced, never mutated, so identity pins the mask's validity).
+        self._member_mask: np.ndarray | None = None
+        self._member_mask_for: np.ndarray | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -300,8 +356,52 @@ class NearestPeerAlgorithm(abc.ABC):
         self._probe_oracle = probe_oracle or oracle
         self._members = np.asarray(member_ids, dtype=int)
         self._indexed_members = None
+        self._reset_member_mask()
         self._scheduler.reset()
         self._build(make_rng(seed))
+
+    def _reset_member_mask(self) -> None:
+        """(Re)build the liveness mask from ``self._members``."""
+        assert self._oracle is not None and self._members is not None
+        mask = np.zeros(self._oracle.n_nodes, dtype=bool)
+        mask[self._members] = True
+        self._member_mask = mask
+        self._member_mask_for = self._members
+
+    def _update_member_mask(
+        self,
+        add: np.ndarray | None = None,
+        remove: np.ndarray | None = None,
+    ) -> None:
+        """O(changes) mask maintenance after a membership event."""
+        if self._member_mask is None:
+            return
+        if remove is not None and remove.size:
+            self._member_mask[remove] = False
+        if add is not None and add.size:
+            self._member_mask[add] = True
+        self._member_mask_for = self._members
+
+    def view_contains(self, node: int) -> bool | None:
+        """O(1) membership test against the current query view, or ``None``.
+
+        Answers only when the view a query reads (``self._members``,
+        possibly a plan's swapped-in snapshot) is the very array the mask
+        reflects; a stale indexed view under a deferred discipline returns
+        ``None`` and callers take their O(n) slow path.  Queries use this
+        to skip full-membership scans — the difference between O(n) and
+        O(budget) per query at a million peers.
+        """
+        members = self._members
+        if (
+            members is None
+            or self._member_mask is None
+            or members is not self._member_mask_for
+        ):
+            return None
+        if not 0 <= node < self._member_mask.size:
+            return False
+        return bool(self._member_mask[node])
 
     @abc.abstractmethod
     def _build(self, rng: np.random.Generator) -> None:
@@ -333,22 +433,37 @@ class NearestPeerAlgorithm(abc.ABC):
         joined = np.unique(np.asarray(node_ids, dtype=int))
         if joined.size == 0:
             return 0
-        if np.isin(joined, self._members).any():
-            dup = joined[np.isin(joined, self._members)]
-            raise ConfigurationError(
-                f"{self.name}: join() ids already members: {dup.tolist()[:8]}"
-            )
-        if joined.min() < 0 or joined.max() >= self._oracle.n_nodes:
+        in_range = joined.min() >= 0 and joined.max() < self._oracle.n_nodes
+        if (
+            in_range
+            and self._member_mask is not None
+            and self._members is self._member_mask_for
+        ):
+            # O(|J|) duplicate check off the liveness mask.
+            dup_hits = self._member_mask[joined]
+            if dup_hits.any():
+                raise ConfigurationError(
+                    f"{self.name}: join() ids already members: "
+                    f"{joined[dup_hits].tolist()[:8]}"
+                )
+        else:
+            if np.isin(joined, self._members).any():
+                dup = joined[np.isin(joined, self._members)]
+                raise ConfigurationError(
+                    f"{self.name}: join() ids already members: {dup.tolist()[:8]}"
+                )
+        if not in_range:
             raise ConfigurationError(
                 f"{self.name}: join() ids outside oracle range "
                 f"[0, {self._oracle.n_nodes})"
             )
         if not self._scheduler.eager:
             return self._defer_event(
-                np.concatenate([self._members, joined]), seed
+                np.concatenate([self._members, joined]), seed, joined=joined
             )
         before = self._maintenance_probe_count
         self._members = np.concatenate([self._members, joined])
+        self._update_member_mask(add=joined)
         self._in_maintenance = True
         try:
             self._join(joined, make_rng(seed))
@@ -374,7 +489,15 @@ class NearestPeerAlgorithm(abc.ABC):
         left = np.unique(np.asarray(node_ids, dtype=int))
         if left.size == 0:
             return 0
-        missing = left[~np.isin(left, self._members)]
+        if (
+            self._member_mask is not None
+            and self._members is self._member_mask_for
+            and left.min() >= 0
+            and left.max() < self._member_mask.size
+        ):
+            missing = left[~self._member_mask[left]]
+        else:
+            missing = left[~np.isin(left, self._members)]
         if missing.size:
             raise ConfigurationError(
                 f"{self.name}: leave() ids not members: {missing.tolist()[:8]}"
@@ -386,9 +509,10 @@ class NearestPeerAlgorithm(abc.ABC):
                 f"({int(kept_mask.sum())} would remain)"
             )
         if not self._scheduler.eager:
-            return self._defer_event(self._members[kept_mask], seed)
+            return self._defer_event(self._members[kept_mask], seed, left=left)
         before = self._maintenance_probe_count
         self._members = self._members[kept_mask]
+        self._update_member_mask(remove=left)
         self._in_maintenance = True
         try:
             self._leave(left, kept_mask, make_rng(seed))
@@ -404,11 +528,14 @@ class NearestPeerAlgorithm(abc.ABC):
         self,
         members_after: np.ndarray,
         seed: int | np.random.Generator | None,
+        joined: np.ndarray | None = None,
+        left: np.ndarray | None = None,
     ) -> int:
         """Buffer one observed membership event; flush if the window fills."""
         if self._indexed_members is None:
             self._indexed_members = self._members
         self._members = members_after
+        self._update_member_mask(add=joined, remove=left)
         if self._scheduler.note_event():
             return self._flush(make_rng(seed))
         return 0
@@ -489,6 +616,10 @@ class NearestPeerAlgorithm(abc.ABC):
         finally:
             self._in_maintenance = False
         self._indexed_members = None
+        # A flush reorders the member array but never changes the member
+        # *set* (deferred events updated mask and members in lock-step), so
+        # the mask contents stay valid — only re-pin its identity anchor.
+        self._member_mask_for = self._members
         self._scheduler.note_flush()
         spent = self._maintenance_probe_count - before
         self._maintenance_since_query += spent
@@ -658,7 +789,7 @@ class NearestPeerAlgorithm(abc.ABC):
         rounds and should be preferred for schemes whose round structure
         matters.
         """
-        recorder: list[list[ProbeOp]] = []
+        recorder: list[ProbeRound] = []
         if self._plan_recorder is not None:
             raise ConfigurationError(
                 f"{self.name}: recording plans cannot nest"
@@ -709,7 +840,7 @@ class NearestPeerAlgorithm(abc.ABC):
         value = self._probe_oracle.latency_ms(node, target)
         if self._plan_recorder is not None:
             self._plan_recorder.append(
-                [ProbeOp(int(node), int(target), float(value))]
+                ProbeRound([int(node)], int(target), [float(value)])
             )
         return value
 
@@ -746,12 +877,13 @@ class NearestPeerAlgorithm(abc.ABC):
         assert self._probe_oracle is not None
         block = batch_latency_block(self._probe_oracle, rows, cols)
         if self._plan_recorder is not None:
+            # Row-major flattening matches the historical per-op order.
             self._plan_recorder.append(
-                [
-                    ProbeOp(int(a), int(b), float(block[i, j]))
-                    for i, a in enumerate(rows)
-                    for j, b in enumerate(cols)
-                ]
+                ProbeRound(
+                    np.repeat(rows, cols.size),
+                    np.tile(cols, rows.size),
+                    block.ravel(),
+                )
             )
         return block
 
@@ -767,7 +899,7 @@ class NearestPeerAlgorithm(abc.ABC):
         value = self._probe_oracle.latency_ms(a, b)
         if self._plan_recorder is not None:
             self._plan_recorder.append(
-                [ProbeOp(int(a), int(b), float(value), kind="aux")]
+                ProbeRound([int(a)], [int(b)], [float(value)], kind="aux")
             )
         return value
 
@@ -787,10 +919,7 @@ class NearestPeerAlgorithm(abc.ABC):
         values = batch_latencies_from(self._probe_oracle, int(a), nodes)
         if self._plan_recorder is not None:
             self._plan_recorder.append(
-                [
-                    ProbeOp(int(a), int(n), float(v), kind="aux")
-                    for n, v in zip(nodes, values)
-                ]
+                ProbeRound(np.full(nodes.size, int(a)), nodes, values, kind="aux")
             )
         return values
 

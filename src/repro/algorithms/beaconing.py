@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
 from repro.util.validate import require_positive
 
 
@@ -33,6 +33,7 @@ class BeaconSearch(NearestPeerAlgorithm):
 
     name = "beaconing"
     maintenance_policy = "incremental"
+    plan_native = True
 
     def __init__(
         self,
@@ -87,12 +88,22 @@ class BeaconSearch(NearestPeerAlgorithm):
         self._beacon_to_member = self._beacon_to_member[beacon_kept][:, kept_mask]
         self._recruit_beacons(rng)
 
-    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+    def _plan(self, target: int, rng: np.random.Generator):
         assert self._beacons is not None and self._beacon_to_member is not None
         members = self.members
-        target_to_beacons = self.probe_many(self._beacons, target)
+        # Snapshot the beacon state alongside the member view: churn
+        # applied between this plan's rounds *rebinds* the beacon set and
+        # the distance table (its columns track the live membership), so
+        # the Hotz ranking below must use the capture-time table — the one
+        # whose columns align with ``members``.  Maintenance never mutates
+        # the captured arrays in place.
+        beacons = self._beacons
+        table = self._beacon_to_member
+        # Round 1: the target measures itself against every beacon.
+        target_to_beacons = self.probe_many(beacons, target)
+        yield probe_round(beacons, target, target_to_beacons)
         # Hotz lower bound per member, and per-beacon band membership.
-        gaps = np.abs(self._beacon_to_member - target_to_beacons[:, None])
+        gaps = np.abs(table - target_to_beacons[:, None])
         hotz = gaps.max(axis=0)
         bands = gaps <= self._band_fraction * np.maximum(
             target_to_beacons[:, None], 1e-3
@@ -107,10 +118,18 @@ class BeaconSearch(NearestPeerAlgorithm):
             for m in (int(members[row]) for row in ranked[: self._probe_budget])
             if m != target
         ]
-        measured = dict(
-            zip(shortlist, self.probe_many(shortlist, target).tolist())
-        )
+        measured: dict[int, float] = {}
+        if shortlist:
+            # Round 2: the shortlisted candidates probe the target.
+            values = self.probe_many(shortlist, target)
+            yield probe_round(shortlist, target, values)
+            measured = dict(zip(shortlist, values.tolist()))
         if not measured:  # degenerate: every candidate was the target
             fallback = int(rng.choice(members[members != target]))
-            measured[fallback] = self.probe(fallback, target)
+            value = self.probe(fallback, target)
+            yield probe_round([fallback], target, [value])
+            measured[fallback] = value
         return self.result(target, measured, hops=1)
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        return self._query_via_plan(target, rng)

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
-from repro.coords.gnp import GnpConfig, GnpEmbedding
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
+from repro.coords.gnp import GnpConfig, GnpEmbedding, _solve_point
 from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
 from repro.util.validate import require_positive
 
@@ -37,6 +37,7 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
     """
 
     maintenance_policy = "incremental"
+    plan_native = True
 
     def __init__(
         self,
@@ -63,9 +64,24 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
     def _embed_members(self, rng: np.random.Generator) -> dict[int, np.ndarray]:
         raise NotImplementedError
 
-    def _place_target(
+    def _target_anchor_probes(
         self, target: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Placement fan-out: (anchor ids, measured anchor->target RTTs).
+
+        The probe half of target placement — issued as the plan's first
+        round, so a latency-faithful driver times it like any other
+        fan-out.
+        """
+        raise NotImplementedError
+
+    def _target_position(
+        self,
+        anchors: np.ndarray,
+        rtts: np.ndarray,
+        rng: np.random.Generator,
     ) -> np.ndarray:
+        """Solve the target's coordinate from the placement measurements."""
         raise NotImplementedError
 
     def _place_member(self, node: int, rng: np.random.Generator) -> np.ndarray:
@@ -126,10 +142,21 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
             self._neighbors[node] = pruned
 
     def _coordinate_distance(self, node: int, point: np.ndarray) -> float:
-        return float(np.linalg.norm(self._positions[int(node)] - point))
+        position = self._positions.get(int(node))
+        if position is None:
+            # The node departed while this plan's probe round was in
+            # flight (plans see a membership snapshot, the coordinate
+            # index is live): infinitely far, so walks steer away.
+            return float("inf")
+        return float(np.linalg.norm(position - point))
 
-    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
-        target_position = self._place_target(target, rng)
+    def _plan(self, target: int, rng: np.random.Generator):
+        # Round 1: placement — the target measures a few anchors so its
+        # coordinate can be solved.
+        anchors, anchor_rtts = self._target_anchor_probes(target, rng)
+        if anchors.size:
+            yield probe_round(anchors, target, anchor_rtts)
+        target_position = self._target_position(anchors, anchor_rtts, rng)
         visited: set[int] = set()
         end_candidates: dict[int, float] = {}  # node -> coord distance
         hops = 0
@@ -138,9 +165,12 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
             current_cd = self._coordinate_distance(current, target_position)
             for _ in range(self._max_steps):
                 visited.add(current)
+                neighbours = self._neighbors.get(current)
+                if neighbours is None or len(neighbours) == 0:
+                    break  # walk node departed mid-flight; end the walk here
                 neighbour_cds = {
                     int(nb): self._coordinate_distance(int(nb), target_position)
-                    for nb in self._neighbors[current]
+                    for nb in neighbours
                 }
                 best = min(neighbour_cds, key=neighbour_cds.get)
                 if neighbour_cds[best] >= current_cd:
@@ -148,17 +178,21 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
                 current, current_cd = best, neighbour_cds[best]
                 hops += 1
             end_candidates[current] = current_cd
-        # Probe the best few candidates by coordinate distance (actual
-        # latency measurements happen only here and at placement), as one
-        # batched measurement.
+        # Round 2: probe the best few candidates by coordinate distance
+        # (the walks themselves are coordinate-only — no measurements).
         ranked = sorted(end_candidates, key=end_candidates.get)
         finalists = [
             node for node in ranked[: self._final_probe_count] if node != target
         ]
-        measured = dict(
-            zip(finalists, self.probe_many(finalists, target).tolist())
-        )
+        measured: dict[int, float] = {}
+        if finalists:
+            values = self.probe_many(finalists, target)
+            yield probe_round(finalists, target, values)
+            measured = dict(zip(finalists, values.tolist()))
         return self.result(target, measured, hops=hops, path=ranked)
+
+    def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
+        return self._query_via_plan(target, rng)
 
 
 class PicSearch(_CoordinateGreedyBase):
@@ -183,10 +217,34 @@ class PicSearch(_CoordinateGreedyBase):
         )
         return {int(m): self._embedding.position(int(m)) for m in self.members}
 
-    def _place_target(self, target: int, rng: np.random.Generator) -> np.ndarray:
+    def _target_anchor_probes(
+        self, target: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
         assert self._embedding is not None
-        rtts = self.probe_many(self._embedding.landmark_ids, target)
-        return self._embedding.place_external(rtts)
+        anchors = np.asarray(self._embedding.landmark_ids, dtype=int)
+        return anchors, self.probe_many(anchors, target)
+
+    def _target_position(
+        self,
+        anchors: np.ndarray,
+        rtts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        embedding = self._embedding
+        assert embedding is not None
+        current = np.asarray(embedding.landmark_ids, dtype=int)
+        if anchors.size == current.size and np.array_equal(anchors, current):
+            return embedding.place_external(rtts)
+        # The landmark set changed while the anchor round was in flight
+        # (a departure trimmed or rebuilt it): solve against whichever
+        # probed anchors are still landmarks, at their current positions.
+        index = {int(l): i for i, l in enumerate(current)}
+        keep = np.array([int(a) in index for a in anchors], dtype=bool)
+        if not keep.any():
+            return embedding.landmark_positions.mean(axis=0)
+        rows = [index[int(a)] for a in anchors[keep]]
+        positions = embedding.landmark_positions[rows]
+        return _solve_point(positions, rtts[keep], positions.mean(axis=0))
 
     def _place_member(self, node: int, rng: np.random.Generator) -> np.ndarray:
         assert self._embedding is not None
@@ -292,19 +350,39 @@ class VivaldiGreedySearch(_CoordinateGreedyBase):
             for i, m in enumerate(self.members)
         }
 
-    def _place_target(self, target: int, rng: np.random.Generator) -> np.ndarray:
+    def _target_anchor_probes(
+        self, target: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
         assert self._anchor_pool is not None
         anchors = rng.choice(
             self._anchor_pool,
             size=min(self._placement_probes, self._anchor_pool.size),
             replace=False,
         )
-        values = self.probe_many(anchors, target)
+        return anchors, self.probe_many(anchors, target)
+
+    def _target_position(
+        self,
+        anchors: np.ndarray,
+        rtts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         if self._system is not None:
-            rtts = {int(a): float(v) for a, v in zip(anchors, values)}
-            position, _height = self._system.place_external(rtts)
+            # The system retains every build-time member's coordinate,
+            # so even anchors that departed mid-flight still resolve.
+            measured = {int(a): float(v) for a, v in zip(anchors, rtts)}
+            position, _height = self._system.place_external(measured)
             return position
-        return self._spring_fit(anchors, values, rng)
+        # Spring relaxation needs stored coordinates; drop anchors whose
+        # coordinates were purged by a mid-flight departure.
+        keep = np.array(
+            [int(a) in self._positions for a in anchors], dtype=bool
+        )
+        if not keep.any():
+            return self._positions[int(self.members[0])].copy()
+        if not keep.all():
+            anchors, rtts = anchors[keep], rtts[keep]
+        return self._spring_fit(anchors, rtts, rng)
 
     def _place_member(self, node: int, rng: np.random.Generator) -> np.ndarray:
         assert self._anchor_pool is not None

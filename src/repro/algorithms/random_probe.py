@@ -44,7 +44,14 @@ class RandomProbeSearch(NearestPeerAlgorithm):
         pass  # nothing to maintain
 
     def _plan(self, target: int, rng: np.random.Generator):
-        members = self.members[self.members != target]
+        members = self.members
+        if self.view_contains(target) is not False:
+            # The target is a member, or the view is a stale snapshot the
+            # liveness mask cannot answer for: filter with the O(n) scan.
+            # When the mask proves the target absent the filter would be
+            # the identity, so skipping it draws bit-identical picks while
+            # keeping each query O(budget) — the 1M-peer fast path.
+            members = members[members != target]
         count = min(self._budget, members.size)
         picks = rng.choice(members, size=count, replace=False)
         values = self.probe_many(picks, target)

@@ -452,8 +452,14 @@ class QueryEngine:
         maintenance consume.  Queries are scored against the membership
         alive when they entered service (:func:`score_epochs` over the
         daemon's epoch log).
+
+        ``spec.shards > 1`` hands the run to
+        :func:`~repro.service.sharded.run_sharded_daemon`, which pre-draws
+        the same workload stream into a script and partitions the loop by
+        entry-node range (sharded runs forbid probe noise — see there).
         """
         from repro.service.daemon import QueryDaemon
+        from repro.service.sharded import run_sharded_daemon
 
         if spec is None:
             raise ConfigurationError("the daemon protocol requires a DaemonSpec")
@@ -462,6 +468,12 @@ class QueryEngine:
         members = np.setdiff1d(np.arange(world.topology.n_nodes), targets)
         if probe_oracle is None and noise is not None:
             probe_oracle = noise.wrap(world.oracle, seed)
+        if spec.shards > 1 and probe_oracle is not None:
+            raise ConfigurationError(
+                "sharded daemon runs forbid probe noise: the noisy oracle's "
+                "shared stream would make measurements depend on the shard "
+                "layout"
+            )
         workload_rng = np.random.default_rng(int(rng.integers(2**63)))
         n_initial = int(round(spec.initial_fraction * members.size))
         n_initial = min(members.size, max(spec.min_members, n_initial))
@@ -469,20 +481,34 @@ class QueryEngine:
         live = np.sort(shuffled[:n_initial])
         standby = shuffled[n_initial:].tolist()
         algorithm.build(world.oracle, live, seed=rng, probe_oracle=probe_oracle)
-        daemon = QueryDaemon(
-            algorithm,
-            spec,
-            targets=targets,
-            workload_rng=workload_rng,
-            algo_rng=rng,
-            standby=standby,
-        )
-        run = daemon.run(n_queries)
+        if spec.shards > 1:
+            run = run_sharded_daemon(
+                algorithm,
+                spec,
+                targets=targets,
+                standby=standby,
+                n_queries=n_queries,
+                workload_rng=workload_rng,
+                algo_rng=rng,
+            )
+        else:
+            daemon = QueryDaemon(
+                algorithm,
+                spec,
+                targets=targets,
+                workload_rng=workload_rng,
+                algo_rng=rng,
+                standby=standby,
+            )
+            run = daemon.run(n_queries)
         jobs = run.jobs
         query_targets = np.array([job.target for job in jobs], dtype=int)
         found = np.array([job.result.found for job in jobs], dtype=int)
+        truth = (
+            world.matrix.values if world.matrix is not None else world.topology
+        )
         exact_hit, cluster_hit = score_epochs(
-            world.matrix.values,
+            truth,
             run.memberships,
             np.array([job.epoch for job in jobs], dtype=int),
             query_targets,
@@ -540,9 +566,12 @@ class QueryEngine:
         phase: str | None = None,
     ) -> TrialRecord:
         found = np.array([r.found for r in results], dtype=int)
+        truth = (
+            world.matrix.values if world.matrix is not None else world.topology
+        )
         if churn_log is None:
             exact_hit, cluster_hit = score_batch(
-                world.matrix.values,
+                truth,
                 members,
                 query_targets,
                 found,
@@ -552,7 +581,7 @@ class QueryEngine:
             # Churn-aware scoring: "nearest" means nearest among the
             # members alive at query time, not the build-time set.
             exact_hit, cluster_hit = score_epochs(
-                world.matrix.values,
+                truth,
                 churn_log.memberships,
                 np.asarray(churn_log.epoch_of_query, dtype=int),
                 query_targets,

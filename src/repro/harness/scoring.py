@@ -7,6 +7,12 @@ scorer answers both for a whole query batch with one dense slice
 ``matrix[targets][:, members]`` instead of a per-target row scan;
 :func:`score_single` is the scalar reference implementation the tests pin
 the vectorised path against.
+
+``matrix`` may also be a matrix-free ground truth — any object exposing
+``latency_block(rows, cols)`` and ``latency_pairs(a, b)`` (a
+:class:`~repro.topology.clustered.ClusteredTopology`): the scorers then
+compute exactly the slices they need from the path model, so sparse
+million-peer worlds score without an O(n²) matrix.
 """
 
 from __future__ import annotations
@@ -14,6 +20,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.util.errors import DataError
+
+
+def _block(matrix, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """``matrix[np.ix_(rows, cols)]`` for dense or matrix-free ground truth."""
+    if hasattr(matrix, "latency_block"):
+        return matrix.latency_block(rows, cols)
+    return matrix[np.ix_(rows, cols)]
+
+
+def _pairs(matrix, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``matrix[a, b]`` (elementwise) for dense or matrix-free ground truth."""
+    if hasattr(matrix, "latency_pairs"):
+        return matrix.latency_pairs(a, b)
+    return matrix[a, b]
 
 #: Latency tie tolerance: members within this of the true minimum count as
 #: correct (end-network mates are mutually ~100 us from the target).
@@ -45,8 +65,8 @@ def score_batch(
         return empty, empty.copy()
     # Targets repeat in sampled-query batches: slice once per unique target.
     unique, inverse = np.unique(targets, return_inverse=True)
-    best = matrix[np.ix_(unique, np.asarray(members, dtype=int))].min(axis=1)
-    exact_hit = matrix[targets, found] <= best[inverse] + TIE_EPS
+    best = _block(matrix, unique, np.asarray(members, dtype=int)).min(axis=1)
+    exact_hit = _pairs(matrix, targets, found) <= best[inverse] + TIE_EPS
     if host_cluster is None:
         cluster_hit = np.zeros(targets.size, dtype=bool)
     else:

@@ -9,7 +9,7 @@ median), and :mod:`repro.latency.builder` assembles full inter-peer matrices
 per the Section 4 recipe.
 """
 
-from repro.latency.builder import build_clustered_oracle
+from repro.latency.builder import build_clustered_oracle, build_sparse_clustered_world
 from repro.latency.matrix import LatencyMatrix
 from repro.latency.synthetic import SyntheticCoreConfig, synthetic_core_matrix
 
@@ -18,4 +18,5 @@ __all__ = [
     "SyntheticCoreConfig",
     "synthetic_core_matrix",
     "build_clustered_oracle",
+    "build_sparse_clustered_world",
 ]

@@ -202,15 +202,18 @@ def repair_overlay_rings(
         return 0
     repaired = 0
     member_ids = overlay.member_ids
-    for node_id in member_ids:
-        node = overlay.nodes[int(node_id)]
-        floor = (
-            occupancy_floor
-            if occupancy_floor is not None
-            else max(1, min(node.peak_occupancy, n - 1) // 2)
-        )
-        if node.member_count() >= floor:
-            continue
+    # Underfull selection is one vectorised comparison over the overlay's
+    # occupancy arrays; nodes at or above their floor never drew from the
+    # rng in the scalar scan, so restricting the loop to the underfull
+    # set is draw-for-draw identical.
+    counts, peaks = overlay.occupancy_vectors()
+    if occupancy_floor is not None:
+        floors = np.full(member_ids.size, occupancy_floor, dtype=np.int64)
+    else:
+        floors = np.maximum(1, np.minimum(peaks, n - 1) // 2)
+    for index in np.flatnonzero(counts < floors):
+        node = overlay.nodes[int(member_ids[index])]
+        floor = int(floors[index])
         # Exchange rounds to quiescence: drained neighbours offer thin
         # replies at first, so keep pulling (against progressively
         # repaired views) until the floor is met or a round goes dry.

@@ -171,6 +171,29 @@ class MeridianOverlay:
     def node(self, node_id: int) -> MeridianNode:
         return self.nodes[node_id]
 
+    def occupancy_vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Ring occupancy state of every member, struct-of-arrays.
+
+        Returns ``(counts, peaks)`` aligned with :attr:`member_ids` —
+        each node's current total ring occupancy and its
+        :attr:`~MeridianNode.peak_occupancy` high-water mark.  The repair
+        pass derives every node's floor and selects the underfull set
+        from these in one vectorised comparison instead of a per-node
+        Python scan.
+        """
+        ids = self.member_ids
+        counts = np.fromiter(
+            (self.nodes[int(i)].member_count() for i in ids),
+            dtype=np.int64,
+            count=ids.size,
+        )
+        peaks = np.fromiter(
+            (self.nodes[int(i)].peak_occupancy for i in ids),
+            dtype=np.int64,
+            count=ids.size,
+        )
+        return counts, peaks
+
     def add_node(self, node: MeridianNode) -> None:
         """Admit a populated node into the overlay (membership join)."""
         if node.node_id in self.nodes:

@@ -149,7 +149,7 @@ class Network:
             dsts = dsts[kept]
             if dsts.size == 0:
                 return
-        delays = batch_latencies_from(self.oracle, int(src), dsts) / 2.0
+        delays = self.path_rtts(src, dsts) / 2.0
         for i, (dst, delay) in enumerate(zip(dsts, delays)):
             message = Message(
                 src=int(src),
@@ -158,6 +158,20 @@ class Network:
                 payload=payloads[i] if payloads is not None else None,
             )
             self.loop.schedule(float(delay), self._deliver, message)
+
+    def path_rtts(
+        self, src: int, dsts: np.ndarray | Sequence[int]
+    ) -> np.ndarray:
+        """One vectorised RTT draw along the ``src -> dst`` network paths.
+
+        The same oracle draw :meth:`send_many` halves into one-way delays,
+        exposed for callers that bill whole round trips — the daemon's
+        dispatch-RTT charging prices the coordination hop (entry node
+        asking peer *p* to probe) through here.
+        """
+        return batch_latencies_from(
+            self.oracle, int(src), np.asarray(dsts, dtype=int)
+        )
 
     def deliver_later(self, message: Message, delay_ms: float) -> EventHandle:
         """Schedule a direct (loss-free) delivery; used for timers."""

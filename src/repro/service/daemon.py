@@ -7,12 +7,17 @@ of Poisson-arriving queries under latency-faithful timing:
 
 * each query is a stepwise plan
   (:meth:`~repro.algorithms.base.NearestPeerAlgorithm.query_plan`); a
-  round's probes are delivered back to the daemon's coordinator through
-  :meth:`~repro.netsim.network.Network.deliver_many` — one batched
-  scheduling call per fan-out, each probe completing after the RTT it
-  measured — and the plan resumes only when the whole round is in;
+  round's completion is simulated by the configured stepper
+  (:mod:`repro.service.stepper`) — the vectorised
+  :class:`~repro.service.stepper.PlanBatchStepper` resumes the plan with
+  one round event at the slowest probe's RTT, the historical
+  :class:`~repro.service.stepper.ScalarStepper` delivers one loop event
+  per probe; both produce identical timelines;
 * queries are admitted at a random live entry node, at most
-  ``per_node_concurrency`` in service per node, the rest FIFO-queued;
+  ``per_node_concurrency`` in service per node, the rest FIFO-queued —
+  admission counters live in struct-of-arrays form
+  (:class:`~repro.service.soa.MemberStateArrays`) so the hot path is
+  array indexing, not dict hashing;
 * membership events (counted join/leave maintenance), forced
   deferred-maintenance flushes and continuous Meridian ring repair
   (:class:`~repro.meridian.gossip.PeriodicRepair`) fire on the same loop.
@@ -20,13 +25,18 @@ of Poisson-arriving queries under latency-faithful timing:
 The daemon is deterministic: one workload generator drives arrivals,
 targets, entry choices and membership draws; one algorithm generator
 drives build/query/maintenance randomness.  Same seeds, same timeline.
+Alternatively a fully pre-drawn :class:`DaemonScript` replaces the
+workload generator — the sharded driver's protocol, where every shard
+replays the same script and serves only its own entry-node range.
 
 **Dispatch model.** A probe round completes after its slowest probe's
-RTT.  The coordination hop (asking member *p* to probe the target) is not
-billed in time — the daemon measures the scheme's *probing* critical
-path, the quantity the paper's lower bound speaks to.  ``zero_delay``
-collapses all delays; the loop then serialises queries and the daemon
-reproduces blocking ``query()`` results bit for bit.
+RTT.  By default the coordination hop (asking member *p* to probe the
+target) is not billed in time — the daemon measures the scheme's
+*probing* critical path, the quantity the paper's lower bound speaks to.
+``DaemonSpec.charge_dispatch`` adds the entry->prober dispatch RTT to
+each probe's completion, pricing the hop the real protocol pays.
+``zero_delay`` collapses all delays; the loop then serialises queries
+and the daemon reproduces blocking ``query()`` results bit for bit.
 """
 
 from __future__ import annotations
@@ -37,12 +47,14 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, ProbeOp, SearchResult
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
 from repro.harness.results import MembershipLog
 from repro.harness.scenario import DaemonSpec
 from repro.meridian.gossip import PeriodicRepair
 from repro.netsim.engine import EventHandle, EventLoop
 from repro.netsim.network import Message, Network, SimNode
+from repro.service.soa import MemberStateArrays
+from repro.service.stepper import PlanBatchStepper, ScalarStepper
 from repro.util.errors import ConfigurationError, SimulationError
 
 
@@ -72,6 +84,28 @@ class QueryJob:
     @property
     def queue_wait_ms(self) -> float:
         return self.start_ms - self.arrival_ms
+
+
+@dataclass(frozen=True)
+class DaemonScript:
+    """A fully pre-drawn daemon workload, replayable by every shard.
+
+    Arrays are indexed by *global* query index; ``own`` masks the queries
+    this daemon instance serves (all of them in the single-shard case).
+    ``events`` carries the absolute-time membership schedule — every
+    shard applies every event, so all algorithm replicas evolve
+    identically, while each query's plan draws from its own independent
+    ``plan_seeds`` entry (what makes answers invariant to the shard
+    layout).
+    """
+
+    arrival_ms: np.ndarray
+    targets: np.ndarray
+    entries: np.ndarray
+    plan_seeds: np.ndarray
+    own: np.ndarray
+    #: ``(time_ms, arriving tuple, departing tuple)`` in ascending time.
+    events: tuple = ()
 
 
 @dataclass
@@ -131,6 +165,12 @@ class QueryDaemon:
     equivalence tests replay it): per arrival, *target*, then *entry
     node*, then (while arrivals remain) the next *inter-arrival gap*;
     membership ticks draw departures then arrivals then the next gap.
+
+    With a :class:`DaemonScript` the workload generator is bypassed:
+    arrivals, targets, entries, per-query plan seeds and membership
+    events are read from the pre-drawn script instead (``workload_rng``
+    may then be ``None``), and only the queries in ``script.own`` are
+    served here.
     """
 
     def __init__(
@@ -138,15 +178,20 @@ class QueryDaemon:
         algorithm: NearestPeerAlgorithm,
         spec: DaemonSpec,
         targets: np.ndarray,
-        workload_rng: np.random.Generator,
+        workload_rng: np.random.Generator | None,
         algo_rng: np.random.Generator,
         standby: list[int] | None = None,
+        script: DaemonScript | None = None,
     ) -> None:
         self.algorithm = algorithm
         self.spec = spec
         self.targets = np.asarray(targets, dtype=int)
         if self.targets.size == 0:
             raise ConfigurationError("the daemon needs a non-empty target pool")
+        if workload_rng is None and script is None:
+            raise ConfigurationError(
+                "an unscripted daemon needs a workload generator"
+            )
         self.workload_rng = workload_rng
         self.algo_rng = algo_rng
         self.standby: list[int] = list(standby) if standby is not None else []
@@ -158,18 +203,32 @@ class QueryDaemon:
         self.memberships = MembershipLog(algorithm.members)
         self.n_events = 0
         self.jobs: list[QueryJob] = []
-        # Per-entry-node admission state.
-        self._active: dict[int, int] = {}
+        # Hot per-node state, struct-of-arrays (admission + liveness).
+        self.state = MemberStateArrays(
+            int(algorithm.oracle.n_nodes), algorithm.members
+        )
         self._fifo: dict[int, deque[QueryJob]] = {}
-        # Time-weighted load accounting.
+        # Time-weighted queue accounting (breakpoints kept for exact
+        # cross-shard peak merging).
         self._queued = 0
         self._queue_area = 0.0
         self._queue_last = 0.0
         self.queue_depth_max = 0
-        self._in_flight = 0
-        self._in_flight_area = 0.0
-        self._in_flight_last = 0.0
-        self.in_flight_probes_max = 0
+        self._queue_bp_times: list[np.ndarray] = []
+        self._queue_bp_deltas: list[np.ndarray] = []
+        # Round stepping strategy (in-flight accounting lives there).
+        self._stepper = (
+            PlanBatchStepper(self)
+            if spec.stepper == "batch"
+            else ScalarStepper(self)
+        )
+        # Scripted (sharded-protocol) workload state.
+        self._script = script
+        self._own_indices = (
+            np.flatnonzero(script.own) if script is not None else None
+        )
+        self._script_cursor = 0
+        self._event_cursor = 0
         # Run bookkeeping.
         self._n_queries = 0
         self._arrived = 0
@@ -188,14 +247,32 @@ class QueryDaemon:
             raise ConfigurationError(f"n_queries must be >= 1, got {n_queries}")
         if self.jobs:
             raise ConfigurationError("a QueryDaemon instance runs once")
+        script = self._script
+        if script is not None and n_queries != int(self._own_indices.size):
+            raise ConfigurationError(
+                f"scripted daemon owns {int(self._own_indices.size)} queries, "
+                f"asked to serve {n_queries}"
+            )
         self._n_queries = n_queries
         spec = self.spec
-        self.loop.schedule(self._next_gap(), self._arrival)
-        if spec.mean_event_interval_ms is not None:
-            self._membership_timer = self.loop.schedule(
-                float(self.workload_rng.exponential(spec.mean_event_interval_ms)),
-                self._membership_tick,
+        if script is None:
+            self.loop.schedule(self._next_gap(), self._arrival)
+            if spec.mean_event_interval_ms is not None:
+                self._membership_timer = self.loop.schedule(
+                    float(
+                        self.workload_rng.exponential(spec.mean_event_interval_ms)
+                    ),
+                    self._membership_tick,
+                )
+        else:
+            self.loop.schedule_at(
+                float(script.arrival_ms[self._own_indices[0]]),
+                self._script_arrival,
             )
+            if script.events:
+                self._membership_timer = self.loop.schedule_at(
+                    float(script.events[0][0]), self._script_event
+                )
         if spec.flush_period_ms is not None:
             self._flush_timer = self.loop.schedule(
                 spec.flush_period_ms, self._flush_tick
@@ -215,7 +292,7 @@ class QueryDaemon:
             )
         # Close the time-weighted integrals at the makespan.
         self._note_queue(0)
-        self._note_in_flight(0)
+        self._stepper.finalize()
         makespan = self.loop.now
         repair = self._repair
         return DaemonRun(
@@ -228,9 +305,9 @@ class QueryDaemon:
             ),
             queue_depth_max=self.queue_depth_max,
             in_flight_probes_time_avg=(
-                self._in_flight_area / makespan if makespan > 0 else 0.0
+                self._stepper.area / makespan if makespan > 0 else 0.0
             ),
-            in_flight_probes_max=self.in_flight_probes_max,
+            in_flight_probes_max=self._stepper.peak,
             trailing_maintenance_probes=self.algorithm.unclaimed_maintenance_probes,
             ring_repair_passes=repair.passes if repair else 0,
             ring_repair_nodes=repair.nodes_repaired if repair else 0,
@@ -248,14 +325,9 @@ class QueryDaemon:
         self._queued += delta
         if self._queued > self.queue_depth_max:
             self.queue_depth_max = self._queued
-
-    def _note_in_flight(self, delta: int) -> None:
-        now = self.loop.now
-        self._in_flight_area += self._in_flight * (now - self._in_flight_last)
-        self._in_flight_last = now
-        self._in_flight += delta
-        if self._in_flight > self.in_flight_probes_max:
-            self.in_flight_probes_max = self._in_flight
+        if delta:
+            self._queue_bp_times.append(np.array([now]))
+            self._queue_bp_deltas.append(np.array([delta]))
 
     # -- arrivals and admission --------------------------------------------
 
@@ -279,18 +351,46 @@ class QueryDaemon:
         self.jobs.append(job)
         if self._arrived < self._n_queries:
             self.loop.schedule(self._next_gap(), self._arrival)
-        if self._active.get(entry, 0) < self.spec.per_node_concurrency:
+        self._admit(job)
+
+    def _script_arrival(self) -> None:
+        script = self._script
+        global_index = int(self._own_indices[self._script_cursor])
+        self._script_cursor += 1
+        job = QueryJob(
+            index=global_index,
+            target=int(script.targets[global_index]),
+            entry=int(script.entries[global_index]),
+            arrival_ms=self.loop.now,
+        )
+        self._arrived += 1
+        self.jobs.append(job)
+        if self._script_cursor < self._own_indices.size:
+            next_at = float(
+                script.arrival_ms[self._own_indices[self._script_cursor]]
+            )
+            self.loop.schedule_at(next_at, self._script_arrival)
+        self._admit(job)
+
+    def _admit(self, job: QueryJob) -> None:
+        if self.state.active[job.entry] < self.spec.per_node_concurrency:
             self._start(job)
         else:
-            self._fifo.setdefault(entry, deque()).append(job)
+            self._fifo.setdefault(job.entry, deque()).append(job)
+            self.state.enqueue(job.entry)
             self._note_queue(+1)
 
     def _start(self, job: QueryJob) -> None:
-        self._active[job.entry] = self._active.get(job.entry, 0) + 1
+        self.state.admit(job.entry)
         job.start_ms = self.loop.now
         job.epoch = self.memberships.n_epochs - 1
         job.membership_size = int(self.algorithm.members.size)
-        job.plan = self.algorithm.query_plan(job.target, seed=self.algo_rng)
+        seed = (
+            self.algo_rng
+            if self._script is None
+            else int(self._script.plan_seeds[job.index])
+        )
+        job.plan = self.algorithm.query_plan(job.target, seed=seed)
         self._advance(job)
 
     # -- plan driving ------------------------------------------------------
@@ -298,7 +398,7 @@ class QueryDaemon:
     def _advance(self, job: QueryJob) -> None:
         """Resume the plan; schedule the next round or finish the job."""
         try:
-            batch: list[ProbeOp] = job.plan.send(None)
+            batch = job.plan.send(None)
         except StopIteration as stop:
             self._finish(job, stop.value)
             return
@@ -315,38 +415,20 @@ class QueryDaemon:
                 0.0,
             )
             return
-        job._outstanding = len(batch)
-        self._note_in_flight(+len(batch))
-        delays = (
-            [0.0] * len(batch)
-            if self.spec.zero_delay
-            else [op.rtt_ms for op in batch]
-        )
-        messages = [
-            Message(
-                src=op.src,
-                dst=self._coordinator_id,
-                kind="probe-reply",
-                payload=job,
-            )
-            for op in batch
-        ]
-        self.network.deliver_many(messages, delays)
+        self._stepper.dispatch_round(job, batch)
 
     def _on_probe_reply(self, job: QueryJob) -> None:
-        self._note_in_flight(-1)
-        job._outstanding -= 1
-        if job._outstanding == 0:
-            self._advance(job)
+        self._stepper.on_probe_reply(job)
 
     def _finish(self, job: QueryJob, result: SearchResult) -> None:
         job.finish_ms = self.loop.now
         job.result = result
         self._answered += 1
         # Release the entry slot; admit the node's next queued query.
-        self._active[job.entry] -= 1
+        self.state.release(job.entry)
         fifo = self._fifo.get(job.entry)
         if fifo:
+            self.state.dequeue(job.entry)
             self._note_queue(-1)
             self._start(fifo.popleft())
         if self._answered == self._n_queries:
@@ -363,6 +445,15 @@ class QueryDaemon:
             self._repair.stop()
 
     # -- background processes ----------------------------------------------
+
+    def _apply_membership(self, arriving: list[int], departing: list[int]) -> None:
+        """Log one applied membership event and mirror it into the SoA."""
+        self.state.apply_leave(departing)
+        self.state.apply_join(arriving)
+        if departing or arriving:
+            self.memberships.append_event(arriving, departing)
+            self.n_events += (1 if departing else 0) + (1 if arriving else 0)
+            self.state.epoch = self.memberships.n_epochs - 1
 
     def _membership_tick(self) -> None:
         if self._done:
@@ -389,13 +480,31 @@ class QueryDaemon:
             for index in sorted((int(i) for i in picks), reverse=True):
                 del self.standby[index]
             algorithm.join(np.asarray(arriving, dtype=int), seed=self.algo_rng)
-        if departing or arriving:
-            self.memberships.append_event(arriving, departing)
-            self.n_events += (1 if departing else 0) + (1 if arriving else 0)
+        self._apply_membership(arriving, departing)
         self._membership_timer = self.loop.schedule(
             float(wrng.exponential(spec.mean_event_interval_ms)),
             self._membership_tick,
         )
+
+    def _script_event(self) -> None:
+        if self._done:
+            return
+        script = self._script
+        _time_ms, arriving, departing = script.events[self._event_cursor]
+        self._event_cursor += 1
+        algorithm = self.algorithm
+        if departing:
+            algorithm.leave(np.asarray(departing, dtype=int), seed=self.algo_rng)
+        if arriving:
+            algorithm.join(np.asarray(arriving, dtype=int), seed=self.algo_rng)
+        self._apply_membership(list(arriving), list(departing))
+        if self._event_cursor < len(script.events):
+            next_at = float(script.events[self._event_cursor][0])
+            self._membership_timer = self.loop.schedule_at(
+                next_at, self._script_event
+            )
+        else:
+            self._membership_timer = None
 
     def _flush_tick(self) -> None:
         if self._done:

@@ -1,0 +1,281 @@
+"""Sharded daemon driver: partition the event loop across a process pool.
+
+One simulated-time daemon run is, at heart, a pile of independent query
+servicing interleaved with a shared membership process.  This driver
+exploits that: the workload (arrival times, targets, entry nodes,
+membership events, per-query plan seeds) is *pre-drawn* in the parent
+into a :class:`~repro.service.daemon.DaemonScript`, the entry-node id
+space is split into contiguous shards, and each shard replays the whole
+script on its own replica of the built algorithm — applying **every**
+membership event (so all replicas evolve identically, in lockstep on an
+identically-seeded maintenance generator) while serving **only** the
+queries whose entry node falls in its range.  Admission contention
+(per-node concurrency, FIFO queues) is per entry node, so it never
+crosses a shard boundary, and each query's plan draws from its own
+pre-assigned seed — which is what makes the merged results invariant to
+the shard count.
+
+Restrictions, enforced here: no separate probe oracle (a stateful noisy
+stream shared across queries would make measurements depend on the shard
+layout) and eager maintenance only (lazy/coalesce flush timing depends
+on shard-local query order).  Per-job ``maintenance_probes`` attribution
+is claim-order-local to a shard and is therefore *not* shard-invariant;
+timelines, answers and probe counts are.
+
+Merging: jobs are reunited in global arrival order; time-weighted areas
+sum exactly (entry sets are disjoint, and a shard's integral is zero
+after its own drain); global queue/in-flight *peaks* are reconstructed
+from the shards' recorded (time, ±k) breakpoints in one sort/cumsum;
+``loop_events`` sums (work actually done); the ring-repair and trailing
+maintenance counters take the longest-lived replica's values (every
+replica performs identical repairs while live — summing would count one
+overlay's upkeep once per shard).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.algorithms.base import NearestPeerAlgorithm
+from repro.harness.results import MembershipLog
+from repro.harness.scenario import DaemonSpec
+from repro.service.daemon import DaemonRun, DaemonScript, QueryDaemon
+from repro.service.stepper import peak_from_breakpoints
+from repro.util.errors import ConfigurationError
+
+
+def _pre_draw_script(
+    spec: DaemonSpec,
+    targets: np.ndarray,
+    initial_live: np.ndarray,
+    standby: list[int],
+    n_queries: int,
+    wrng: np.random.Generator,
+    plan_seeds: np.ndarray,
+) -> DaemonScript:
+    """Draw the whole daemon workload up front, as one deterministic pass.
+
+    Draw order (pinned by the shard-invariance test): all inter-arrival
+    gaps, then all targets, then the membership event schedule (each tick
+    drawing departures, then arrivals, then its next gap — the live
+    daemon's per-tick order), then each arrival's entry node against the
+    membership alive at that instant.  Events stop at the last arrival:
+    later ones could not affect any query's admission or plan.
+    """
+    gaps = wrng.exponential(spec.mean_interarrival_ms, size=n_queries)
+    arrival_ms = np.cumsum(gaps)
+    query_targets = wrng.choice(targets, size=n_queries)
+    events: list[tuple[float, tuple, tuple]] = []
+    live = np.asarray(initial_live, dtype=int).copy()
+    pool = list(standby)
+    if spec.mean_event_interval_ms is not None:
+        t = float(wrng.exponential(spec.mean_event_interval_ms))
+        last_arrival = float(arrival_ms[-1])
+        while t <= last_arrival:
+            departing: list[int] = []
+            n_dep = int(wrng.poisson(spec.departure_rate))
+            n_dep = min(n_dep, max(0, live.size - spec.min_members))
+            if n_dep > 0:
+                departing = [
+                    int(x) for x in wrng.choice(live, size=n_dep, replace=False)
+                ]
+                live = live[~np.isin(live, departing)]
+                pool.extend(departing)
+            n_arr = min(int(wrng.poisson(spec.arrival_rate)), len(pool))
+            arriving: list[int] = []
+            if n_arr > 0:
+                picks = wrng.choice(len(pool), size=n_arr, replace=False)
+                arriving = [pool[int(i)] for i in picks]
+                for index in sorted((int(i) for i in picks), reverse=True):
+                    del pool[index]
+                live = np.concatenate([live, np.asarray(arriving, dtype=int)])
+            if departing or arriving:
+                events.append((t, tuple(arriving), tuple(departing)))
+            t += float(wrng.exponential(spec.mean_event_interval_ms))
+    entries = np.empty(n_queries, dtype=int)
+    live = np.asarray(initial_live, dtype=int).copy()
+    cursor = 0
+    for i, t_arr in enumerate(arrival_ms.tolist()):
+        while cursor < len(events) and events[cursor][0] <= t_arr:
+            _t, arr, dep = events[cursor]
+            if dep:
+                live = live[~np.isin(live, np.asarray(dep, dtype=int))]
+            if arr:
+                live = np.concatenate([live, np.asarray(arr, dtype=int)])
+            cursor += 1
+        entries[i] = int(wrng.choice(live))
+    return DaemonScript(
+        arrival_ms=arrival_ms,
+        targets=np.asarray(query_targets, dtype=int),
+        entries=entries,
+        plan_seeds=plan_seeds,
+        own=np.ones(n_queries, dtype=bool),
+        events=tuple(events),
+    )
+
+
+def _run_shard(
+    algorithm: NearestPeerAlgorithm,
+    spec: DaemonSpec,
+    targets: np.ndarray,
+    script: DaemonScript,
+    maintenance_seed: list[int],
+) -> dict:
+    """Run one scripted shard and return its picklable partial record."""
+    daemon = QueryDaemon(
+        algorithm,
+        spec,
+        targets=targets,
+        workload_rng=None,
+        algo_rng=np.random.default_rng(maintenance_seed),
+        standby=[],
+        script=script,
+    )
+    run = daemon.run(int(np.count_nonzero(script.own)))
+    for job in run.jobs:
+        job.plan = None  # generators do not pickle
+    stepper = daemon._stepper
+    return {
+        "jobs": run.jobs,
+        "makespan_ms": run.makespan_ms,
+        "queue_area": daemon._queue_area,
+        "queue_bp_times": _cat(daemon._queue_bp_times),
+        "queue_bp_deltas": _cat(daemon._queue_bp_deltas),
+        "in_flight_area": stepper.area,
+        "in_flight_bp_times": _cat(stepper.bp_times),
+        "in_flight_bp_deltas": _cat(stepper.bp_deltas),
+        "trailing_maintenance": run.trailing_maintenance_probes,
+        "ring_repair": (
+            run.ring_repair_passes,
+            run.ring_repair_nodes,
+            run.ring_repair_probes,
+        ),
+        "forced_flushes": run.forced_flushes,
+        "loop_events": run.loop_events,
+    }
+
+
+def _cat(chunks: list[np.ndarray]) -> np.ndarray:
+    return np.concatenate(chunks) if chunks else np.zeros(0)
+
+
+def _shard_task(payload: tuple) -> dict:
+    """Module-level pool entry point (picklable), mirroring the harness."""
+    return _run_shard(*payload)
+
+
+def run_sharded_daemon(
+    algorithm: NearestPeerAlgorithm,
+    spec: DaemonSpec,
+    *,
+    targets: np.ndarray,
+    standby: list[int],
+    n_queries: int,
+    workload_rng: np.random.Generator,
+    algo_rng: np.random.Generator,
+) -> DaemonRun:
+    """Run one daemon workload across ``spec.shards`` processes and merge.
+
+    Call with the algorithm already *built* and the stream discipline of
+    :meth:`~repro.harness.engine.QueryEngine.run_daemon_trial` already
+    observed (``workload_rng`` split off first, build consuming
+    ``algo_rng``); this function continues both streams — the workload
+    stream pre-draws the script, the algorithm stream yields one child
+    seed from which per-query plan seeds and the shards' common
+    maintenance generator derive.  ``spec.shards == 1`` runs the scripted
+    protocol inline (no pool) — the reference the invariance test holds
+    higher shard counts to.
+    """
+    if algorithm._probe_oracle is not algorithm.oracle:
+        raise ConfigurationError(
+            "sharded daemon runs forbid a separate probe oracle: a stateful "
+            "noisy stream shared across queries would depend on the shard "
+            "layout"
+        )
+    if not algorithm._scheduler.eager:
+        raise ConfigurationError(
+            "sharded daemon runs require eager maintenance: deferred flush "
+            "timing is local to a shard's query order"
+        )
+    targets = np.asarray(targets, dtype=int)
+    algo_seed = int(algo_rng.integers(2**63))
+    plan_seeds = np.random.default_rng([algo_seed, 1]).integers(
+        2**63, size=n_queries
+    )
+    maintenance_seed = [algo_seed, 0]
+    script = _pre_draw_script(
+        spec, targets, algorithm.members, standby, n_queries, workload_rng,
+        plan_seeds,
+    )
+    n_nodes = int(algorithm.oracle.n_nodes)
+    shard_of_entry = (script.entries.astype(np.int64) * spec.shards) // n_nodes
+    populated = [
+        s for s in range(spec.shards) if np.any(shard_of_entry == s)
+    ]
+    tasks = []
+    for s in populated:
+        own = shard_of_entry == s
+        shard_script = DaemonScript(
+            arrival_ms=script.arrival_ms,
+            targets=script.targets,
+            entries=script.entries,
+            plan_seeds=script.plan_seeds,
+            own=own,
+            events=script.events,
+        )
+        tasks.append((algorithm, spec, targets, shard_script, maintenance_seed))
+    if len(tasks) == 1:
+        parts = [_shard_task(tasks[0])]
+    else:
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            parts = list(pool.map(_shard_task, tasks))
+    return _merge(script, algorithm, parts)
+
+
+def _merge(
+    script: DaemonScript,
+    algorithm: NearestPeerAlgorithm,
+    parts: list[dict],
+) -> DaemonRun:
+    """Reunite shard partial records into one global :class:`DaemonRun`."""
+    jobs = sorted(
+        (job for part in parts for job in part["jobs"]),
+        key=lambda job: job.index,
+    )
+    memberships = MembershipLog(algorithm.members)
+    n_events = 0
+    for _t, arriving, departing in script.events:
+        memberships.append_event(list(arriving), list(departing))
+        n_events += (1 if departing else 0) + (1 if arriving else 0)
+    makespan = max(part["makespan_ms"] for part in parts)
+    queue_area = sum(part["queue_area"] for part in parts)
+    in_flight_area = sum(part["in_flight_area"] for part in parts)
+    queue_peak = peak_from_breakpoints(
+        [part["queue_bp_times"] for part in parts],
+        [part["queue_bp_deltas"] for part in parts],
+    )
+    in_flight_peak = peak_from_breakpoints(
+        [part["in_flight_bp_times"] for part in parts],
+        [part["in_flight_bp_deltas"] for part in parts],
+    )
+    longest = max(parts, key=lambda part: part["makespan_ms"])
+    return DaemonRun(
+        jobs=jobs,
+        memberships=memberships,
+        n_events=n_events,
+        makespan_ms=makespan,
+        queue_depth_time_avg=queue_area / makespan if makespan > 0 else 0.0,
+        queue_depth_max=queue_peak,
+        in_flight_probes_time_avg=(
+            in_flight_area / makespan if makespan > 0 else 0.0
+        ),
+        in_flight_probes_max=in_flight_peak,
+        trailing_maintenance_probes=longest["trailing_maintenance"],
+        ring_repair_passes=longest["ring_repair"][0],
+        ring_repair_nodes=longest["ring_repair"][1],
+        ring_repair_probes=longest["ring_repair"][2],
+        forced_flushes=longest["forced_flushes"],
+        loop_events=sum(part["loop_events"] for part in parts),
+    )

@@ -150,6 +150,48 @@ class ClusteredTopology:
         ca, cb = self.host_cluster[a], self.host_cluster[b]
         return float(hub + self.core_ms[ca, cb])
 
+    def latencies_from(self, a: int, members: np.ndarray | None = None) -> np.ndarray:
+        """RTTs from host ``a`` to ``members`` without a dense matrix.
+
+        The batch half of the :class:`~repro.topology.oracle.BatchLatencyOracle`
+        protocol, computed from the path model directly — the float
+        operation order matches :meth:`latency_ms` and :meth:`full_matrix`
+        term for term, so the values are bit-identical to a dense row
+        slice.  O(len(members)) time and memory: what lets the simulator
+        hold a million-peer world where the full matrix would be 8 TB.
+        """
+        if members is None:
+            members = np.arange(self.n_nodes)
+        else:
+            members = np.asarray(members, dtype=int)
+        row = self.host_hub_latency_ms[a] + self.host_hub_latency_ms[members]
+        row += self.core_ms[self.host_cluster[a], self.host_cluster[members]]
+        row[self.host_en[members] == self.host_en[a]] = self.config.intra_en_latency_ms
+        row[members == a] = 0.0
+        return row
+
+    def latency_pairs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise RTTs ``latency_ms(a[i], b[i])``, vectorised."""
+        a = np.asarray(a, dtype=int)
+        b = np.asarray(b, dtype=int)
+        vals = self.host_hub_latency_ms[a] + self.host_hub_latency_ms[b]
+        vals += self.core_ms[self.host_cluster[a], self.host_cluster[b]]
+        vals[self.host_en[a] == self.host_en[b]] = self.config.intra_en_latency_ms
+        vals[a == b] = 0.0
+        return vals
+
+    def latency_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """RTT block between two host-id sets (matrix-free fancy slice)."""
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        hub = self.host_hub_latency_ms
+        block = hub[rows][:, None] + hub[cols][None, :]
+        block += self.core_ms[np.ix_(self.host_cluster[rows], self.host_cluster[cols])]
+        same_en = self.host_en[rows][:, None] == self.host_en[cols][None, :]
+        block[same_en] = self.config.intra_en_latency_ms
+        block[rows[:, None] == cols[None, :]] = 0.0
+        return block
+
     def full_matrix(self) -> np.ndarray:
         """Dense symmetric latency matrix over all hosts (vectorised)."""
         hub = self.host_hub_latency_ms

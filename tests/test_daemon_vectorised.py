@@ -1,0 +1,407 @@
+"""Tests for the vectorised daemon core: batch stepper, SoA state, shards.
+
+Three equivalence obligations anchor the PR 6 refactor:
+
+* the batch stepper (one event per probe round) must reproduce the
+  scalar stepper's (one event per probe) run record exactly, for every
+  scheme — the timeline argument is that a scalar round's replies occupy
+  a contiguous heap block and the plan advances on the last of them;
+* the sharded driver must produce answers and timelines invariant to the
+  shard count at a fixed seed;
+* the struct-of-arrays admission counters must mirror what the
+  historical dict bookkeeping would have held, reconstructed here from
+  the job timelines.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BeaconSearch,
+    KargerRuhlSearch,
+    MeridianSearch,
+    PicSearch,
+    RandomProbeSearch,
+    TapestrySearch,
+    TiersSearch,
+    VivaldiGreedySearch,
+)
+from repro.harness import DaemonSpec, QueryEngine, SamplingSpec
+from repro.latency.builder import build_clustered_oracle, build_sparse_clustered_world
+from repro.topology.clustered import ClusteredConfig
+from repro.util.errors import ConfigurationError
+
+SMALL = ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2)
+
+SCHEMES = [
+    ("random-probe", lambda: RandomProbeSearch(budget=8)),
+    ("karger-ruhl", lambda: KargerRuhlSearch(samples_per_scale=4, max_rounds=12)),
+    ("tapestry", lambda: TapestrySearch(id_digits=4, probe_budget_per_level=8)),
+    ("tiers", lambda: TiersSearch(branching=8)),
+    ("meridian", MeridianSearch),
+    ("beaconing", lambda: BeaconSearch(n_beacons=6, probe_budget=8)),
+    ("pic", PicSearch),
+]
+
+CHURN_SPEC = DaemonSpec(
+    mean_interarrival_ms=30.0,
+    per_node_concurrency=2,
+    initial_fraction=0.7,
+    min_members=32,
+    mean_event_interval_ms=120.0,
+    departure_rate=0.6,
+    arrival_rate=0.6,
+)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return build_clustered_oracle(SMALL, seed=99)
+
+
+def run_daemon(world, factory, spec, n_queries=25, seed=5):
+    return QueryEngine().run_daemon_trial(
+        world,
+        factory(),
+        spec,
+        sampling=SamplingSpec(n_targets=30),
+        n_queries=n_queries,
+        seed=seed,
+    )
+
+
+class TestBatchScalarEquivalence:
+    """The vectorised stepper is bit-identical to the per-probe reference."""
+
+    @pytest.mark.parametrize("name,factory", SCHEMES, ids=[s[0] for s in SCHEMES])
+    def test_full_record_matches(self, small_world, name, factory):
+        batch = run_daemon(small_world, factory, CHURN_SPEC)
+        scalar = run_daemon(
+            small_world, factory, dataclasses.replace(CHURN_SPEC, stepper="scalar")
+        )
+        assert np.array_equal(batch.targets, scalar.targets)
+        assert np.array_equal(batch.found, scalar.found)
+        assert np.array_equal(batch.probes, scalar.probes)
+        assert np.array_equal(batch.arrival_ms, scalar.arrival_ms)
+        assert np.array_equal(batch.start_ms, scalar.start_ms)
+        assert np.array_equal(batch.finish_ms, scalar.finish_ms)
+        assert np.array_equal(batch.probe_rounds, scalar.probe_rounds)
+        assert batch.makespan_ms == scalar.makespan_ms
+        assert batch.queue_depth_max == scalar.queue_depth_max
+        assert batch.queue_depth_time_avg == scalar.queue_depth_time_avg
+        assert batch.n_churn_events == scalar.n_churn_events
+        assert batch.ring_repair_probes == scalar.ring_repair_probes
+        # The in-flight integral is the same sum in a different float
+        # order (per-round sum(delays) vs per-transition accrual).
+        assert batch.in_flight_probes_max == scalar.in_flight_probes_max
+        assert np.isclose(
+            batch.in_flight_probes_time_avg, scalar.in_flight_probes_time_avg
+        )
+        # The batch path does it in O(rounds) events, not O(probes).
+        assert batch.makespan_ms > 0
+
+    def test_zero_delay_equivalence_under_batch(self, small_world):
+        """zero_delay collapses both steppers onto the blocking timeline."""
+        spec = dataclasses.replace(CHURN_SPEC, zero_delay=True)
+        batch = run_daemon(small_world, lambda: RandomProbeSearch(budget=8), spec)
+        scalar = run_daemon(
+            small_world,
+            lambda: RandomProbeSearch(budget=8),
+            dataclasses.replace(spec, stepper="scalar"),
+        )
+        assert np.array_equal(batch.found, scalar.found)
+        assert np.array_equal(batch.finish_ms, scalar.finish_ms)
+        assert batch.in_flight_probes_max == scalar.in_flight_probes_max
+
+
+class TestShardInvariance:
+    """Sharded runs are deterministic and invariant to the shard count."""
+
+    @pytest.fixture(scope="class")
+    def records(self, small_world):
+        return {
+            shards: run_daemon(
+                small_world,
+                lambda: RandomProbeSearch(budget=8),
+                dataclasses.replace(CHURN_SPEC, shards=shards),
+                n_queries=40,
+                seed=11,
+            )
+            for shards in (2, 3, 5)
+        }
+
+    def test_answers_and_timelines_invariant(self, records):
+        base = records[2]
+        for shards in (3, 5):
+            other = records[shards]
+            assert np.array_equal(base.targets, other.targets)
+            assert np.array_equal(base.found, other.found)
+            assert np.array_equal(base.probes, other.probes)
+            assert np.array_equal(base.arrival_ms, other.arrival_ms)
+            assert np.array_equal(base.start_ms, other.start_ms)
+            assert np.array_equal(base.finish_ms, other.finish_ms)
+            assert np.array_equal(base.exact_hit, other.exact_hit)
+
+    def test_tta_percentiles_invariant(self, records):
+        ttas = {
+            shards: np.percentile(record.time_to_answer_ms, [50, 95, 99])
+            for shards, record in records.items()
+        }
+        assert np.array_equal(ttas[2], ttas[3])
+        assert np.array_equal(ttas[2], ttas[5])
+
+    def test_load_metrics_merge_consistently(self, records):
+        base = records[2]
+        for shards in (3, 5):
+            other = records[shards]
+            assert base.queue_depth_max == other.queue_depth_max
+            assert base.in_flight_probes_max == other.in_flight_probes_max
+            assert np.isclose(
+                base.queue_depth_time_avg, other.queue_depth_time_avg
+            )
+            assert np.isclose(
+                base.in_flight_probes_time_avg, other.in_flight_probes_time_avg
+            )
+
+    def test_sharded_rejects_probe_noise(self, small_world):
+        from repro.harness import NoiseSpec
+
+        with pytest.raises(ConfigurationError, match="noise"):
+            QueryEngine().run_daemon_trial(
+                small_world,
+                RandomProbeSearch(budget=8),
+                dataclasses.replace(CHURN_SPEC, shards=2),
+                sampling=SamplingSpec(n_targets=30),
+                n_queries=10,
+                seed=11,
+                noise=NoiseSpec(sigma=0.1),
+            )
+
+    def test_sharded_rejects_deferred_maintenance(self, small_world):
+        with pytest.raises(ConfigurationError, match="eager"):
+            QueryEngine().run_daemon_trial(
+                small_world,
+                RandomProbeSearch(budget=8, maintenance="lazy"),
+                dataclasses.replace(CHURN_SPEC, shards=2),
+                sampling=SamplingSpec(n_targets=30),
+                n_queries=10,
+                seed=11,
+            )
+
+
+class TestSoAState:
+    """The struct-of-arrays counters mirror the historical dict bookkeeping."""
+
+    def test_counters_drain_and_peaks_match_job_timelines(self, small_world):
+        from repro.algorithms.random_probe import RandomProbeSearch as RPS
+        from repro.service import QueryDaemon
+
+        spec = CHURN_SPEC
+        rng = np.random.default_rng(5)
+        sampling = SamplingSpec(n_targets=30)
+        targets = sampling.sample(small_world, rng)
+        members = np.setdiff1d(
+            np.arange(small_world.topology.n_nodes), targets
+        )
+        workload_rng = np.random.default_rng(int(rng.integers(2**63)))
+        n_initial = max(spec.min_members, int(round(0.7 * members.size)))
+        shuffled = workload_rng.permutation(members)
+        live = np.sort(shuffled[:n_initial])
+        algorithm = RPS(budget=8)
+        algorithm.build(small_world.oracle, live, seed=rng)
+        daemon = QueryDaemon(
+            algorithm,
+            spec,
+            targets=targets,
+            workload_rng=workload_rng,
+            algo_rng=rng,
+            standby=shuffled[n_initial:].tolist(),
+        )
+        run = daemon.run(60)
+        state = daemon.state
+        # All admissions released, all queues drained.
+        assert not state.active.any()
+        assert not state.queued.any()
+        # Liveness mirrors the algorithm's final member set exactly.
+        assert state.n_live == algorithm.members.size
+        assert np.array_equal(np.flatnonzero(state.alive), np.sort(algorithm.members))
+        # Epoch mirrors the membership log.
+        assert state.epoch == run.memberships.n_epochs - 1
+        # Reconstruct each entry node's concurrency peak from the job
+        # timelines — exactly what the historical dict would have peaked
+        # at.  A finish and a start at the same instant is the FIFO
+        # handoff; the release happens first, so sort finishes first.
+        events = []
+        for job in run.jobs:
+            events.append((job.start_ms, 1, job.entry))
+            events.append((job.finish_ms, 0, job.entry))  # 0 sorts first
+        counts: dict[int, int] = {}
+        peaks: dict[int, int] = {}
+        for _t, kind, entry in sorted(events):
+            delta = 1 if kind == 1 else -1
+            counts[entry] = counts.get(entry, 0) + delta
+            peaks[entry] = max(peaks.get(entry, 0), counts[entry])
+        for entry, peak in peaks.items():
+            assert state.active_peak[entry] == peak
+        assert int(state.active_peak.max()) <= spec.per_node_concurrency
+        # Queued peaks: at least one node queued iff the run ever queued.
+        assert (state.queued_peak.max() > 0) == (run.queue_depth_max > 0)
+
+    def test_member_mask_fast_path_matches_membership(self, small_world):
+        algorithm = RandomProbeSearch(budget=8)
+        rng = np.random.default_rng(3)
+        members = np.arange(0, 200, 2)
+        algorithm.build(small_world.oracle, members, seed=rng)
+        assert algorithm.view_contains(4) is True
+        assert algorithm.view_contains(5) is False
+        assert algorithm.view_contains(10**9) is False
+        algorithm.leave(np.array([4]), seed=rng)
+        algorithm.join(np.array([5]), seed=rng)
+        assert algorithm.view_contains(4) is False
+        assert algorithm.view_contains(5) is True
+
+
+class TestDispatchCharging:
+    """charge_dispatch bills the entry->prober coordination hop."""
+
+    def test_charged_runs_are_slower_never_faster(self, small_world):
+        base = run_daemon(
+            small_world, lambda: RandomProbeSearch(budget=8), CHURN_SPEC
+        )
+        charged = run_daemon(
+            small_world,
+            lambda: RandomProbeSearch(budget=8),
+            dataclasses.replace(CHURN_SPEC, charge_dispatch=True),
+        )
+        # Same answers and probe bills: charging changes timing only.
+        assert np.array_equal(base.targets, charged.targets)
+        assert np.array_equal(base.found, charged.found)
+        assert np.array_equal(base.probes, charged.probes)
+        # Every service time is at least the uncharged one, and the
+        # dispatch hop costs real time somewhere.
+        assert (
+            charged.finish_ms - charged.start_ms
+            >= base.finish_ms - base.start_ms - 1e-9
+        ).all()
+        assert charged.time_to_answer_ms.sum() > base.time_to_answer_ms.sum()
+
+    def test_charged_batch_matches_charged_scalar(self, small_world):
+        spec = dataclasses.replace(CHURN_SPEC, charge_dispatch=True)
+        batch = run_daemon(small_world, lambda: RandomProbeSearch(budget=8), spec)
+        scalar = run_daemon(
+            small_world,
+            lambda: RandomProbeSearch(budget=8),
+            dataclasses.replace(spec, stepper="scalar"),
+        )
+        assert np.array_equal(batch.finish_ms, scalar.finish_ms)
+        assert np.array_equal(batch.found, scalar.found)
+
+
+class TestSparseWorld:
+    """Matrix-free worlds are the same world, served from the path model."""
+
+    def test_sparse_replays_dense_draws(self):
+        dense = build_clustered_oracle(SMALL, seed=99)
+        sparse = build_sparse_clustered_world(SMALL, seed=99)
+        assert sparse.matrix is None
+        assert np.array_equal(
+            dense.topology.host_hub_latency_ms,
+            sparse.topology.host_hub_latency_ms,
+        )
+        assert np.array_equal(dense.topology.core_ms, sparse.topology.core_ms)
+
+    def test_batch_methods_match_dense_slices(self):
+        dense = build_clustered_oracle(SMALL, seed=99)
+        topology = build_sparse_clustered_world(SMALL, seed=99).topology
+        matrix = dense.matrix.values
+        rows = np.array([0, 7, 63, 101])
+        cols = np.arange(topology.n_nodes)
+        assert np.array_equal(
+            topology.latency_block(rows, cols), matrix[np.ix_(rows, cols)]
+        )
+        assert np.array_equal(topology.latencies_from(7), matrix[7])
+        sub = np.array([5, 9, 140])
+        assert np.array_equal(topology.latencies_from(7, sub), matrix[7, sub])
+        a = np.array([1, 5, 9, 9, 0])
+        b = np.array([2, 5, 100, 9, 1])
+        assert np.array_equal(topology.latency_pairs(a, b), matrix[a, b])
+
+    def test_daemon_trial_on_sparse_world_matches_dense(self):
+        dense = build_clustered_oracle(SMALL, seed=99)
+        sparse = build_sparse_clustered_world(SMALL, seed=99)
+        kwargs = dict(
+            spec=CHURN_SPEC,
+            sampling=SamplingSpec(n_targets=30),
+            n_queries=25,
+            seed=5,
+        )
+        engine = QueryEngine()
+        on_dense = engine.run_daemon_trial(
+            dense, RandomProbeSearch(budget=8), kwargs["spec"],
+            sampling=kwargs["sampling"], n_queries=kwargs["n_queries"],
+            seed=kwargs["seed"],
+        )
+        on_sparse = engine.run_daemon_trial(
+            sparse, RandomProbeSearch(budget=8), kwargs["spec"],
+            sampling=kwargs["sampling"], n_queries=kwargs["n_queries"],
+            seed=kwargs["seed"],
+        )
+        assert np.array_equal(on_dense.found, on_sparse.found)
+        assert np.array_equal(on_dense.finish_ms, on_sparse.finish_ms)
+        assert np.array_equal(on_dense.exact_hit, on_sparse.exact_hit)
+        assert np.array_equal(on_dense.cluster_hit, on_sparse.cluster_hit)
+
+
+class TestMidFlightChurn:
+    def test_beaconing_plan_survives_churn_between_rounds(self, small_world):
+        """Churn applied between a plan's rounds rebinds the beacon table.
+
+        The plan must rank with its capture-time snapshot: a join that
+        grows the live table past the snapshot used to drive the Hotz
+        ranking off the end of the member view (IndexError at daemon
+        scale); a leave mis-aligned every column after the gap.
+        """
+        rng = np.random.default_rng(7)
+        hosts = np.arange(small_world.topology.n_nodes)
+        live = np.sort(rng.choice(hosts, size=hosts.size - 40, replace=False))
+        standby = np.setdiff1d(hosts, live)
+        target = int(standby[0])
+        algorithm = BeaconSearch(n_beacons=6, probe_budget=8)
+        algorithm.build(small_world.oracle, live, seed=rng)
+        snapshot = algorithm.members.copy()
+        plan = algorithm.query_plan(target, seed=3)
+        plan.send(None)  # round 1: beacon measurements issued
+        algorithm.join(standby[1:13], seed=rng)  # table gains columns
+        algorithm.leave(snapshot[:5], seed=rng)  # ... and loses others
+        result = None
+        try:
+            while True:
+                plan.send(None)
+        except StopIteration as stop:
+            result = stop.value
+        assert result is not None
+        # The answer comes from the plan's own membership snapshot.
+        assert result.found in snapshot
+        assert result.found != target
+
+
+class TestDaemonSpecValidation:
+    def test_rejects_unknown_stepper(self):
+        with pytest.raises(ConfigurationError):
+            DaemonSpec(stepper="quantum")
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ConfigurationError):
+            DaemonSpec(shards=0)
+
+    def test_vivaldi_greedy_batch_scalar_equivalence(self, small_world):
+        batch = run_daemon(small_world, VivaldiGreedySearch, CHURN_SPEC)
+        scalar = run_daemon(
+            small_world,
+            VivaldiGreedySearch,
+            dataclasses.replace(CHURN_SPEC, stepper="scalar"),
+        )
+        assert np.array_equal(batch.found, scalar.found)
+        assert np.array_equal(batch.finish_ms, scalar.finish_ms)

@@ -13,6 +13,7 @@ from repro.algorithms import (
     BeaconSearch,
     KargerRuhlSearch,
     MeridianSearch,
+    NearestPeerAlgorithm,
     PicSearch,
     ProbeOp,
     RandomProbeSearch,
@@ -29,8 +30,8 @@ SCHEMES = [
     (lambda: TapestrySearch(id_digits=4, probe_budget_per_level=8), True),
     (lambda: TiersSearch(branching=8), True),
     (MeridianSearch, True),
-    (lambda: BeaconSearch(n_beacons=6, probe_budget=8), False),
-    (PicSearch, False),
+    (lambda: BeaconSearch(n_beacons=6, probe_budget=8), True),
+    (PicSearch, True),
 ]
 
 IDS = [
@@ -142,8 +143,8 @@ class TestPlanStructure:
         # least some start nodes.
         assert multi_round >= 1
 
-    def test_adapter_preserves_round_boundaries(self, clustered_world):
-        """Beaconing (adapter path): beacon sweep then shortlist fan-out."""
+    def test_beaconing_round_boundaries(self, clustered_world):
+        """Beaconing (native plan): beacon sweep then shortlist fan-out."""
         algorithm = BeaconSearch(n_beacons=6, probe_budget=8)
         algorithm.build(clustered_world.oracle, np.arange(80), seed=1)
         target = clustered_world.topology.n_nodes - 1
@@ -151,6 +152,40 @@ class TestPlanStructure:
         assert len(rounds) >= 2
         assert len(rounds[0]) == 6  # one probe per beacon
         assert result.found in np.arange(80)
+
+    def test_adapter_preserves_round_boundaries(self, clustered_world):
+        """The record-and-replay adapter still serves unconverted schemes."""
+
+        class AdapterDemo(RandomProbeSearch):
+            """A scheme without a native plan: blocking query only."""
+
+            name = "adapter-demo"
+            plan_native = False
+
+            def _plan(self, target, rng):
+                return NearestPeerAlgorithm._plan(self, target, rng)
+
+            def _query(self, target, rng):
+                picks = self.members[:3]
+                values = self.probe_many(picks, target)
+                extra = int(self.members[3])
+                single = self.probe(extra, target)
+                measured = {
+                    int(m): float(v) for m, v in zip(picks, values)
+                }
+                measured[extra] = single
+                return self.result(target, measured)
+
+        direct, stepped = build_pair(AdapterDemo, clustered_world)
+        assert not stepped.plan_native
+        target = clustered_world.topology.n_nodes - 1
+        blocking = direct.query(target, seed=2)
+        planned, rounds = drain_plan(stepped.query_plan(target, seed=2))
+        assert_results_identical(blocking, planned)
+        # One round per probe-channel call: the batched fan-out, then the
+        # scalar probe.
+        assert [len(r) for r in rounds] == [3, 1]
+        assert all(isinstance(op, ProbeOp) for batch in rounds for op in batch)
 
     def test_query_plan_before_build_raises(self):
         with pytest.raises(ConfigurationError):
