@@ -28,6 +28,7 @@ from repro.core.opportunity import opportunity_cost
 from repro.harness import (
     AggregateStats,
     DaemonSpec,
+    FaultSpec,
     DaemonTrialRecord,
     NoiseSpec,
     QueryEngine,
@@ -77,6 +78,7 @@ __all__ = [
     "opportunity_cost",
     "AggregateStats",
     "DaemonSpec",
+    "FaultSpec",
     "DaemonTrialRecord",
     "NoiseSpec",
     "QueryEngine",

@@ -265,6 +265,11 @@ class SearchResult:
     hops: int = 0
     path: list[int] = field(default_factory=list)
 
+    @property
+    def answered(self) -> bool:
+        """False for the no-answer sentinel a fully-faulted plan returns."""
+        return self.found >= 0
+
 
 class NearestPeerAlgorithm(abc.ABC):
     """A nearest-peer search scheme over a dynamic member population.
@@ -743,13 +748,14 @@ class NearestPeerAlgorithm(abc.ABC):
         probes = 0
         aux = 0
         result: SearchResult | None = None
+        sent = None
         while True:
             live = self._members
             saved_probes, saved_aux = self._probe_count, self._aux_probe_count
             self._members = view
             self._probe_count, self._aux_probe_count = probes, aux
             try:
-                batch = next(inner)
+                batch = inner.send(sent)
             except StopIteration as stop:
                 result = stop.value
                 break
@@ -757,7 +763,10 @@ class NearestPeerAlgorithm(abc.ABC):
                 probes, aux = self._probe_count, self._aux_probe_count
                 self._members = live
                 self._probe_count, self._aux_probe_count = saved_probes, saved_aux
-            yield batch
+            # A fault-aware driver answers each round with a per-probe
+            # outcome mask (None means every probe was answered); forward
+            # it into the plan so schemes can degrade to the survivors.
+            sent = yield batch
         if result is None:
             raise ConfigurationError(
                 f"{self.name}: query plan finished without a SearchResult"
@@ -985,6 +994,55 @@ class NearestPeerAlgorithm(abc.ABC):
             return np.empty((rows.size, cols.size), dtype=float)
         self._maintenance_probe_count += int(rows.size * cols.size)
         return batch_latency_block(self.oracle, rows, cols)
+
+    def _offer_round(
+        self,
+        nodes,
+        target: int,
+        values,
+        kind: str = "probe",
+    ):
+        """Yield one probe fan-out and apply the driver's outcome mask.
+
+        Native plans use this as
+        ``kept, vals, idx = yield from self._offer_round(nodes, t, vals)``.
+        The driver may answer the ``yield`` with a boolean mask saying
+        which probes were actually answered (``None`` — every blocking
+        query and every fault-free daemon round — means all of them).
+        Returns the surviving ``(nodes, values, indices)``: the node ids
+        whose measurements arrived, their values, and their positions in
+        the offered round — so a scheme can keep aligned side tables
+        (e.g. beaconing's distance-table rows) consistent with what it
+        actually learned.
+        """
+        values = np.asarray(values, dtype=float)
+        mask = yield probe_round(nodes, target, values, kind)
+        node_list = [int(n) for n in nodes]
+        if mask is None:
+            return node_list, values, np.arange(len(node_list))
+        mask = np.asarray(mask, dtype=bool)
+        if mask.size != len(node_list):
+            raise ConfigurationError(
+                f"{self.name}: round mask size {mask.size} != "
+                f"{len(node_list)} probes"
+            )
+        kept = [n for n, ok in zip(node_list, mask.tolist()) if ok]
+        return kept, values[mask], np.flatnonzero(mask)
+
+    def no_answer(self, target: int) -> SearchResult:
+        """The failure sentinel: every probe this plan issued was lost.
+
+        Only reachable under an active fault model (a blocking query's
+        rounds are never masked).  The daemon treats it as "retry this
+        query after a backoff" and keeps the failed attempt's probe bill.
+        """
+        return SearchResult(
+            target=target,
+            found=-1,
+            found_latency_ms=float("inf"),
+            probes=self._probe_count,
+            aux_probes=self._aux_probe_count,
+        )
 
     def result(
         self,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
 from repro.util.validate import require_positive
 
 
@@ -101,18 +101,29 @@ class BeaconSearch(NearestPeerAlgorithm):
         table = self._beacon_to_member
         # Round 1: the target measures itself against every beacon.
         target_to_beacons = self.probe_many(beacons, target)
-        yield probe_round(beacons, target, target_to_beacons)
-        # Hotz lower bound per member, and per-beacon band membership.
-        gaps = np.abs(table - target_to_beacons[:, None])
-        hotz = gaps.max(axis=0)
-        bands = gaps <= self._band_fraction * np.maximum(
-            target_to_beacons[:, None], 1e-3
+        _, heard, rows_alive = yield from self._offer_round(
+            beacons, target, target_to_beacons
         )
-        in_any_band = bands.any(axis=0)
-        candidate_rows = np.flatnonzero(in_any_band)
-        if candidate_rows.size == 0:
-            candidate_rows = np.arange(members.size)
-        ranked = candidate_rows[np.argsort(hotz[candidate_rows])]
+        if rows_alive.size:
+            # Triangulate from the beacons that actually answered: the
+            # Hotz bound and the bands use only the surviving table rows,
+            # so a lossy beacon round degrades the ranking instead of
+            # poisoning it with unmeasured gaps.  With every probe
+            # answered (any fault-free driver) this is the full table.
+            gaps = np.abs(table[rows_alive] - heard[:, None])
+            hotz = gaps.max(axis=0)
+            bands = gaps <= self._band_fraction * np.maximum(
+                heard[:, None], 1e-3
+            )
+            in_any_band = bands.any(axis=0)
+            candidate_rows = np.flatnonzero(in_any_band)
+            if candidate_rows.size == 0:
+                candidate_rows = np.arange(members.size)
+            ranked = candidate_rows[np.argsort(hotz[candidate_rows])]
+        else:
+            # Every beacon probe was lost: no triangulation signal at all.
+            # Fall back to an unranked shortlist drawn from the snapshot.
+            ranked = rng.permutation(members.size)
         shortlist = [
             m
             for m in (int(members[row]) for row in ranked[: self._probe_budget])
@@ -122,13 +133,19 @@ class BeaconSearch(NearestPeerAlgorithm):
         if shortlist:
             # Round 2: the shortlisted candidates probe the target.
             values = self.probe_many(shortlist, target)
-            yield probe_round(shortlist, target, values)
-            measured = dict(zip(shortlist, values.tolist()))
+            kept, values, _ = yield from self._offer_round(
+                shortlist, target, values
+            )
+            measured = dict(zip(kept, values.tolist()))
         if not measured:  # degenerate: every candidate was the target
             fallback = int(rng.choice(members[members != target]))
             value = self.probe(fallback, target)
-            yield probe_round([fallback], target, [value])
-            measured[fallback] = value
+            kept, values, _ = yield from self._offer_round(
+                [fallback], target, [value]
+            )
+            measured = dict(zip(kept, values.tolist()))
+        if not measured:  # shortlist and fallback both fully lost
+            return self.no_answer(target)
         return self.result(target, measured, hops=1)
 
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:

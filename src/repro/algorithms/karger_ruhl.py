@@ -16,7 +16,7 @@ import math
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
 from repro.util.validate import require_positive
 
 
@@ -84,8 +84,10 @@ class KargerRuhlSearch(NearestPeerAlgorithm):
         """Stepwise search: one round per sampling hop (native plan)."""
         current = int(rng.choice(self.members))
         first = self.probe(current, target)
-        yield probe_round([current], target, [first])
-        measured = {current: first}
+        kept, vals, _ = yield from self._offer_round([current], target, [first])
+        if not kept:  # the seed probe was lost: nothing to descend from
+            return self.no_answer(target)
+        measured = dict(zip(kept, vals.tolist()))
         path = [current]
         for _ in range(self._max_rounds):
             d = measured[current]
@@ -101,7 +103,9 @@ class KargerRuhlSearch(NearestPeerAlgorithm):
             ]
             values = self.probe_many(fresh, target)
             if fresh:
-                yield probe_round(fresh, target, values)
+                fresh, values, _ = yield from self._offer_round(
+                    fresh, target, values
+                )
             measured.update(zip(fresh, values.tolist()))
             best = min(measured, key=measured.get)
             # Move only on a halving, the Karger-Ruhl progress criterion.

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
 from repro.meridian.gossip import repair_overlay_rings
 from repro.meridian.overlay import (
     MeridianConfig,
@@ -144,7 +144,11 @@ class MeridianSearch(NearestPeerAlgorithm):
         beta = overlay.config.beta
         current = int(rng.choice(overlay.member_ids))
         current_d = self.probe(current, target)
-        yield probe_round([current], target, [current_d])
+        kept, _, _ = yield from self._offer_round(
+            [current], target, [current_d]
+        )
+        if not kept:  # the entry probe was lost: no ring to descend
+            return self.no_answer(target)
         best, best_d = current, current_d
         measured: dict[int, float] = {current: current_d}
         path = [current]
@@ -162,7 +166,9 @@ class MeridianSearch(NearestPeerAlgorithm):
             )
             if fresh:
                 values = self.probe_block(fresh, [target])[:, 0]
-                yield probe_round(fresh, target, values)
+                fresh, values, _ = yield from self._offer_round(
+                    fresh, target, values
+                )
                 measured.update(zip(fresh, values.tolist()))
             if measured:
                 round_best = min(measured, key=measured.get)

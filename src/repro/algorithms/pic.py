@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
 from repro.coords.gnp import GnpConfig, GnpEmbedding, _solve_point
 from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
 from repro.util.validate import require_positive
@@ -154,9 +154,19 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
         # Round 1: placement — the target measures a few anchors so its
         # coordinate can be solved.
         anchors, anchor_rtts = self._target_anchor_probes(target, rng)
+        survivors, heard = anchors, anchor_rtts
         if anchors.size:
-            yield probe_round(anchors, target, anchor_rtts)
-        target_position = self._target_position(anchors, anchor_rtts, rng)
+            _, _, alive = yield from self._offer_round(
+                anchors, target, anchor_rtts
+            )
+            survivors, heard = anchors[alive], anchor_rtts[alive]
+        if anchors.size and survivors.size == 0:
+            # Every placement probe was lost: solve from nothing is worse
+            # than any stored coordinate, so aim the walks at an arbitrary
+            # member's position and let the final probe round sort it out.
+            target_position = next(iter(self._positions.values())).copy()
+        else:
+            target_position = self._target_position(survivors, heard, rng)
         visited: set[int] = set()
         end_candidates: dict[int, float] = {}  # node -> coord distance
         hops = 0
@@ -187,8 +197,12 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
         measured: dict[int, float] = {}
         if finalists:
             values = self.probe_many(finalists, target)
-            yield probe_round(finalists, target, values)
-            measured = dict(zip(finalists, values.tolist()))
+            kept, values, _ = yield from self._offer_round(
+                finalists, target, values
+            )
+            measured = dict(zip(kept, values.tolist()))
+        if not measured and finalists:  # every finalist probe was lost
+            return self.no_answer(target)
         return self.result(target, measured, hops=hops, path=ranked)
 
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
@@ -244,6 +258,12 @@ class PicSearch(_CoordinateGreedyBase):
             return embedding.landmark_positions.mean(axis=0)
         rows = [index[int(a)] for a in anchors[keep]]
         positions = embedding.landmark_positions[rows]
+        if len(rows) < positions.shape[1]:
+            # Too few surviving anchors to pin a coordinate (loss or churn
+            # thinned the round below the embedding dimension): place the
+            # target at its closest-measured anchor and let the walks and
+            # the final probe round correct from there.
+            return positions[int(np.argmin(rtts[keep]))].copy()
         return _solve_point(positions, rtts[keep], positions.mean(axis=0))
 
     def _place_member(self, node: int, rng: np.random.Generator) -> np.ndarray:

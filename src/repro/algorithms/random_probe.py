@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
 from repro.util.validate import require_positive
 
 
@@ -55,8 +55,10 @@ class RandomProbeSearch(NearestPeerAlgorithm):
         count = min(self._budget, members.size)
         picks = rng.choice(members, size=count, replace=False)
         values = self.probe_many(picks, target)
-        yield probe_round(picks, target, values)
-        measured = dict(zip((int(m) for m in picks), values.tolist()))
+        picks, values, _ = yield from self._offer_round(picks, target, values)
+        measured = dict(zip(picks, values.tolist()))
+        if not measured:  # every probe lost under an active fault model
+            return self.no_answer(target)
         return self.result(target, measured, hops=0)
 
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
 from repro.util.validate import require_positive
 
 _HEX_DIGITS = 16
@@ -109,8 +109,10 @@ class TapestrySearch(NearestPeerAlgorithm):
         """Stepwise search: one round per routing level (native plan)."""
         current = int(rng.choice(self.members))
         first = self.probe(current, target)
-        yield probe_round([current], target, [first])
-        measured = {current: first}
+        kept, vals, _ = yield from self._offer_round([current], target, [first])
+        if not kept:  # the seed probe was lost: nothing to route from
+            return self.no_answer(target)
+        measured = dict(zip(kept, vals.tolist()))
         path = [current]
         for level in range(self._id_digits):
             table = self._tables.get(current)
@@ -130,7 +132,9 @@ class TapestrySearch(NearestPeerAlgorithm):
             ]
             values = self.probe_many(fresh, target)
             if fresh:
-                yield probe_round(fresh, target, values)
+                fresh, values, _ = yield from self._offer_round(
+                    fresh, target, values
+                )
             measured.update(zip(fresh, values.tolist()))
             best = min(measured, key=measured.get)
             if best != current:

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.algorithms.base import NearestPeerAlgorithm, SearchResult, probe_round
+from repro.algorithms.base import NearestPeerAlgorithm, SearchResult
 from repro.util.validate import require_positive
 
 
@@ -201,7 +201,9 @@ class TiersSearch(NearestPeerAlgorithm):
             ]
             values = self.probe_many(fresh, target)
             if fresh:
-                yield probe_round(fresh, target, values)
+                fresh, values, _ = yield from self._offer_round(
+                    fresh, target, values
+                )
             measured.update(zip(fresh, values.tolist()))
             in_cluster = {
                 int(n): measured[int(n)] for n in nodes if int(n) in measured
@@ -217,6 +219,8 @@ class TiersSearch(NearestPeerAlgorithm):
             if cluster_id is None:
                 break
             level_index -= 1
+        if not measured:  # every probe of the descent was lost
+            return self.no_answer(target)
         return self.result(target, measured, hops=len(path), path=path)
 
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:

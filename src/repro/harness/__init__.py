@@ -32,6 +32,7 @@ from repro.harness.results import (
 from repro.harness.scenario import (
     ChurnSpec,
     DaemonSpec,
+    FaultSpec,
     NoiseSpec,
     SamplingSpec,
     Scenario,
@@ -48,6 +49,7 @@ __all__ = [
     "AggregateStats",
     "ChurnSpec",
     "DaemonSpec",
+    "FaultSpec",
     "DaemonTrialRecord",
     "MembershipLog",
     "NoiseSpec",

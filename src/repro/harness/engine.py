@@ -441,6 +441,7 @@ class QueryEngine:
         seed: int | np.random.Generator | None = None,
         noise: NoiseSpec | None = None,
         probe_oracle: LatencyOracle | None = None,
+        max_sim_ms: float | None = None,
     ) -> DaemonTrialRecord:
         """Simulated-time service: one daemon run, scored and recorded.
 
@@ -457,6 +458,14 @@ class QueryEngine:
         :func:`~repro.service.sharded.run_sharded_daemon`, which pre-draws
         the same workload stream into a script and partitions the loop by
         entry-node range (sharded runs forbid probe noise — see there).
+
+        ``spec.faults`` attaches the broken-network layer: the fault
+        model is built — and every per-query fault outcome later drawn —
+        from a *dedicated* stream keyed off ``spec.faults.seed`` (falling
+        back to the trial seed), so enabling faults never perturbs the
+        workload or algorithm draws and all schemes under one seed face
+        the identical broken network.  ``max_sim_ms`` arms the event
+        loop's livelock guard for fault runs that might fail to converge.
         """
         from repro.service.daemon import QueryDaemon
         from repro.service.sharded import run_sharded_daemon
@@ -481,6 +490,20 @@ class QueryEngine:
         live = np.sort(shuffled[:n_initial])
         standby = shuffled[n_initial:].tolist()
         algorithm.build(world.oracle, live, seed=rng, probe_oracle=probe_oracle)
+        fault_model = None
+        fault_key = None
+        deadline_ms = float("inf")
+        if spec.faults is not None:
+            faults = spec.faults
+            base = faults.seed
+            if base is None:
+                base = int(seed) if isinstance(seed, (int, np.integer)) else 0
+            fault_model = faults.build_model(
+                world.topology.host_cluster,
+                np.random.default_rng((base, 977001)),
+            )
+            fault_key = (base, 977002)
+            deadline_ms = faults.deadline_ms
         if spec.shards > 1:
             run = run_sharded_daemon(
                 algorithm,
@@ -490,6 +513,9 @@ class QueryEngine:
                 n_queries=n_queries,
                 workload_rng=workload_rng,
                 algo_rng=rng,
+                fault_model=fault_model,
+                fault_key=fault_key,
+                max_sim_ms=max_sim_ms,
             )
         else:
             daemon = QueryDaemon(
@@ -499,8 +525,10 @@ class QueryEngine:
                 workload_rng=workload_rng,
                 algo_rng=rng,
                 standby=standby,
+                fault_model=fault_model,
+                fault_key=fault_key,
             )
-            run = daemon.run(n_queries)
+            run = daemon.run(n_queries, max_sim_ms=max_sim_ms)
         jobs = run.jobs
         query_targets = np.array([job.target for job in jobs], dtype=int)
         found = np.array([job.result.found for job in jobs], dtype=int)
@@ -552,6 +580,19 @@ class QueryEngine:
             ring_repair_nodes=run.ring_repair_nodes,
             ring_repair_probes=run.ring_repair_probes,
             forced_flushes=run.forced_flushes,
+            probe_drops=np.array([job.probe_drops for job in jobs], dtype=int),
+            probe_retransmits=np.array(
+                [job.probe_retransmits for job in jobs], dtype=int
+            ),
+            probe_timeouts=np.array(
+                [job.probe_timeouts for job in jobs], dtype=int
+            ),
+            relayed_probes=np.array(
+                [job.relayed_probes for job in jobs], dtype=int
+            ),
+            query_retries=np.array([job.retries for job in jobs], dtype=int),
+            relay_extra_ms=run.relay_extra_ms,
+            deadline_ms=deadline_ms,
         )
 
     def _record(

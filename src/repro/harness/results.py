@@ -278,11 +278,31 @@ class DaemonTrialRecord(TrialRecord):
     ring_repair_probes: int = 0
     #: Timer-forced deferred-maintenance flushes.
     forced_flushes: int = 0
+    #: Fault-path bills per query (``None`` without a fault model).
+    probe_drops: np.ndarray | None = None
+    probe_retransmits: np.ndarray | None = None
+    probe_timeouts: np.ndarray | None = None
+    relayed_probes: np.ndarray | None = None
+    query_retries: np.ndarray | None = None
+    #: Total simulated ms the run's probes spent on NAT relay detours.
+    relay_extra_ms: float = 0.0
+    #: Availability deadline the scenario scores against.
+    deadline_ms: float = float("inf")
 
     def __post_init__(self) -> None:
         super().__post_init__()
         n = self.targets.size
-        for name in ("arrival_ms", "start_ms", "finish_ms", "probe_rounds"):
+        for name in (
+            "arrival_ms",
+            "start_ms",
+            "finish_ms",
+            "probe_rounds",
+            "probe_drops",
+            "probe_retransmits",
+            "probe_timeouts",
+            "relayed_probes",
+            "query_retries",
+        ):
             arr = getattr(self, name)
             if arr is not None and arr.shape != (n,):
                 raise DataError(
@@ -340,6 +360,48 @@ class DaemonTrialRecord(TrialRecord):
         if self.makespan_ms <= 0:
             return 0.0
         return self.n_queries / (self.makespan_ms / 1000.0)
+
+    # -- fault metrics -----------------------------------------------------
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries answered within the scenario's deadline.
+
+        1.0 when no deadline is set: every query is eventually answered
+        (the daemon retries until it hears something), so availability
+        only bites when lateness has a cost.
+        """
+        if not np.isfinite(self.deadline_ms):
+            return 1.0
+        return float((self.time_to_answer_ms <= self.deadline_ms).mean())
+
+    @property
+    def total_probe_drops(self) -> int:
+        return 0 if self.probe_drops is None else int(self.probe_drops.sum())
+
+    @property
+    def total_probe_retransmits(self) -> int:
+        if self.probe_retransmits is None:
+            return 0
+        return int(self.probe_retransmits.sum())
+
+    @property
+    def total_probe_timeouts(self) -> int:
+        if self.probe_timeouts is None:
+            return 0
+        return int(self.probe_timeouts.sum())
+
+    @property
+    def total_relayed_probes(self) -> int:
+        if self.relayed_probes is None:
+            return 0
+        return int(self.relayed_probes.sum())
+
+    @property
+    def total_query_retries(self) -> int:
+        if self.query_retries is None:
+            return 0
+        return int(self.query_retries.sum())
 
 
 @dataclass(frozen=True)

@@ -220,6 +220,133 @@ class ServicePhase:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """Declarative network-fault configuration for the ``daemon`` protocol.
+
+    Describes the broken-network layer
+    (:class:`~repro.netsim.network.FaultModel`) in workload terms: loss
+    rates by link class, a NAT-ed fraction, scheduled outage windows and
+    a clock-skew spread.  :meth:`build_model` materialises the model for
+    one trial's topology from a *dedicated* fault stream — so attaching
+    faults never perturbs the workload or algorithm draws, and the same
+    fault layout replays across schemes (common random numbers).
+
+    ``deadline_ms`` is a scoring knob, not a mechanism: availability is
+    the fraction of queries answered within it.  An all-zero spec builds
+    an *inert* model (``active == False``) — the daemon then runs the
+    exact fault-free code path, bit for bit (the zero-fault identity
+    tests pin this).
+    """
+
+    #: Loss probability applied to every src/dst cluster pair.
+    base_loss_rate: float = 0.0
+    #: Override for same-cluster links (``None`` keeps the base rate).
+    intra_cluster_loss_rate: float | None = None
+    #: Override for cross-cluster links (``None`` keeps the base rate).
+    cross_cluster_loss_rate: float | None = None
+    #: Fraction of hosts behind NATs (probed only via their relay).
+    nat_fraction: float = 0.0
+    #: ``(start_ms, end_ms, clusters)`` regional outage windows.
+    outages: tuple = ()
+    #: Half-width of the uniform per-node clock-skew factor around 1.0.
+    clock_skew: float = 0.0
+    probe_timeout_ms: float = 400.0
+    max_retransmits: int = 2
+    retransmit_backoff: float = 2.0
+    query_retry_ms: float = 200.0
+    query_retry_backoff: float = 2.0
+    #: Availability deadline: a query answered later counts unavailable.
+    deadline_ms: float = float("inf")
+    #: Dedicated fault-stream seed; ``None`` derives it from the trial
+    #: seed (same faults per trial, independent of every other stream).
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "base_loss_rate",
+            "intra_cluster_loss_rate",
+            "cross_cluster_loss_rate",
+        ):
+            value = getattr(self, name)
+            if value is not None and not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1), got {value}"
+                )
+        require_in_range(self.nat_fraction, "nat_fraction", 0.0, 1.0)
+        require_in_range(self.clock_skew, "clock_skew", 0.0, 1.0)
+        require_positive(self.probe_timeout_ms, "probe_timeout_ms")
+        require_positive(self.query_retry_ms, "query_retry_ms")
+        require_positive(self.deadline_ms, "deadline_ms")
+        if self.max_retransmits < 0:
+            raise ConfigurationError(
+                f"max_retransmits must be >= 0, got {self.max_retransmits}"
+            )
+        if self.retransmit_backoff < 1.0 or self.query_retry_backoff < 1.0:
+            raise ConfigurationError("backoff factors must be >= 1")
+        for window in self.outages:
+            start, end, _clusters = window
+            if not 0.0 <= float(start) < float(end):
+                raise ConfigurationError(f"bad outage window {window!r}")
+
+    def build_model(
+        self, host_cluster: np.ndarray, rng: np.random.Generator
+    ) -> "FaultModel":
+        """Materialise the fault model for one trial's topology.
+
+        Draw order (pinned by the determinism tests): NAT membership,
+        then each NAT-ed host's relay, then the skew factors.  Relays
+        prefer a reachable host in the NAT-ed host's own cluster — the
+        "hole-punching helper next door" layout — falling back to any
+        reachable host.
+        """
+        from repro.netsim.network import FaultModel
+
+        host_cluster = np.asarray(host_cluster, dtype=np.int64)
+        n = host_cluster.size
+        n_clusters = int(host_cluster.max()) + 1
+        loss = np.full((n_clusters, n_clusters), self.base_loss_rate)
+        if self.intra_cluster_loss_rate is not None:
+            np.fill_diagonal(loss, self.intra_cluster_loss_rate)
+        if self.cross_cluster_loss_rate is not None:
+            off = ~np.eye(n_clusters, dtype=bool)
+            loss[off] = self.cross_cluster_loss_rate
+        natted = None
+        relay_of = None
+        if self.nat_fraction > 0.0:
+            natted = rng.random(n) < self.nat_fraction
+            reachable = np.flatnonzero(~natted)
+            if reachable.size == 0:
+                raise ConfigurationError(
+                    "every host came out NAT-ed; lower nat_fraction"
+                )
+            relay_of = np.arange(n, dtype=np.int64)
+            for host in np.flatnonzero(natted):
+                local = reachable[
+                    host_cluster[reachable] == host_cluster[host]
+                ]
+                pool = local if local.size else reachable
+                relay_of[host] = int(rng.choice(pool))
+        skew = None
+        if self.clock_skew > 0.0:
+            skew = rng.uniform(
+                1.0 - self.clock_skew, 1.0 + self.clock_skew, size=n
+            )
+        return FaultModel(
+            host_cluster,
+            loss_matrix=loss,
+            outages=self.outages,
+            natted=natted,
+            relay_of=relay_of,
+            skew=skew,
+            probe_timeout_ms=self.probe_timeout_ms,
+            max_retransmits=self.max_retransmits,
+            retransmit_backoff=self.retransmit_backoff,
+            query_retry_ms=self.query_retry_ms,
+            query_retry_backoff=self.query_retry_backoff,
+        )
+
+
+@dataclass(frozen=True)
 class DaemonSpec:
     """Simulated-time service load for the ``daemon`` protocol.
 
@@ -277,6 +404,8 @@ class DaemonSpec:
     #: Event-loop shards (process fan-out over entry-node id ranges);
     #: ``1`` keeps the serial loop.
     shards: int = 1
+    #: Network-fault configuration (``None`` = the perfect network).
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.mean_interarrival_ms, "mean_interarrival_ms")
@@ -631,6 +760,106 @@ DAEMON_FLASH_CROWD = register_scenario(
         n_queries=150,
         seed=92,
         description="query burst onto a small population: queueing delay dominates",
+    )
+)
+
+# -- broken-network daemon workloads ----------------------------------------
+
+#: The shared shape of the fault scenarios: the steady daemon world with
+#: lighter background churn, so the fault layer — not membership flux —
+#: dominates what changes between the three.
+_FAULT_DAEMON = DaemonSpec(
+    mean_interarrival_ms=40.0,
+    per_node_concurrency=2,
+    initial_fraction=0.7,
+    min_members=32,
+    mean_event_interval_ms=500.0,
+    arrival_rate=0.3,
+    departure_rate=0.3,
+)
+
+_FAULT_WORLD = ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2)
+
+#: Lossy links: light loss inside clusters, heavy loss across them —
+#: probes drop, retransmit with backoff, occasionally time out.  The
+#: availability gate (answered within the deadline) runs on this one.
+DAEMON_LOSSY = register_scenario(
+    Scenario(
+        name="daemon-lossy",
+        topology=_FAULT_WORLD,
+        sampling=SamplingSpec(n_targets=40),
+        protocol="daemon",
+        daemon=replace(
+            _FAULT_DAEMON,
+            faults=FaultSpec(
+                base_loss_rate=0.03,
+                cross_cluster_loss_rate=0.10,
+                probe_timeout_ms=250.0,
+                max_retransmits=2,
+                deadline_ms=5000.0,
+            ),
+        ),
+        n_queries=150,
+        seed=93,
+        description="3% intra / 10% cross-cluster loss with retransmits",
+    )
+)
+
+#: NAT-ed peers: a quarter of the hosts cannot be probed directly; every
+#: probe to them detours through a designated reachable relay, billing
+#: the longer path.
+DAEMON_NATTED = register_scenario(
+    Scenario(
+        name="daemon-natted",
+        topology=_FAULT_WORLD,
+        sampling=SamplingSpec(n_targets=40),
+        protocol="daemon",
+        daemon=replace(
+            _FAULT_DAEMON,
+            faults=FaultSpec(
+                nat_fraction=0.25,
+                base_loss_rate=0.01,
+                probe_timeout_ms=250.0,
+                deadline_ms=5000.0,
+            ),
+        ),
+        n_queries=150,
+        seed=94,
+        description="25% of hosts NAT-ed: probes relay and bill the detour",
+    )
+)
+
+#: Regional partitions: two scheduled outage windows cut cluster regions
+#: off mid-run; probes crossing the cut are dropped until the window
+#: ends, queries ride it out through retransmits and whole-plan retries.
+#: Clocks drift a few percent on top.
+DAEMON_PARTITION = register_scenario(
+    Scenario(
+        name="daemon-partition",
+        topology=_FAULT_WORLD,
+        sampling=SamplingSpec(n_targets=40),
+        protocol="daemon",
+        daemon=replace(
+            _FAULT_DAEMON,
+            faults=FaultSpec(
+                base_loss_rate=0.01,
+                outages=(
+                    # Longer than the full retransmit span (250+500+1000
+                    # ms), so probes cut off early in the window exhaust
+                    # every attempt and the query-level retry path runs.
+                    (400.0, 2600.0, (0, 1)),
+                    (3500.0, 4300.0, (3,)),
+                ),
+                clock_skew=0.05,
+                probe_timeout_ms=250.0,
+                max_retransmits=2,
+                query_retry_ms=150.0,
+                deadline_ms=6000.0,
+            ),
+        ),
+        n_queries=150,
+        seed=95,
+        description="two regional outage windows + 5% clock skew",
     )
 )
 

@@ -9,6 +9,6 @@ all the paper's protocols require.
 """
 
 from repro.netsim.engine import EventLoop
-from repro.netsim.network import Message, Network, SimNode
+from repro.netsim.network import FaultModel, Message, Network, SimNode
 
-__all__ = ["EventLoop", "Network", "SimNode", "Message"]
+__all__ = ["EventLoop", "FaultModel", "Network", "SimNode", "Message"]

@@ -169,16 +169,32 @@ class EventLoop:
         event.callback(*event.args)
         return True
 
-    def run(self, max_events: int | None = None) -> None:
+    def run(
+        self, max_events: int | None = None, max_time_ms: float | None = None
+    ) -> None:
         """Drain the queue, optionally stopping after ``max_events``.
 
         Only events that actually fire count toward the budget — draining a
         storm of cancelled events must not starve real ones.
+
+        ``max_time_ms`` is a livelock guard for fault simulations: if the
+        next live event lies *past* the cap while work is still queued, the
+        loop raises instead of running forever — a retry/backoff storm that
+        never converges fails loudly at a deterministic simulated instant
+        rather than hanging the process.
         """
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
                 return
+            if max_time_ms is not None and self._queue[0].time > max_time_ms:
+                if self._queue[0].cancelled:
+                    self._pop_and_run()
+                    continue
+                raise SimulationError(
+                    f"event loop ran past its {max_time_ms} ms guard with "
+                    f"{self.pending} events still pending"
+                )
             if self._pop_and_run():
                 executed += 1
 

@@ -52,7 +52,7 @@ from repro.harness.results import MembershipLog
 from repro.harness.scenario import DaemonSpec
 from repro.meridian.gossip import PeriodicRepair
 from repro.netsim.engine import EventHandle, EventLoop
-from repro.netsim.network import Message, Network, SimNode
+from repro.netsim.network import FaultModel, Message, Network, SimNode
 from repro.service.soa import MemberStateArrays
 from repro.service.stepper import PlanBatchStepper, ScalarStepper
 from repro.util.errors import ConfigurationError, SimulationError
@@ -74,8 +74,24 @@ class QueryJob:
     result: SearchResult | None = None
     #: Probe rounds the plan issued (diagnostic).
     rounds: int = 0
+    #: Fault-path bills (all zero without an active fault model).
+    probe_drops: int = 0
+    probe_retransmits: int = 0
+    probe_timeouts: int = 0
+    relayed_probes: int = 0
+    #: Whole-plan restarts after a fully-faulted attempt.
+    retries: int = 0
     plan: Iterator | None = field(default=None, repr=False)
     _outstanding: int = field(default=0, repr=False)
+    #: Per-probe answered mask of the round in flight (None = all answered).
+    _pending_mask: np.ndarray | None = field(default=None, repr=False)
+    #: The job's private fault stream (created lazily; consumed in the
+    #: job's own round order, so outcomes are shard- and stepper-invariant).
+    _fault_rng: np.random.Generator | None = field(default=None, repr=False)
+    #: Probe/maintenance bills carried over from failed plan attempts.
+    _carry_probes: int = field(default=0, repr=False)
+    _carry_aux: int = field(default=0, repr=False)
+    _carry_maintenance: int = field(default=0, repr=False)
 
     @property
     def time_to_answer_ms(self) -> float:
@@ -134,6 +150,13 @@ class DaemonRun:
     ring_repair_probes: int
     forced_flushes: int
     loop_events: int
+    #: Fault-path totals (zero without an active fault model).
+    probes_dropped: int = 0
+    probes_retransmitted: int = 0
+    probes_timed_out: int = 0
+    probes_relayed: int = 0
+    relay_extra_ms: float = 0.0
+    query_retries: int = 0
 
 
 class _Coordinator(SimNode):
@@ -182,6 +205,8 @@ class QueryDaemon:
         algo_rng: np.random.Generator,
         standby: list[int] | None = None,
         script: DaemonScript | None = None,
+        fault_model: FaultModel | None = None,
+        fault_key: tuple[int, ...] | None = None,
     ) -> None:
         self.algorithm = algorithm
         self.spec = spec
@@ -192,11 +217,19 @@ class QueryDaemon:
             raise ConfigurationError(
                 "an unscripted daemon needs a workload generator"
             )
+        if fault_model is not None and fault_key is None:
+            raise ConfigurationError(
+                "a fault model needs a fault_key (the dedicated stream seed)"
+            )
         self.workload_rng = workload_rng
         self.algo_rng = algo_rng
         self.standby: list[int] = list(standby) if standby is not None else []
         self.loop = EventLoop()
-        self.network = Network(self.loop, algorithm.oracle)
+        self.fault_model = fault_model
+        self.fault_key = tuple(int(x) for x in fault_key) if fault_key else None
+        self.network = Network(
+            self.loop, algorithm.oracle, fault_model=fault_model
+        )
         self._coordinator_id = int(algorithm.oracle.n_nodes)  # off host range
         self._coordinator = _Coordinator(self._coordinator_id, self)
         self.network.attach(self._coordinator)
@@ -238,11 +271,18 @@ class QueryDaemon:
         self._flush_timer: EventHandle | None = None
         self._repair: PeriodicRepair | None = None
         self.forced_flushes = 0
+        self.query_retries = 0
 
     # -- run ---------------------------------------------------------------
 
-    def run(self, n_queries: int) -> DaemonRun:
-        """Serve ``n_queries`` queries to completion and collect the run."""
+    def run(self, n_queries: int, max_sim_ms: float | None = None) -> DaemonRun:
+        """Serve ``n_queries`` queries to completion and collect the run.
+
+        ``max_sim_ms`` arms the event loop's livelock guard: a fault
+        configuration whose retries never converge raises at that
+        simulated instant instead of spinning forever (the no-hang tests
+        run fault scenarios under a generous guard).
+        """
         if n_queries < 1:
             raise ConfigurationError(f"n_queries must be >= 1, got {n_queries}")
         if self.jobs:
@@ -285,7 +325,7 @@ class QueryDaemon:
                 lambda: repair_fn(seed=self.algo_rng),
             )
             self._repair.start()
-        self.loop.run()
+        self.loop.run(max_time_ms=max_sim_ms)
         if self._answered != n_queries:
             raise SimulationError(
                 f"daemon drained with {self._answered}/{n_queries} answered"
@@ -314,6 +354,12 @@ class QueryDaemon:
             ring_repair_probes=repair.probes_spent if repair else 0,
             forced_flushes=self.forced_flushes,
             loop_events=self.loop.processed,
+            probes_dropped=self.network.probes_dropped,
+            probes_retransmitted=self.network.probes_retransmitted,
+            probes_timed_out=self.network.probes_timed_out,
+            probes_relayed=self.network.probes_relayed,
+            relay_extra_ms=self.network.relay_extra_ms,
+            query_retries=self.query_retries,
         )
 
     # -- load accounting ---------------------------------------------------
@@ -395,12 +441,34 @@ class QueryDaemon:
 
     # -- plan driving ------------------------------------------------------
 
+    #: Whole-plan retry ceiling: with per-probe loss < 1 and outages that
+    #: end by schedule, attempts succeed almost surely long before this;
+    #: hitting it means the fault configuration cannot converge.
+    MAX_QUERY_RETRIES = 64
+
+    def job_fault_rng(self, job: QueryJob) -> np.random.Generator:
+        """The job's private fault stream, keyed ``(*fault_key, index)``.
+
+        Independent per job and consumed strictly in the job's own round
+        order — so fault outcomes are invariant to how jobs interleave,
+        which stepper runs the rounds, and which shard serves the job.
+        """
+        if job._fault_rng is None:
+            job._fault_rng = np.random.default_rng((*self.fault_key, job.index))
+        return job._fault_rng
+
     def _advance(self, job: QueryJob) -> None:
         """Resume the plan; schedule the next round or finish the job."""
+        mask = job._pending_mask
+        job._pending_mask = None
         try:
-            batch = job.plan.send(None)
+            batch = job.plan.send(mask)
         except StopIteration as stop:
-            self._finish(job, stop.value)
+            result = stop.value
+            if not result.answered:
+                self._schedule_retry(job, result)
+                return
+            self._finish(job, result)
             return
         job.rounds += 1
         if not batch:
@@ -420,7 +488,63 @@ class QueryDaemon:
     def _on_probe_reply(self, job: QueryJob) -> None:
         self._stepper.on_probe_reply(job)
 
+    # -- whole-plan retry (fault path) ---------------------------------------
+
+    def _schedule_retry(self, job: QueryJob, result: SearchResult) -> None:
+        """A plan attempt heard nothing back: bill it, back off, retry.
+
+        The failed attempt's probes were really sent (and really timed
+        out), so its probe/aux/maintenance bills are carried onto the
+        final result; the retry itself waits ``query_retry_ms`` scaled by
+        the fault model's backoff — long enough for a scheduled outage to
+        end before the ceiling trips.
+        """
+        job._carry_probes += result.probes
+        job._carry_aux += result.aux_probes
+        job._carry_maintenance += result.maintenance_probes
+        job.retries += 1
+        self.query_retries += 1
+        if job.retries > self.MAX_QUERY_RETRIES:
+            raise SimulationError(
+                f"query {job.index} retried {self.MAX_QUERY_RETRIES} times "
+                "without an answer; the fault configuration cannot converge"
+            )
+        fault_model = self.fault_model
+        delay = 0.0
+        if not self.spec.zero_delay and fault_model is not None:
+            delay = float(
+                fault_model.query_retry_ms
+                * fault_model.query_retry_backoff ** (job.retries - 1)
+            )
+        self.loop.schedule(delay, self._retry, job)
+
+    def _retry(self, job: QueryJob) -> None:
+        """Restart the job with a fresh plan (new randomness per attempt)."""
+        seed = (
+            self.algo_rng
+            if self._script is None
+            else np.random.default_rng(
+                [int(self._script.plan_seeds[job.index]), job.retries]
+            )
+        )
+        job.plan = self.algorithm.query_plan(job.target, seed=seed)
+        job._pending_mask = None
+        self._advance(job)
+
     def _finish(self, job: QueryJob, result: SearchResult) -> None:
+        if job._carry_probes or job._carry_aux or job._carry_maintenance:
+            result = SearchResult(
+                target=result.target,
+                found=result.found,
+                found_latency_ms=result.found_latency_ms,
+                probes=result.probes + job._carry_probes,
+                aux_probes=result.aux_probes + job._carry_aux,
+                maintenance_probes=(
+                    result.maintenance_probes + job._carry_maintenance
+                ),
+                hops=result.hops,
+                path=result.path,
+            )
         job.finish_ms = self.loop.now
         job.result = result
         self._answered += 1

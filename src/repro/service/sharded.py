@@ -122,6 +122,9 @@ def _run_shard(
     targets: np.ndarray,
     script: DaemonScript,
     maintenance_seed: list[int],
+    fault_model=None,
+    fault_key: tuple[int, ...] | None = None,
+    max_sim_ms: float | None = None,
 ) -> dict:
     """Run one scripted shard and return its picklable partial record."""
     daemon = QueryDaemon(
@@ -132,8 +135,10 @@ def _run_shard(
         algo_rng=np.random.default_rng(maintenance_seed),
         standby=[],
         script=script,
+        fault_model=fault_model,
+        fault_key=fault_key,
     )
-    run = daemon.run(int(np.count_nonzero(script.own)))
+    run = daemon.run(int(np.count_nonzero(script.own)), max_sim_ms=max_sim_ms)
     for job in run.jobs:
         job.plan = None  # generators do not pickle
     stepper = daemon._stepper
@@ -154,6 +159,14 @@ def _run_shard(
         ),
         "forced_flushes": run.forced_flushes,
         "loop_events": run.loop_events,
+        "fault_totals": (
+            run.probes_dropped,
+            run.probes_retransmitted,
+            run.probes_timed_out,
+            run.probes_relayed,
+            run.relay_extra_ms,
+            run.query_retries,
+        ),
     }
 
 
@@ -175,6 +188,9 @@ def run_sharded_daemon(
     n_queries: int,
     workload_rng: np.random.Generator,
     algo_rng: np.random.Generator,
+    fault_model=None,
+    fault_key: tuple[int, ...] | None = None,
+    max_sim_ms: float | None = None,
 ) -> DaemonRun:
     """Run one daemon workload across ``spec.shards`` processes and merge.
 
@@ -225,7 +241,18 @@ def run_sharded_daemon(
             own=own,
             events=script.events,
         )
-        tasks.append((algorithm, spec, targets, shard_script, maintenance_seed))
+        tasks.append(
+            (
+                algorithm,
+                spec,
+                targets,
+                shard_script,
+                maintenance_seed,
+                fault_model,
+                fault_key,
+                max_sim_ms,
+            )
+        )
     if len(tasks) == 1:
         parts = [_shard_task(tasks[0])]
     else:
@@ -278,4 +305,12 @@ def _merge(
         ring_repair_probes=longest["ring_repair"][2],
         forced_flushes=longest["forced_flushes"],
         loop_events=sum(part["loop_events"] for part in parts),
+        # Fault bills accrue only on a shard's own jobs, so the shard
+        # totals are disjoint and sum exactly.
+        probes_dropped=sum(part["fault_totals"][0] for part in parts),
+        probes_retransmitted=sum(part["fault_totals"][1] for part in parts),
+        probes_timed_out=sum(part["fault_totals"][2] for part in parts),
+        probes_relayed=sum(part["fault_totals"][3] for part in parts),
+        relay_extra_ms=sum(part["fault_totals"][4] for part in parts),
+        query_retries=sum(part["fault_totals"][5] for part in parts),
     )

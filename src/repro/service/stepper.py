@@ -64,6 +64,48 @@ def round_delays(daemon: "QueryDaemon", job: "QueryJob", batch) -> np.ndarray:
     return rtts
 
 
+def round_outcome(daemon: "QueryDaemon", job: "QueryJob", batch) -> np.ndarray:
+    """Per-probe completion delays for one round, faults applied.
+
+    The fault-aware front of :func:`round_delays`: with no fault model (or
+    an inert one) it *is* ``round_delays`` — not an extra draw, not a
+    changed event — which is what keeps zero-fault daemon timelines
+    bit-identical to the fault-free code.  With faults active, the round
+    is run through :meth:`~repro.netsim.network.Network.apply_faults` on
+    the job's private fault stream: each probe's completion becomes its
+    answer arrival (after losses, retransmit waits and relay detours) or
+    its timeout exhaustion, the per-probe answered mask is stashed on the
+    job for the next plan resume, and the drop/retransmit/timeout/relay
+    counters are billed to both the job and the network.
+
+    Both steppers call this at dispatch, so the delays array — and with
+    it the round-completion instant — is identical under either stepper;
+    and because the job's fault stream is consumed strictly in the job's
+    own round order, the outcome is invariant to cross-job interleaving
+    and shard layout too.
+    """
+    delays = round_delays(daemon, job, batch)
+    fault_model = daemon.fault_model
+    if fault_model is None or not fault_model.active:
+        return delays
+    if isinstance(batch, ProbeRound):
+        srcs, dsts = batch.srcs, batch.dsts
+    else:  # legacy list[ProbeOp] rounds from third-party schemes
+        srcs = np.array([op.src for op in batch], dtype=int)
+        dsts = np.array([op.dst for op in batch], dtype=int)
+    delays, answered, stats = daemon.network.apply_faults(
+        daemon.job_fault_rng(job), srcs, dsts, delays
+    )
+    job.probe_drops += int(stats["dropped"])
+    job.probe_retransmits += int(stats["retransmitted"])
+    job.probe_timeouts += int(stats["timed_out"])
+    job.relayed_probes += int(stats["relayed"])
+    job._pending_mask = answered
+    if daemon.spec.zero_delay:
+        delays = np.zeros_like(delays)
+    return delays
+
+
 class ScalarStepper:
     """One loop event per probe — the PR 5 reference semantics."""
 
@@ -90,7 +132,7 @@ class ScalarStepper:
 
     def dispatch_round(self, job: "QueryJob", batch) -> None:
         daemon = self.daemon
-        delays = round_delays(daemon, job, batch)
+        delays = round_outcome(daemon, job, batch)
         job._outstanding = len(batch)
         self._note(+len(batch))
         messages = [
@@ -139,7 +181,7 @@ class PlanBatchStepper:
 
     def dispatch_round(self, job: "QueryJob", batch) -> None:
         daemon = self.daemon
-        delays = round_delays(daemon, job, batch)
+        delays = round_outcome(daemon, job, batch)
         now = daemon.loop.now
         k = delays.size
         # Each probe is in flight for exactly its delay.

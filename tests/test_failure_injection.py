@@ -1,10 +1,14 @@
 """Failure-injection tests: the system under churn, loss and noise.
 
 A deployable nearest-peer service must tolerate DHT node crashes, lossy
-links during gossip, widespread measurement refusal and heavy probe noise;
-these tests inject each failure and assert graceful degradation rather
-than collapse.
+links during gossip, widespread measurement refusal, heavy probe noise —
+and, on the query daemon's simulated network path, packet loss with
+timeouts and retransmits, NAT-ed peers reachable only through relays,
+regional partitions and clock skew; these tests inject each failure and
+assert graceful degradation rather than collapse.
 """
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -12,6 +16,7 @@ import pytest
 from repro.dht.chord import ChordRing
 from repro.dht.hashing import hash_key
 from repro.dht.kvstore import DhtKeyValueStore
+from repro.harness import DaemonSpec, FaultSpec, QueryEngine, SamplingSpec
 from repro.latency.builder import build_clustered_oracle
 from repro.mechanisms.ucl import UclMap, compute_ucl
 from repro.meridian.gossip import GossipConfig, run_gossip_overlay
@@ -19,9 +24,10 @@ from repro.meridian.overlay import MeridianConfig
 from repro.meridian.query import closest_node_query
 from repro.meridian.simulator import run_meridian_trial
 from repro.netsim.engine import EventLoop
-from repro.netsim.network import Network
+from repro.netsim.network import FaultModel, Network
 from repro.topology.clustered import ClusteredConfig
 from repro.topology.oracle import MatrixOracle, NoisyOracle
+from repro.util.errors import SimulationError
 
 
 class TestDhtChurn:
@@ -136,3 +142,335 @@ class TestHeavyProbeNoise:
         wild = NoisyOracle(oracle, sigma=1.5, additive_ms=5.0, seed=12)
         result = closest_node_query(overlay, wild, 80, seed=12)
         assert result.hops <= overlay.config.max_hops
+
+
+# -- the daemon's broken network path ---------------------------------------
+
+FAULT_TOPOLOGY = ClusteredConfig(n_clusters=6, end_networks_per_cluster=20, delta=0.2)
+
+FAULT_DAEMON = DaemonSpec(
+    mean_interarrival_ms=40.0,
+    per_node_concurrency=2,
+    initial_fraction=0.7,
+    min_members=32,
+    mean_event_interval_ms=400.0,
+    arrival_rate=0.3,
+    departure_rate=0.3,
+)
+
+
+@pytest.fixture(scope="module")
+def fault_world():
+    return build_clustered_oracle(FAULT_TOPOLOGY, seed=99)
+
+
+def run_fault_daemon(world, factory, spec, n_queries=30, seed=5, **kwargs):
+    """One daemon trial under a generous no-hang guard (simulated ms)."""
+    kwargs.setdefault("max_sim_ms", 300_000.0)
+    kwargs.setdefault("sampling", SamplingSpec(n_targets=30))
+    return QueryEngine().run_daemon_trial(
+        world, factory(), spec, n_queries=n_queries, seed=seed, **kwargs
+    )
+
+
+class TestFaultModelExactness:
+    """Unit-level bills: FaultModel.apply charges exactly what it says."""
+
+    def _fanout(self, world):
+        """A cross-cluster fan-out: cluster-0 probers, one cluster-1 target."""
+        hc = world.topology.host_cluster
+        srcs = np.flatnonzero(hc == 0)[:6]
+        dst = int(np.flatnonzero(hc == 1)[0])
+        dsts = np.full(srcs.size, dst)
+        base = np.array(
+            [world.oracle.latency_ms(int(s), dst) for s in srcs]
+        )
+        return hc, srcs, dsts, base
+
+    def test_total_outage_bills_exact_timeout_ladder(self, fault_world):
+        hc, srcs, dsts, base = self._fanout(fault_world)
+        fm = FaultModel(
+            hc,
+            outages=((0.0, 1e9, (0,)),),
+            probe_timeout_ms=100.0,
+            max_retransmits=2,
+            retransmit_backoff=2.0,
+        )
+        delays, answered, stats = fm.apply(
+            np.random.default_rng(0), fault_world.oracle, srcs, dsts, base, 0.0
+        )
+        # Every attempt crosses the partition: the probe exhausts waits of
+        # 100 + 200 + 400 ms and reports no measurement.
+        assert not answered.any()
+        assert np.array_equal(delays, np.full(srcs.size, 700.0))
+        assert stats["dropped"] == 3 * srcs.size
+        assert stats["retransmitted"] == 2 * srcs.size
+        assert stats["timed_out"] == srcs.size
+
+    def test_retransmits_ride_out_a_short_outage(self, fault_world):
+        hc, srcs, dsts, base = self._fanout(fault_world)
+        # The outage ends before the second retransmit (sent at +300 ms).
+        fm = FaultModel(
+            hc,
+            outages=((0.0, 250.0, (0,)),),
+            probe_timeout_ms=100.0,
+            max_retransmits=2,
+        )
+        delays, answered, stats = fm.apply(
+            np.random.default_rng(0), fault_world.oracle, srcs, dsts, base, 0.0
+        )
+        assert answered.all()
+        assert np.allclose(delays, 300.0 + base)
+        assert stats["timed_out"] == 0
+        assert stats["dropped"] == stats["retransmitted"] == 2 * srcs.size
+
+    def test_nat_relay_bills_detour_exactly(self, fault_world):
+        hc, srcs, dsts, base = self._fanout(fault_world)
+        dst = int(dsts[0])
+        relay = int(np.flatnonzero(hc == 1)[1])
+        natted = np.zeros(hc.size, dtype=bool)
+        natted[dst] = True
+        relay_of = np.arange(hc.size)
+        relay_of[dst] = relay
+        fm = FaultModel(hc, natted=natted, relay_of=relay_of)
+        delays, answered, stats = fm.apply(
+            np.random.default_rng(0), fault_world.oracle, srcs, dsts, base, 0.0
+        )
+        oracle = fault_world.oracle
+        expected_extra = np.array(
+            [
+                max(
+                    0.0,
+                    oracle.latency_ms(int(s), relay)
+                    + oracle.latency_ms(relay, dst)
+                    - oracle.latency_ms(int(s), dst),
+                )
+                for s in srcs
+            ]
+        )
+        assert answered.all()
+        assert np.allclose(delays, base + expected_extra)
+        assert stats["relayed"] == srcs.size
+        assert stats["relay_extra_ms"] == pytest.approx(expected_extra.sum())
+
+    def test_clock_skew_scales_the_timeout_ladder(self, fault_world):
+        hc, srcs, dsts, base = self._fanout(fault_world)
+        skew = np.ones(hc.size)
+        skew[srcs] = 2.0
+        fm = FaultModel(
+            hc,
+            outages=((0.0, 1e9, (0,)),),
+            skew=skew,
+            probe_timeout_ms=100.0,
+            max_retransmits=2,
+        )
+        delays, answered, _stats = fm.apply(
+            np.random.default_rng(0), fault_world.oracle, srcs, dsts, base, 0.0
+        )
+        # Waits are armed on the prober's fast-running clock: 2x the ladder.
+        assert not answered.any()
+        assert np.array_equal(delays, np.full(srcs.size, 1400.0))
+
+    def test_drop_bill_decomposes_into_retransmits_plus_timeouts(
+        self, fault_world
+    ):
+        hc = fault_world.topology.host_cluster
+        rng = np.random.default_rng(7)
+        srcs = rng.choice(hc.size, size=200)
+        dsts = rng.choice(hc.size, size=200)
+        fm = FaultModel(
+            hc,
+            loss_matrix=np.full((6, 6), 0.4),
+            probe_timeout_ms=50.0,
+            max_retransmits=1,
+        )
+        _delays, _answered, stats = fm.apply(
+            rng, fault_world.oracle, srcs, dsts, np.ones(200), 0.0
+        )
+        assert stats["dropped"] > 0
+        assert stats["dropped"] == stats["retransmitted"] + stats["timed_out"]
+
+
+class TestDaemonLossyFanout:
+    """Per-link loss: rounds complete on answers *or* timeouts, honestly billed."""
+
+    SPEC = dataclasses.replace(
+        FAULT_DAEMON,
+        faults=FaultSpec(
+            base_loss_rate=0.05,
+            cross_cluster_loss_rate=0.15,
+            probe_timeout_ms=250.0,
+            deadline_ms=5000.0,
+        ),
+    )
+
+    def test_answers_from_survivors_with_honest_bills(self, fault_world):
+        from repro.algorithms import RandomProbeSearch
+
+        def factory():
+            return RandomProbeSearch(budget=8)
+
+        clean = run_fault_daemon(fault_world, factory, FAULT_DAEMON)
+        lossy = run_fault_daemon(fault_world, factory, self.SPEC)
+        # Every query still gets an answer (no sentinel escapes the daemon).
+        assert (lossy.found >= 0).all()
+        # The dedicated fault stream leaves the workload untouched: same
+        # arrivals, same targets as the fault-free run (common random
+        # numbers across schemes and fault configs).
+        assert np.array_equal(lossy.arrival_ms, clean.arrival_ms)
+        assert np.array_equal(lossy.targets, clean.targets)
+        # Loss really happened and was billed coherently: every dropped
+        # attempt is either a retransmit or part of a final timeout.
+        assert lossy.total_probe_drops > 0
+        assert lossy.total_probe_drops == (
+            lossy.total_probe_retransmits + lossy.total_probe_timeouts
+        )
+        # Timeout waits push time-to-answer up, never down.
+        assert lossy.tta_mean_ms > clean.tta_mean_ms
+        assert 0.0 <= lossy.availability <= 1.0
+
+    def test_fault_outcomes_are_stepper_invariant(self, fault_world):
+        from repro.algorithms import MeridianSearch
+
+        batch = run_fault_daemon(fault_world, MeridianSearch, self.SPEC)
+        scalar = run_fault_daemon(
+            fault_world,
+            MeridianSearch,
+            dataclasses.replace(self.SPEC, stepper="scalar"),
+        )
+        assert np.array_equal(batch.found, scalar.found)
+        assert np.array_equal(batch.finish_ms, scalar.finish_ms)
+        assert np.array_equal(batch.probe_timeouts, scalar.probe_timeouts)
+        assert np.array_equal(batch.probe_drops, scalar.probe_drops)
+        assert np.array_equal(batch.query_retries, scalar.query_retries)
+
+
+class TestDaemonNatRelay:
+    """NAT-ed targets: probes detour through relays, billing the long path."""
+
+    def test_same_answers_slower_clock(self, fault_world):
+        from repro.algorithms import MeridianSearch
+
+        spec = dataclasses.replace(
+            FAULT_DAEMON, faults=FaultSpec(nat_fraction=0.3)
+        )
+        clean = run_fault_daemon(fault_world, MeridianSearch, FAULT_DAEMON)
+        natted = run_fault_daemon(fault_world, MeridianSearch, spec)
+        # No loss: every probe is answered (via its relay), the *measured*
+        # value stays the direct RTT, so the scheme's decisions — and its
+        # answers — are identical; only the clock pays the detour.
+        assert np.array_equal(natted.found, clean.found)
+        assert natted.total_probe_timeouts == 0
+        assert natted.total_relayed_probes > 0
+        assert natted.relay_extra_ms > 0.0
+        assert natted.tta_mean_ms >= clean.tta_mean_ms
+
+
+class TestDaemonPartition:
+    """A mid-run regional outage: queries ride it out and still answer."""
+
+    def test_outage_times_out_retries_and_recovers(self, fault_world):
+        from repro.algorithms import KargerRuhlSearch
+
+        spec = dataclasses.replace(
+            FAULT_DAEMON,
+            faults=FaultSpec(
+                outages=((0.0, 1500.0, (0,)),),
+                probe_timeout_ms=100.0,
+                max_retransmits=2,
+                query_retry_ms=100.0,
+                deadline_ms=800.0,
+            ),
+        )
+        record = run_fault_daemon(
+            fault_world,
+            lambda: KargerRuhlSearch(samples_per_scale=4, max_rounds=12),
+            spec,
+        )
+        # Everything answered eventually — the sentinel never escapes —
+        # but probes into the cut region exhausted their retransmits and
+        # some whole plans restarted after the blackout round.
+        assert (record.found >= 0).all()
+        assert record.total_probe_timeouts > 0
+        assert record.total_query_retries > 0
+        # With a deadline tighter than the outage, availability < 1 while
+        # the answers themselves stay complete: graceful degradation.
+        assert 0.0 < record.availability < 1.0
+
+    def test_livelock_guard_raises_instead_of_hanging(self):
+        loop = EventLoop()
+
+        def respawn() -> None:
+            loop.schedule(10.0, respawn)
+
+        loop.schedule(10.0, respawn)
+        with pytest.raises(SimulationError):
+            loop.run(max_time_ms=500.0)
+
+
+class TestDaemonClockSkew:
+    """Per-node clock skew: deterministic, and it moves the timeout bills."""
+
+    def test_skew_is_deterministic_and_shifts_timelines(self, fault_world):
+        from repro.algorithms import MeridianSearch
+
+        lossy = FaultSpec(base_loss_rate=0.10, probe_timeout_ms=200.0)
+        skewed = dataclasses.replace(lossy, clock_skew=0.3)
+        spec = dataclasses.replace(FAULT_DAEMON, faults=skewed)
+        once = run_fault_daemon(fault_world, MeridianSearch, spec)
+        twice = run_fault_daemon(fault_world, MeridianSearch, spec)
+        assert np.array_equal(once.finish_ms, twice.finish_ms)
+        assert np.array_equal(once.found, twice.found)
+        # Skew scales retransmit waits on the prober's clock, so the
+        # same losses land at different instants than with true clocks.
+        true_clocks = run_fault_daemon(
+            fault_world,
+            MeridianSearch,
+            dataclasses.replace(FAULT_DAEMON, faults=lossy),
+        )
+        assert not np.array_equal(once.finish_ms, true_clocks.finish_ms)
+
+
+class TestZeroFaultIdentity:
+    """An inert fault model is *free*: timelines bit-identical to PR 6."""
+
+    @pytest.mark.parametrize("stepper", ["batch", "scalar"])
+    def test_all_zero_faultspec_is_bit_identical(self, fault_world, stepper):
+        from repro.algorithms import MeridianSearch
+
+        bare = dataclasses.replace(FAULT_DAEMON, stepper=stepper)
+        inert = dataclasses.replace(bare, faults=FaultSpec())
+        a = run_fault_daemon(fault_world, MeridianSearch, bare)
+        b = run_fault_daemon(fault_world, MeridianSearch, inert)
+        for field in dataclasses.fields(a):
+            va, vb = getattr(a, field.name), getattr(b, field.name)
+            if isinstance(va, np.ndarray):
+                assert np.array_equal(va, vb), field.name
+            else:
+                assert va == vb, field.name
+
+    def test_shard_count_invariance_under_faults(self, fault_world):
+        from repro.algorithms import MeridianSearch
+
+        spec = dataclasses.replace(
+            FAULT_DAEMON,
+            faults=FaultSpec(
+                base_loss_rate=0.05,
+                nat_fraction=0.2,
+                clock_skew=0.05,
+                probe_timeout_ms=250.0,
+            ),
+        )
+        two = run_fault_daemon(
+            fault_world, MeridianSearch, dataclasses.replace(spec, shards=2)
+        )
+        three = run_fault_daemon(
+            fault_world, MeridianSearch, dataclasses.replace(spec, shards=3)
+        )
+        assert np.array_equal(two.found, three.found)
+        assert np.array_equal(two.finish_ms, three.finish_ms)
+        assert np.array_equal(two.probe_drops, three.probe_drops)
+        assert np.array_equal(two.probe_timeouts, three.probe_timeouts)
+        assert np.array_equal(two.relayed_probes, three.relayed_probes)
+        assert np.array_equal(two.query_retries, three.query_retries)
+        assert two.relay_extra_ms == pytest.approx(three.relay_extra_ms)
