@@ -16,6 +16,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
+            "repro-lint=repro.lint.cli:main",
         ],
     },
 )

@@ -128,8 +128,8 @@ class _CoordinateGreedyBase(NearestPeerAlgorithm):
     def _leave(
         self, left: np.ndarray, kept_mask: np.ndarray, rng: np.random.Generator
     ) -> None:
-        departed = set(int(x) for x in left)
-        for node in departed:
+        for node in left:
+            node = int(node)
             self._positions.pop(node, None)
             self._neighbors.pop(node, None)
         members = self.members

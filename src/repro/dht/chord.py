@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dht.hashing import RING_BITS, hash_node, in_interval, ring_distance
+from repro.dht.hashing import RING_BITS, hash_node, in_interval
 from repro.util.errors import DataError
 
 #: Successor-list length (tolerates that many consecutive failures).

@@ -1,0 +1,89 @@
+"""Baseline (grandfathered-findings) support for repro-lint.
+
+A baseline entry keys on ``(rule, path, line_text)`` — the stripped source
+line, not the line number — so grandfathered findings survive unrelated
+edits that shift code around, while any *change to the offending line
+itself* (including fixing it) surfaces immediately: a fixed line leaves a
+stale entry the reporters call out, and an edited-but-still-violating line
+no longer matches and fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_Key = tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.rule, finding.path, finding.line_text)
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of filtering findings through a baseline."""
+
+    #: Findings not absorbed by the baseline (these fail the run).
+    new: list[Finding]
+    #: Findings the baseline grandfathered.
+    matched: list[Finding]
+    #: Baseline entries no finding matched (fixed or drifted — prune them).
+    unused: list[dict]
+
+
+class Baseline:
+    """A multiset of grandfathered findings."""
+
+    def __init__(self, entries: Counter[_Key] | None = None) -> None:
+        self.entries: Counter[_Key] = entries or Counter()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries: Counter[_Key] = Counter()
+        for item in data.get("findings", []):
+            key = (item["rule"], item["path"], item["line_text"])
+            entries[key] += int(item.get("count", 1))
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(_key(f) for f in findings))
+
+    def save(self, path: Path) -> None:
+        items = [
+            {"rule": rule, "path": file, "line_text": text, "count": count}
+            for (rule, file, text), count in sorted(self.entries.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": items}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def filter(self, findings: list[Finding]) -> BaselineMatch:
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        matched: list[Finding] = []
+        for finding in sorted(findings):
+            key = _key(finding)
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        unused = [
+            {"rule": rule, "path": file, "line_text": text, "count": count}
+            for (rule, file, text), count in sorted(remaining.items())
+            if count > 0
+        ]
+        return BaselineMatch(new=new, matched=matched, unused=unused)

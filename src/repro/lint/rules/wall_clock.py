@@ -1,0 +1,91 @@
+"""R2 ``no-wall-clock`` — library code never reads the host clock.
+
+Everything under ``src/repro/`` runs in *simulated* time (the netsim event
+loop) or in pure offline computation; a wall-clock read anywhere in the
+library couples outcomes to the machine the run happened on.  Benchmarks
+measure wall time on purpose and are exempt by scope; the experiment runner
+times phases for its report and carries an explicit suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, dotted_name
+
+#: ``module attr`` pairs that read the host clock.
+_CLOCK_ATTRS = {
+    "time": frozenset(
+        {
+            "time",
+            "time_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "monotonic",
+            "monotonic_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    ),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+}
+
+
+class WallClockRule(Rule):
+    rule_id = "no-wall-clock"
+    description = "time.time/perf_counter/datetime.now banned under src/repro/"
+    invariant = (
+        "simulated timelines and scored outcomes never depend on the host "
+        "machine's clock"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in _CLOCK_ATTRS:
+                banned = _CLOCK_ATTRS[node.module]
+                for alias in node.names:
+                    if alias.name in banned:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                f"wall-clock import `from {node.module} import "
+                                f"{alias.name}`: simulated components take "
+                                "time from the event loop",
+                            )
+                        )
+            elif isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name is None:
+                    continue
+                head, _, attr = name.rpartition(".")
+                # Match both `time.perf_counter` and `datetime.datetime.now`.
+                tail = head.rpartition(".")[2]
+                if tail in _CLOCK_ATTRS and attr in _CLOCK_ATTRS[tail]:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"wall-clock read `{name}`: simulated components "
+                            "take time from the event loop",
+                        )
+                    )
+        return _dedupe(findings)
+
+
+def _dedupe(findings: list[Finding]) -> list[Finding]:
+    """Drop nested duplicates (an Attribute inside a flagged Attribute)."""
+    seen: set[tuple[str, int, int]] = set()
+    out: list[Finding] = []
+    for f in findings:
+        key = (f.rule, f.line, f.col)
+        if key not in seen:
+            seen.add(key)
+            out.append(f)
+    return out

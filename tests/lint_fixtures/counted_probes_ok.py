@@ -1,0 +1,16 @@
+# Fixture: the clean counterpart of counted_probes_bad.py — zero findings.
+# Every measurement flows through the counted channels of the base class.
+
+
+class HonestScheme:
+    def query_probes(self, nodes, target):
+        return self.probe_many(nodes, target)
+
+    def query_block(self, rows, cols):
+        return self.probe_block(rows, cols)
+
+    def churn_probes(self, a, nodes):
+        return self.maintenance_probe_many(a, nodes)
+
+    def build_probes(self, node):
+        return self.offline_distances_from(node)

@@ -1,0 +1,17 @@
+# Fixture: the clean counterpart of frozen_specs_bad.py — zero findings.
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SteadyChurnSpec:
+    rate: float = 0.5
+
+
+class SpecLikeButNotADataclassSpec:
+    """Not a dataclass: out of the rule's scope."""
+
+    rate = 0.5
+
+
+def derive(spec: SteadyChurnSpec) -> SteadyChurnSpec:
+    return replace(spec, rate=0.9)  # the sanctioned way to vary a spec

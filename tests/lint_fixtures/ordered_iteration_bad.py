@@ -1,0 +1,24 @@
+# Fixture: every tagged line must be caught by ordered-iteration.
+# Linted as though it lived at src/repro/service/fixture.py.
+
+
+def consume(rng, live, departed):
+    pending = set(live)
+    for node in pending:  # LINT: ordered-iteration
+        rng.integers(node)
+    for node in {1, 2, 3}:  # LINT: ordered-iteration
+        rng.integers(node)
+    for node in pending - set(departed):  # LINT: ordered-iteration
+        rng.integers(node)
+    for index, node in enumerate(frozenset(live)):  # LINT: ordered-iteration
+        rng.integers(index + node)
+    drained = [rng.integers(n) for n in pending]  # LINT: ordered-iteration
+    listed = list(pending)
+    for node in listed:  # LINT: ordered-iteration
+        rng.integers(node)
+    return drained
+
+
+def annotated(rng, waiting: set[int]):
+    for node in waiting:  # LINT: ordered-iteration
+        rng.integers(node)

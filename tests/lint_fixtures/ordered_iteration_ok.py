@@ -1,0 +1,17 @@
+# Fixture: the clean counterpart of ordered_iteration_bad.py — zero findings.
+
+
+def consume(rng, live, departed):
+    pending = set(live)
+    for node in sorted(pending):  # sorted: deterministic order
+        rng.integers(node)
+    for node in sorted(pending - set(departed)):
+        rng.integers(node)
+    if any(n > 10 for n in pending):  # order-free reduction over a set
+        rng.integers(1)
+    total = sum(n for n in pending)  # order-free reduction
+    biggest = max(pending) if pending else 0  # membership/reduction only
+    ordered = dict.fromkeys(live)  # insertion-ordered stand-in
+    for node in ordered:
+        rng.integers(node)
+    return total, biggest

@@ -1,0 +1,14 @@
+# Fixture: every tagged line must be caught by rng-discipline.
+# Linted by tests as though it lived at src/repro/algorithms/fixture.py.
+import random  # LINT: rng-discipline
+
+import numpy as np
+
+
+def draw_everything():
+    pick = random.random()
+    np.random.seed(1234)  # LINT: rng-discipline
+    legacy = np.random.randint(0, 10)  # LINT: rng-discipline
+    rng = np.random.default_rng()  # LINT: rng-discipline
+    explicit_none = np.random.default_rng(None)  # LINT: rng-discipline
+    return pick, legacy, rng, explicit_none

@@ -1,0 +1,11 @@
+# Fixture: the clean counterpart of rng_discipline_bad.py — zero findings.
+import numpy as np
+
+from repro.util.rng import child_rng, make_rng
+
+
+def draw_everything(seed: int) -> float:
+    rng = make_rng(seed)
+    child = child_rng(rng, 7)
+    seeded = np.random.default_rng(seed)  # seeded: allowed outside util/rng.py
+    return float(rng.random() + child.random() + seeded.random())

@@ -1,0 +1,12 @@
+# Fixture: every tagged line must be caught by no-wall-clock.
+import time
+from datetime import datetime
+from time import perf_counter  # LINT: no-wall-clock
+
+
+def stamp_everything():
+    started = time.time()  # LINT: no-wall-clock
+    tick = time.perf_counter()  # LINT: no-wall-clock
+    mono = time.monotonic_ns()  # LINT: no-wall-clock
+    today = datetime.now()  # LINT: no-wall-clock
+    return started, tick, mono, today, perf_counter

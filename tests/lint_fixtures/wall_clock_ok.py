@@ -1,0 +1,13 @@
+# Fixture: the clean counterpart of wall_clock_bad.py — zero findings.
+# Simulated components take their clock from the event loop.
+
+
+class EventLoopUser:
+    def __init__(self, loop) -> None:
+        self._loop = loop
+
+    def now_ms(self) -> float:
+        return self._loop.now_ms  # simulated time, not the host clock
+
+    def sleep_ms(self, delay: float) -> None:
+        self._loop.schedule(delay, lambda: None)

@@ -165,6 +165,41 @@ class TestShardInvariance:
                 base.in_flight_probes_time_avg, other.in_flight_probes_time_avg
             )
 
+    def test_fresh_seed_shard_stepper_cross_product(self, small_world):
+        """Regression for the ordered-iteration (R5) audit of service/netsim.
+
+        The audit found no set-ordered loops in either package; this pins
+        the invariant the rule protects at a seed and scheme the fixtures
+        above don't use: within each driver the run record must be
+        identical whether the loop is batch- or scalar-stepped, and the
+        sharded driver's record must be invariant to the shard count.
+        (The unsharded loop and the sharded script pre-draw the workload
+        differently, so streams are only comparable within a driver.)
+        """
+        records = {
+            (shards, stepper): run_daemon(
+                small_world,
+                lambda: TiersSearch(branching=8),
+                dataclasses.replace(CHURN_SPEC, shards=shards, stepper=stepper),
+                n_queries=30,
+                seed=23,
+            )
+            for shards in (1, 2, 4)
+            for stepper in ("batch", "scalar")
+        }
+        pairs = [
+            ((1, "batch"), (1, "scalar")),  # stepper, unsharded driver
+            ((4, "batch"), (4, "scalar")),  # stepper, sharded driver
+            ((2, "batch"), (4, "batch")),  # shard count
+        ]
+        for left, right in pairs:
+            base, other = records[left], records[right]
+            assert np.array_equal(base.targets, other.targets), (left, right)
+            assert np.array_equal(base.found, other.found), (left, right)
+            assert np.array_equal(base.probes, other.probes), (left, right)
+            assert np.array_equal(base.finish_ms, other.finish_ms), (left, right)
+            assert base.n_churn_events == other.n_churn_events, (left, right)
+
     def test_sharded_rejects_probe_noise(self, small_world):
         from repro.harness import NoiseSpec
 

@@ -19,7 +19,7 @@ from repro.dht.kvstore import DhtKeyValueStore
 from repro.harness import DaemonSpec, FaultSpec, QueryEngine, SamplingSpec
 from repro.latency.builder import build_clustered_oracle
 from repro.mechanisms.ucl import UclMap, compute_ucl
-from repro.meridian.gossip import GossipConfig, run_gossip_overlay
+from repro.meridian.gossip import GossipConfig
 from repro.meridian.overlay import MeridianConfig
 from repro.meridian.query import closest_node_query
 from repro.meridian.simulator import run_meridian_trial

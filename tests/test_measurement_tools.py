@@ -11,7 +11,6 @@ from repro.measurement.traceroute import (
     TracerouteConfig,
     last_common_router,
 )
-from repro.topology.elements import HostKind
 
 
 class TestPinger:

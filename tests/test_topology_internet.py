@@ -4,7 +4,7 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro.topology.elements import HostKind, RouterKind
+from repro.topology.elements import RouterKind
 from repro.topology.graph import Route
 from repro.topology.ip import ip_prefix
 
