@@ -34,8 +34,86 @@ MAINTENANCE_POLICIES = ("incremental", "rebuild")
 #: per event (queries between flushes run against the bounded-staleness
 #: index).  ``lazy`` buffers events until the next query touches the stale
 #: index, so event-only phases cost nothing and the whole deferred bill
-#: lands on the query that finally needs the index fresh.
-MAINTENANCE_DISCIPLINES = ("eager", "coalesce", "lazy")
+#: lands on the query that finally needs the index fresh.  ``lazy-partial``
+#: is the region-aware refinement of ``lazy``: a query refreshes only the
+#: index *regions* it actually reads (a region-sized rebuild per touched
+#: node instead of a full |M|^2 flush), answering from a partially fresh
+#: index; schemes that do not declare
+#: :attr:`NearestPeerAlgorithm.supports_partial_flush` fall back to the
+#: full flush and behave exactly like ``lazy``.
+MAINTENANCE_DISCIPLINES = ("eager", "coalesce", "lazy", "lazy-partial")
+
+
+class MaintenanceLedger:
+    """Exact per-cause attribution of maintenance probes.
+
+    Every non-empty membership event observed after :meth:`build` gets a
+    monotonically increasing *event id* (:meth:`new_event`), and every
+    maintenance probe is charged to the event(s) that caused it: an eager
+    event's bill lands on its own id, a flush's bill is split over the
+    buffered ids it applied (:meth:`charge_spread`), and a partial-flush
+    region refresh is split over the ids still pending.  Probes with no
+    membership-event cause (continuous overlay upkeep such as Meridian
+    ring repair) accrue on the :attr:`background` bucket.
+
+    The invariant ``sum(bills) + background == maintenance_probes_total``
+    holds at every flush boundary, independent of scheduling order,
+    stepper choice or shard layout — which is what replaces the daemon's
+    racy first-finisher claim with exact per-event accounting.
+    """
+
+    def __init__(self) -> None:
+        self._bills: list[int] = []
+        #: Maintenance probes with no membership-event cause.
+        self.background = 0
+
+    @property
+    def n_events(self) -> int:
+        """Membership events observed so far (== index *generation*)."""
+        return len(self._bills)
+
+    def new_event(self) -> int:
+        """Allocate the next event id (one per non-empty join/leave)."""
+        self._bills.append(0)
+        return len(self._bills) - 1
+
+    def charge(self, event_id: int, probes: int) -> None:
+        """Bill ``probes`` to one event (the eager path)."""
+        self._bills[event_id] += int(probes)
+
+    def charge_spread(self, event_ids: list[int], probes: int) -> None:
+        """Split ``probes`` over ``event_ids`` deterministically.
+
+        Each id gets ``probes // len(ids)``; the remainder goes to the
+        earliest ids, one probe each — a fixed rule so bills are replayable
+        regardless of which query triggered the flush.  With no ids on the
+        books the probes fall to :attr:`background` (cannot happen from a
+        flush, which by construction has pending ids).
+        """
+        probes = int(probes)
+        if probes <= 0:
+            return
+        if not event_ids:
+            self.background += probes
+            return
+        share, remainder = divmod(probes, len(event_ids))
+        for rank, event_id in enumerate(event_ids):
+            self._bills[event_id] += share + (1 if rank < remainder else 0)
+
+    def charge_background(self, probes: int) -> None:
+        self.background += int(probes)
+
+    def bills(self) -> np.ndarray:
+        """Per-event bills as an int64 array indexed by event id."""
+        return np.asarray(self._bills, dtype=np.int64)
+
+    @property
+    def total(self) -> int:
+        return sum(self._bills) + self.background
+
+    def reset(self) -> None:
+        self._bills = []
+        self.background = 0
 
 
 class MaintenanceScheduler:
@@ -61,10 +139,17 @@ class MaintenanceScheduler:
       the index is always fresh at query time but event-only stretches
       (e.g. a churn warmup, or many events between sparse queries) coalesce
       into a single application.
+    * ``lazy-partial`` — like ``lazy``, but a query refreshes only the index
+      regions its descent actually reads (see
+      :meth:`NearestPeerAlgorithm.partial_flush`); schemes without
+      :attr:`~NearestPeerAlgorithm.supports_partial_flush` degrade to the
+      full flush, i.e. behave exactly like ``lazy``.
 
     The scheduler itself holds only the *decision* state (discipline,
-    window, pending-event count); the mechanics of applying buffered events
-    live in :meth:`NearestPeerAlgorithm._flush`.
+    window, pending-event count) plus the :class:`MaintenanceLedger` that
+    attributes every maintenance probe to the membership event that caused
+    it; the mechanics of applying buffered events live in
+    :meth:`NearestPeerAlgorithm._flush`.
     """
 
     def __init__(self, discipline: str = "eager", window: int = 8) -> None:
@@ -81,6 +166,8 @@ class MaintenanceScheduler:
         self.pending_events = 0
         #: Flushes performed since :meth:`reset` (diagnostic).
         self.flush_count = 0
+        #: Exact per-cause probe attribution (event id -> probes).
+        self.ledger = MaintenanceLedger()
 
     @classmethod
     def from_spec(
@@ -92,7 +179,8 @@ class MaintenanceScheduler:
         *configuration* is copied into a fresh instance — schedulers
         carry per-algorithm runtime state, so sharing one object between
         algorithms would tangle their buffers), or a string: ``"eager"``,
-        ``"lazy"``, ``"coalesce"`` (default window) or ``"coalesce:<k>"``.
+        ``"lazy"``, ``"lazy-partial"``, ``"coalesce"`` (default window) or
+        ``"coalesce:<k>"``.
         """
         if spec is None:
             return cls()
@@ -124,8 +212,13 @@ class MaintenanceScheduler:
 
     @property
     def flush_on_query(self) -> bool:
-        """Whether a stale index must be refreshed before answering."""
+        """Whether a stale index must be *fully* refreshed before answering."""
         return self.discipline == "lazy"
+
+    @property
+    def partial_on_query(self) -> bool:
+        """Whether queries refresh only the index regions they read."""
+        return self.discipline == "lazy-partial"
 
     def note_event(self) -> bool:
         """Record one buffered event; True when the flush is due now."""
@@ -140,6 +233,7 @@ class MaintenanceScheduler:
         """Forget all scheduling state (a fresh :meth:`~NearestPeerAlgorithm.build`)."""
         self.pending_events = 0
         self.flush_count = 0
+        self.ledger.reset()
 
     def describe(self) -> str:
         if self.discipline == "coalesce":
@@ -312,6 +406,11 @@ class NearestPeerAlgorithm(abc.ABC):
     #: (class attribute).  Schemes without one still serve
     #: :meth:`query_plan` through the generic record-and-replay adapter.
     plan_native: bool = False
+    #: Whether the scheme can refresh single index *regions* on demand
+    #: (class attribute) — the ``lazy-partial`` discipline's fast path.
+    #: Declaring True requires implementing :meth:`_region_is_fresh`,
+    #: :meth:`_refresh_region` and :meth:`_note_index_current`.
+    supports_partial_flush: bool = False
 
     def __init__(
         self, maintenance: "str | MaintenanceScheduler | None" = None
@@ -327,6 +426,8 @@ class NearestPeerAlgorithm(abc.ABC):
         self._plan_recorder: list[ProbeRound] | None = None
         self.rebuild_count = 0
         self._scheduler = MaintenanceScheduler.from_spec(maintenance)
+        # Event ids buffered since the last flush (ledger attribution).
+        self._pending_event_ids: list[int] = []
         # The membership the *index* currently reflects, or None when the
         # index is in sync with ``self._members``.  Member arrays are
         # replaced (never mutated in place), so holding the pre-event
@@ -363,6 +464,8 @@ class NearestPeerAlgorithm(abc.ABC):
         self._indexed_members = None
         self._reset_member_mask()
         self._scheduler.reset()
+        self._pending_event_ids = []
+        self._partial_reset()
         self._build(make_rng(seed))
 
     def _reset_member_mask(self) -> None:
@@ -466,6 +569,7 @@ class NearestPeerAlgorithm(abc.ABC):
             return self._defer_event(
                 np.concatenate([self._members, joined]), seed, joined=joined
             )
+        event_id = self._scheduler.ledger.new_event()
         before = self._maintenance_probe_count
         self._members = np.concatenate([self._members, joined])
         self._update_member_mask(add=joined)
@@ -475,6 +579,7 @@ class NearestPeerAlgorithm(abc.ABC):
         finally:
             self._in_maintenance = False
         spent = self._maintenance_probe_count - before
+        self._scheduler.ledger.charge(event_id, spent)
         self._maintenance_since_query += spent
         return spent
 
@@ -515,6 +620,7 @@ class NearestPeerAlgorithm(abc.ABC):
             )
         if not self._scheduler.eager:
             return self._defer_event(self._members[kept_mask], seed, left=left)
+        event_id = self._scheduler.ledger.new_event()
         before = self._maintenance_probe_count
         self._members = self._members[kept_mask]
         self._update_member_mask(remove=left)
@@ -524,6 +630,7 @@ class NearestPeerAlgorithm(abc.ABC):
         finally:
             self._in_maintenance = False
         spent = self._maintenance_probe_count - before
+        self._scheduler.ledger.charge(event_id, spent)
         self._maintenance_since_query += spent
         return spent
 
@@ -539,6 +646,7 @@ class NearestPeerAlgorithm(abc.ABC):
         """Buffer one observed membership event; flush if the window fills."""
         if self._indexed_members is None:
             self._indexed_members = self._members
+        self._pending_event_ids.append(self._scheduler.ledger.new_event())
         self._members = members_after
         self._update_member_mask(add=joined, remove=left)
         if self._scheduler.note_event():
@@ -604,11 +712,25 @@ class NearestPeerAlgorithm(abc.ABC):
             if net_left.size == 0 and net_joined.size == 0:
                 # Every buffered event netted out (join-then-leave,
                 # leave-then-rejoin): the index is already consistent —
-                # restore its member order and pay nothing.
-                self._members = flushed
+                # pay nothing.  Incremental schemes restore the indexed
+                # member order (their per-member arrays are aligned to
+                # it); rebuild schemes key their index by node id, so the
+                # live order stays — which keeps full and partial flushes
+                # on the same member order, hence the same query draws.
+                if self.maintenance_policy == "incremental":
+                    self._members = flushed
+                elif self.supports_partial_flush:
+                    self._note_index_current()
             elif self.maintenance_policy == "rebuild":
-                self.rebuild_count += 1
-                self._build(rng)
+                if self.supports_partial_flush and self._scheduler.partial_on_query:
+                    # Forced flush under lazy-partial: bring only the
+                    # still-stale regions up to date — regions a query
+                    # already refreshed at this generation are not
+                    # rebuilt (or billed) twice.
+                    self._refresh_stale_regions()
+                else:
+                    self.rebuild_count += 1
+                    self._build(rng)
             else:
                 if net_left.size:
                     self._members = survivors
@@ -627,6 +749,8 @@ class NearestPeerAlgorithm(abc.ABC):
         self._member_mask_for = self._members
         self._scheduler.note_flush()
         spent = self._maintenance_probe_count - before
+        self._scheduler.ledger.charge_spread(self._pending_event_ids, spent)
+        self._pending_event_ids = []
         self._maintenance_since_query += spent
         return spent
 
@@ -656,6 +780,106 @@ class NearestPeerAlgorithm(abc.ABC):
         self.rebuild_count += 1
         self._build(rng)
 
+    # -- partial freshness (region-aware lazy maintenance) ---------------------
+
+    @property
+    def maintenance_generation(self) -> int:
+        """Membership events observed since :meth:`build` (the ledger length).
+
+        Region-keyed schemes derive per-region rng streams from this, so a
+        region refreshed on demand at generation ``g`` holds bit-identical
+        content to the same region inside a full rebuild at ``g``.
+        """
+        return self._scheduler.ledger.n_events
+
+    @property
+    def partial_mode(self) -> bool:
+        """Whether this scheme answers queries from a partially fresh index."""
+        return self.supports_partial_flush and self._scheduler.partial_on_query
+
+    @property
+    def _partial_pending(self) -> bool:
+        return self.partial_mode and self._indexed_members is not None
+
+    def _partial_reset(self) -> None:
+        """Hook: forget partial-freshness bookkeeping (called by :meth:`build`)."""
+
+    def _region_is_fresh(self, node: int) -> bool:
+        """Hook: whether ``node``'s index region reflects the live membership."""
+        raise ConfigurationError(
+            f"{self.name} does not support partial flushes"
+        )
+
+    def _refresh_region(self, node: int) -> None:
+        """Hook: rebuild ``node``'s index region against the current view.
+
+        Called under maintenance accounting; implementations measure
+        through :meth:`offline_distances_from` (or the counted maintenance
+        helpers) so the region-sized bill is honest.
+        """
+        raise ConfigurationError(
+            f"{self.name} does not support partial flushes"
+        )
+
+    def _note_index_current(self) -> None:
+        """Hook: declare the whole index fresh without touching content."""
+        raise ConfigurationError(
+            f"{self.name} does not support partial flushes"
+        )
+
+    def _refresh_stale_regions(self) -> None:
+        """Region-wise full flush: refresh every stale region, skip fresh ones."""
+        for node in self.members:
+            node = int(node)
+            if not self._region_is_fresh(node):
+                self._refresh_region(node)
+        self._note_index_current()
+
+    def touch_region(self, node: int) -> int:
+        """Refresh one region on demand (the partial-freshness read path).
+
+        Native plans call this immediately before reading a node's region
+        (karger-ruhl: its sampled ball hierarchy; tapestry: its routing
+        table).  Outside ``lazy-partial`` — or when the region is already
+        fresh — this is a cheap no-op.  The region-sized bill is split
+        over the pending event ids *without* retiring them: later touches
+        (or the eventual full flush) keep charging the same causes until
+        the whole index is fresh and the buffer drains.
+        """
+        if not self._partial_pending or self._region_is_fresh(int(node)):
+            return 0
+        before = self._maintenance_probe_count
+        self._in_maintenance = True
+        try:
+            self._refresh_region(int(node))
+        finally:
+            self._in_maintenance = False
+        spent = self._maintenance_probe_count - before
+        self._scheduler.ledger.charge_spread(self._pending_event_ids, spent)
+        self._maintenance_since_query += spent
+        return spent
+
+    def partial_flush(
+        self,
+        touched: np.ndarray | Iterable[int],
+        seed: int | np.random.Generator | None = None,
+    ) -> int:
+        """Refresh only the regions of ``touched`` nodes; returns probes spent.
+
+        The public face of the region-aware path: under ``lazy-partial``
+        on a supporting scheme this refreshes exactly the stale regions
+        among ``touched`` (each a region-sized counted rebuild).  On any
+        other discipline — or a scheme without
+        :attr:`supports_partial_flush` — it falls back to the full
+        :meth:`_flush`, so callers can always use it as "make these reads
+        safe now".
+        """
+        if self._indexed_members is None:
+            return 0
+        if not self.partial_mode:
+            return self._flush(make_rng(seed))
+        return sum(self.touch_region(int(node)) for node in touched)
+
     def query(
         self,
         target: int,
@@ -668,15 +892,19 @@ class NearestPeerAlgorithm(abc.ABC):
         ``coalesce`` the query answers from the bounded-staleness index —
         it may return a recently departed member or miss a very recent
         arrival, exactly the trade real batched-repair deployments make.
+        Under ``lazy-partial`` (on a supporting scheme) nothing is flushed
+        up front: the plan refreshes each region as it reads it
+        (:meth:`touch_region`), answering from a partially fresh index at
+        a region-sized bill instead of a full one.
         """
         if self._oracle is None or self._members is None:
             raise ConfigurationError(f"{self.name}: query() before build()")
         rng = make_rng(seed)
-        if self._indexed_members is not None and self._scheduler.flush_on_query:
+        if self._indexed_members is not None and self._must_flush_on_query:
             self._flush(rng)
         self._probe_count = 0
         self._aux_probe_count = 0
-        stale_view = self._indexed_members
+        stale_view = None if self.partial_mode else self._indexed_members
         if stale_view is not None:
             # Answer from the membership the index actually reflects.
             live = self._members
@@ -692,6 +920,13 @@ class NearestPeerAlgorithm(abc.ABC):
         result.maintenance_probes = self._maintenance_since_query
         self._maintenance_since_query = 0
         return result
+
+    @property
+    def _must_flush_on_query(self) -> bool:
+        """Full flush needed before answering (lazy, or unsupported partial)."""
+        return self._scheduler.flush_on_query or (
+            self._scheduler.partial_on_query and not self.supports_partial_flush
+        )
 
     @abc.abstractmethod
     def _query(self, target: int, rng: np.random.Generator) -> SearchResult:
@@ -737,13 +972,18 @@ class NearestPeerAlgorithm(abc.ABC):
         bill; likewise the plan's member view is swapped in so a step
         never sees a membership newer than its snapshot.
         """
-        if self._indexed_members is not None and self._scheduler.flush_on_query:
+        if self._indexed_members is not None and self._must_flush_on_query:
             self._flush(rng)
-        view = (
-            self._indexed_members
-            if self._indexed_members is not None
-            else self._members
-        )
+        if self.partial_mode:
+            # Partial freshness answers from the *live* membership — the
+            # regions the plan touches are refreshed against it on demand.
+            view = self._members
+        else:
+            view = (
+                self._indexed_members
+                if self._indexed_members is not None
+                else self._members
+            )
         inner = self._plan(target, rng)
         probes = 0
         aux = 0
@@ -945,6 +1185,37 @@ class NearestPeerAlgorithm(abc.ABC):
             self._maintenance_probe_count += int(self.members.size)
         return batch_latencies_from(self.oracle, int(node), self.members)
 
+    def offline_probe_many(
+        self, node: int, nodes: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Build/maintenance RTTs from ``node`` to arbitrary ``nodes``.
+
+        The free-target sibling of :meth:`offline_distances_from`: offline
+        during :meth:`build`, billed as maintenance when the same code
+        re-runs inside a join/leave/flush.  Build-path helpers (e.g. the
+        Meridian overlay constructor) take this as their probe callable so
+        their measurements stay on the books.
+        """
+        nodes = np.asarray(nodes, dtype=int)
+        if nodes.size == 0:
+            return np.empty(0, dtype=float)
+        if self._in_maintenance:
+            self._maintenance_probe_count += int(nodes.size)
+        return batch_latencies_from(self.oracle, int(node), nodes)
+
+    def offline_probe_block(
+        self, rows: np.ndarray | list[int], cols: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Build/maintenance RTT block — the batched form of
+        :meth:`offline_probe_many`, billed under the same rule."""
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        if rows.size == 0 or cols.size == 0:
+            return np.empty((rows.size, cols.size), dtype=float)
+        if self._in_maintenance:
+            self._maintenance_probe_count += int(rows.size * cols.size)
+        return batch_latency_block(self.oracle, rows, cols)
+
     # -- maintenance accounting ----------------------------------------------
 
     @property
@@ -962,6 +1233,29 @@ class NearestPeerAlgorithm(abc.ABC):
         on the books.
         """
         return self._maintenance_since_query
+
+    @property
+    def maintenance_ledger(self) -> MaintenanceLedger:
+        """The exact per-cause probe ledger (see :class:`MaintenanceLedger`)."""
+        return self._scheduler.ledger
+
+    @property
+    def maintenance_by_event(self) -> np.ndarray:
+        """Exact per-membership-event maintenance bills, indexed by event id.
+
+        Event ids are allocated in observation order (one per non-empty
+        :meth:`join` / :meth:`leave` since :meth:`build`), so this array
+        lines up 1:1 with the daemon's membership-event sequence.  Unlike
+        the per-query ``maintenance_probes`` claim — which depends on
+        which in-flight query finishes first — these bills are invariant
+        to scheduling order, stepper choice and shard layout.
+        """
+        return self._scheduler.ledger.bills()
+
+    @property
+    def maintenance_background_probes(self) -> int:
+        """Maintenance probes with no membership-event cause (e.g. ring repair)."""
+        return self._scheduler.ledger.background
 
     def maintenance_probe(self, a: int, b: int) -> float:
         """One counted maintenance measurement (overlay-internal RTT).

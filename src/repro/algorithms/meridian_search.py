@@ -53,8 +53,15 @@ class MeridianSearch(NearestPeerAlgorithm):
         self._overlay: MeridianOverlay | None = None
 
     def _build(self, rng: np.random.Generator) -> None:
+        # Probe through the counted offline channel so a build re-run
+        # inside a flush bills its measurements as maintenance.
         self._overlay = MeridianOverlay.build(
-            self.oracle, self.members, config=self._config, seed=rng
+            self.oracle,
+            self.members,
+            config=self._config,
+            seed=rng,
+            probe_many=self.offline_probe_many,
+            pairwise=lambda c: self.offline_probe_block(c, c),
         )
 
     # -- incremental maintenance ---------------------------------------------
@@ -127,6 +134,9 @@ class MeridianSearch(NearestPeerAlgorithm):
             exchange_size=self._repair_exchange_size,
         )
         spent = self._maintenance_probe_count - before
+        # Continuous upkeep has no membership-event cause: the ledger
+        # books it as background so per-event bills stay exact.
+        self._scheduler.ledger.charge_background(spent)
         self._maintenance_since_query += spent
         return repaired, spent
 

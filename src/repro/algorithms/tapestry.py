@@ -38,11 +38,23 @@ class TapestrySearch(NearestPeerAlgorithm):
     keeps the cost explicit instead of hiding it, and a deferred
     discipline (``maintenance="coalesce:8"`` or ``"lazy"``) models the
     amortisation — one counted rebuild per buffered event batch.
+
+    Identifiers are *stable*: each member's hex id is drawn from its own
+    keyed rng stream (seeded off a single ``region_base`` draw at initial
+    build), like the static node hashes of a real Tapestry — rejoining
+    peers keep their id and rebuilds consume nothing from the caller's
+    rng.  Table construction itself is deterministic given ids and
+    distances, so one node's routing table (its *region*) can be rebuilt
+    on demand against the current membership at region cost ``|M|``.
+    That is the ``lazy-partial`` discipline (``supports_partial_flush``):
+    a query refreshes only the prefix neighborhoods on its walked path
+    and returns exactly the answers a full ``lazy`` flush would.
     """
 
     name = "tapestry"
     maintenance_policy = "rebuild"
     plan_native = True
+    supports_partial_flush = True
 
     def __init__(
         self,
@@ -59,51 +71,105 @@ class TapestrySearch(NearestPeerAlgorithm):
         self._ids: dict[int, tuple[int, ...]] = {}
         # node -> level -> list of neighbour member ids (all digits merged)
         self._tables: dict[int, list[np.ndarray]] = {}
+        # Partial-freshness bookkeeping (see KargerRuhlSearch): id-stream
+        # seed, the generation the full index reflects, per-region
+        # overrides, and the id matrix cached per member-array identity.
+        self._region_base: int | None = None
+        self._index_gen = 0
+        self._region_gen: dict[int, int] = {}
+        self._id_matrix: np.ndarray | None = None
+        self._id_matrix_for: np.ndarray | None = None
 
-    def _shared_prefix(self, a: tuple[int, ...], b: tuple[int, ...]) -> int:
-        shared = 0
-        for da, db in zip(a, b):
-            if da != db:
-                break
-            shared += 1
-        return shared
+    def _partial_reset(self) -> None:
+        self._region_base = None
+        self._index_gen = 0
+        self._region_gen = {}
+        self._ids = {}
+        self._id_matrix = None
+        self._id_matrix_for = None
+
+    def _id_of(self, m: int) -> tuple[int, ...]:
+        """The member's stable hex id, drawn lazily from its keyed stream."""
+        cached = self._ids.get(m)
+        if cached is None:
+            id_rng = np.random.default_rng((self._region_base, 1, m))
+            cached = tuple(
+                int(d) for d in id_rng.integers(0, _HEX_DIGITS, size=self._id_digits)
+            )
+            self._ids[m] = cached
+        return cached
+
+    def _ids_matrix(self, members: np.ndarray) -> np.ndarray:
+        """Id digits as an ``(n_members, id_digits)`` array, identity-cached."""
+        if self._id_matrix_for is not members:
+            self._id_matrix = np.array(
+                [self._id_of(int(m)) for m in members], dtype=np.int8
+            )
+            self._id_matrix_for = members
+        return self._id_matrix
 
     def _build(self, rng: np.random.Generator) -> None:
-        members = self.members
-        self._ids = {
-            int(m): tuple(rng.integers(0, _HEX_DIGITS, size=self._id_digits))
-            for m in members
-        }
+        if self._region_base is None:
+            # One draw pins every id stream; rebuilds consume nothing.
+            self._region_base = int(rng.integers(2**63))
         self._tables = {}
-        for node in members:
-            node = int(node)
-            distances = self.offline_distances_from(node)
-            node_id = self._ids[node]
-            levels: list[np.ndarray] = []
-            for level in range(self._id_digits):
-                # Members sharing an `level`-digit prefix, grouped by their
-                # next digit; keep the latency-closest few per digit (PNS).
-                chosen: list[int] = []
-                for digit in range(_HEX_DIGITS):
-                    eligible = [
-                        i
-                        for i, m in enumerate(members)
-                        if int(m) != node
-                        and self._shared_prefix(node_id, self._ids[int(m)]) >= level
-                        and self._ids[int(m)][level] == digit
-                    ]
-                    if not eligible:
-                        continue
-                    eligible.sort(key=lambda i: distances[i])
-                    chosen.extend(
-                        int(members[i])
-                        for i in eligible[: self._neighbors_per_entry]
-                    )
-                levels.append(np.asarray(chosen, dtype=int))
-                if not chosen:
-                    break
-            self._tables[node] = levels
-        self._members_by_prefix_built = True
+        for node in self.members:
+            self._build_region(int(node))
+        self._note_index_current()
+
+    def _build_region(self, node: int) -> None:
+        """Rebuild one node's routing table against the current membership.
+
+        Vectorised Hildrum construction: members sharing an ``l``-digit
+        prefix with the node, grouped by their next digit, keeping the
+        latency-closest few per digit (proximity neighbour selection).
+        """
+        members = self.members
+        ids = self._ids_matrix(members)
+        node_id = np.asarray(self._id_of(node), dtype=np.int8)
+        distances = self.offline_distances_from(node)
+        not_self = members != node
+        # Length of the common prefix with the node, for every member at
+        # once: digit-wise equality, zeroed from the first mismatch on.
+        shared = np.cumprod(ids == node_id, axis=1).sum(axis=1)
+        levels: list[np.ndarray] = []
+        for level in range(self._id_digits):
+            eligible = not_self & (shared >= level)
+            digits_here = ids[:, level]
+            chosen: list[int] = []
+            for digit in range(_HEX_DIGITS):
+                idx = np.flatnonzero(eligible & (digits_here == digit))
+                if idx.size == 0:
+                    continue
+                order = np.argsort(distances[idx], kind="stable")
+                chosen.extend(
+                    int(members[i])
+                    for i in idx[order[: self._neighbors_per_entry]]
+                )
+            levels.append(np.asarray(chosen, dtype=int))
+            if not chosen:
+                break
+        self._tables[node] = levels
+
+    # -- partial freshness -----------------------------------------------------
+
+    def _region_is_fresh(self, node: int) -> bool:
+        return (
+            self._region_gen.get(node, self._index_gen)
+            == self.maintenance_generation
+        )
+
+    def _refresh_region(self, node: int) -> None:
+        self._build_region(node)
+        self._region_gen[node] = self.maintenance_generation
+
+    def _note_index_current(self) -> None:
+        self._index_gen = self.maintenance_generation
+        self._region_gen = {}
+        if len(self._tables) != self.members.size:
+            live = set(int(m) for m in self.members)
+            for node in [n for n in self._tables if n not in live]:
+                del self._tables[node]
 
     def _plan(self, target: int, rng: np.random.Generator):
         """Stepwise search: one round per routing level (native plan)."""
@@ -115,6 +181,9 @@ class TapestrySearch(NearestPeerAlgorithm):
         measured = dict(zip(kept, vals.tolist()))
         path = [current]
         for level in range(self._id_digits):
+            # Region-aware freshness: refresh the routing table this level
+            # reads (a no-op outside lazy-partial / when already fresh).
+            self.touch_region(current)
             table = self._tables.get(current)
             if table is None:  # departed mid-flight under daemon churn
                 break

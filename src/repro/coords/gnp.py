@@ -3,7 +3,13 @@
 A small set of landmarks measure each other and solve a global embedding;
 every other node then measures the landmarks and solves its own coordinate
 against the fixed landmark positions.  Both solves are plain least squares
-on relative error, via :func:`scipy.optimize.least_squares`.
+on relative error, via :func:`scipy.optimize.leastsq` (MINPACK's
+Levenberg-Marquardt).  The legacy ``leastsq`` wrapper is deliberate: the
+newer ``least_squares(method="lm")`` front-end is not run-to-run
+deterministic for identical inputs under this scipy build, and a single
+ULP of drift in a landmark solve cascades through every dependent
+coordinate into different greedy-walk answers — which breaks the repo's
+fixed-seed replay guarantee.
 
 PIC's "fixed-point" placement strategy is the same computation with peers
 as landmarks, so :class:`GnpEmbedding` doubles as PIC's embedding engine in
@@ -15,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import least_squares
+from scipy.optimize import leastsq
 
 from repro.topology.oracle import LatencyOracle
 from repro.util.errors import DataError
@@ -48,7 +54,9 @@ def _solve_point(
         predicted = np.linalg.norm(anchors - x[None, :], axis=1)
         return (predicted - rtts) / np.maximum(rtts, 1e-3)
 
-    return least_squares(residuals, x0, method="lm", max_nfev=200).x
+    # full_output silences the maxfev RuntimeWarning: hitting the probe
+    # budget and answering with the best point so far is expected here.
+    return leastsq(residuals, x0, maxfev=200, full_output=True)[0]
 
 
 class GnpEmbedding:
@@ -104,9 +112,9 @@ class GnpEmbedding:
             actual = lm_rtts[iu]
             return (predicted - actual) / np.maximum(actual, 1e-3)
 
-        lm_positions = least_squares(
-            landmark_residuals, x0, method="lm", max_nfev=2000
-        ).x.reshape(L, d)
+        lm_positions = leastsq(
+            landmark_residuals, x0, maxfev=2000, full_output=True
+        )[0].reshape(L, d)
 
         # Stage 2: every member against the fixed landmarks.
         positions: dict[int, np.ndarray] = {}

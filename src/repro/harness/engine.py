@@ -567,6 +567,8 @@ class QueryEngine:
             ),
             warmup_maintenance_probes=run.trailing_maintenance_probes,
             n_churn_events=run.n_events,
+            maintenance_by_event=run.maintenance_by_event,
+            maintenance_background_probes=run.maintenance_background_probes,
             arrival_ms=np.array([job.arrival_ms for job in jobs]),
             start_ms=np.array([job.start_ms for job in jobs]),
             finish_ms=np.array([job.finish_ms for job in jobs]),

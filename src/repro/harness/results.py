@@ -288,6 +288,15 @@ class DaemonTrialRecord(TrialRecord):
     relay_extra_ms: float = 0.0
     #: Availability deadline the scenario scores against.
     deadline_ms: float = float("inf")
+    #: Exact per-membership-event maintenance bills from the scheduler's
+    #: ledger, length ``n_churn_events``.  Unlike the per-query
+    #: ``maintenance_probes`` claims (first finisher wins), each entry is
+    #: invariant to stepper choice and shard layout.
+    maintenance_by_event: np.ndarray | None = None
+    #: Maintenance attributable to no membership event (Meridian's
+    #: continuous ring repair).  ``sum(maintenance_by_event) +
+    #: maintenance_background_probes == total_maintenance_probes``.
+    maintenance_background_probes: int = 0
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -309,6 +318,29 @@ class DaemonTrialRecord(TrialRecord):
                     f"DaemonTrialRecord.{name} has shape {arr.shape}, "
                     f"expected ({n},)"
                 )
+        ledger = self.maintenance_by_event
+        if ledger is not None and ledger.shape != (self.n_churn_events,):
+            raise DataError(
+                f"DaemonTrialRecord.maintenance_by_event has shape "
+                f"{ledger.shape}, expected ({self.n_churn_events},)"
+            )
+
+    @property
+    def maintenance_probes_per_event(self) -> float:
+        """Mean exact per-event maintenance bill from the ledger.
+
+        Prefers the scheduler's per-event ledger (background repair such
+        as Meridian ring maintenance excluded — that is reported
+        separately as :attr:`maintenance_background_probes`); falls back
+        to the aggregate total/event ratio when no ledger was recorded.
+        """
+        if self.maintenance_by_event is not None:
+            if self.maintenance_by_event.size == 0:
+                return 0.0
+            return float(self.maintenance_by_event.mean())
+        if self.n_churn_events == 0:
+            return 0.0
+        return self.total_maintenance_probes / self.n_churn_events
 
     # -- timing metrics ----------------------------------------------------
 

@@ -27,7 +27,7 @@ import numpy as np
 from repro.meridian.overlay import MeridianConfig, MeridianNode, MeridianOverlay
 from repro.netsim.engine import EventHandle, EventLoop
 from repro.netsim.network import Message, Network, SimNode
-from repro.topology.oracle import LatencyOracle, batch_latencies_from
+from repro.topology.oracle import LatencyOracle, oracle_probe_many
 from repro.util.errors import DataError
 from repro.util.rng import make_rng
 
@@ -57,6 +57,7 @@ class GossipMeridianNode(SimNode):
         self.state = MeridianNode(node_id, meridian_config)
         self._gossip = gossip_config
         self._probe_oracle = probe_oracle
+        self._probe_many = oracle_probe_many(probe_oracle)
         self._rng = rng
 
     # -- protocol ----------------------------------------------------------
@@ -70,7 +71,7 @@ class GossipMeridianNode(SimNode):
             return
         if member in self.state.all_members():
             return
-        latency = self._probe_oracle.latency_ms(self.node_id, member)
+        latency = float(self._probe_many(self.node_id, [member])[0])
         self.state.insert(member, latency)
         self._cap_ring(self.state.ring_of(latency))
 
@@ -93,12 +94,7 @@ class GossipMeridianNode(SimNode):
         ]
         if not distinct:
             return
-        values = dict(
-            zip(
-                distinct,
-                batch_latencies_from(self._probe_oracle, self.node_id, distinct),
-            )
-        )
+        values = dict(zip(distinct, self._probe_many(self.node_id, distinct)))
         for member in (int(m) for m in members):
             if member == self.node_id or member in self.state.all_members():
                 continue
@@ -366,8 +362,9 @@ def run_gossip_overlay(
 
     # Final diversity pass, then freeze into a plain overlay.
     from repro.meridian.overlay import _select_ring_members
-    from repro.topology.oracle import batch_latency_block
+    from repro.topology.oracle import oracle_pairwise
 
+    pairwise = oracle_pairwise(oracle)
     frozen: dict[int, MeridianNode] = {}
     for node_id, node in nodes.items():
         state = node.state
@@ -378,7 +375,7 @@ def run_gossip_overlay(
             keep = _select_ring_members(
                 candidates,
                 meridian_config,
-                lambda c: batch_latency_block(oracle, c, c),
+                pairwise,
             )
             kept = {int(candidates[i]) for i in keep}
             state.rings[index] = {m: lat for m, lat in ring.items() if m in kept}

@@ -28,8 +28,8 @@ from repro.meridian.rings import RingStructure
 from repro.meridian.selection import select_hypervolume, select_maxmin
 from repro.topology.oracle import (
     LatencyOracle,
-    batch_latencies_from,
-    batch_latency_block,
+    oracle_pairwise,
+    oracle_probe_many,
 )
 from repro.util.errors import ConfigurationError, DataError
 from repro.util.rng import make_rng
@@ -224,13 +224,26 @@ class MeridianOverlay:
         member_ids: np.ndarray | list[int],
         config: MeridianConfig | None = None,
         seed: int | np.random.Generator | None = None,
+        probe_many=None,
+        pairwise=None,
     ) -> "MeridianOverlay":
-        """Construct the converged overlay (see module docstring)."""
+        """Construct the converged overlay (see module docstring).
+
+        Measurements go through the ``probe_many(src, nodes)`` /
+        ``pairwise(nodes)`` callables, defaulting to the raw oracle
+        (standalone construction is the offline phase).  An algorithm
+        embedding the overlay passes its counted channels instead, so a
+        build re-run under maintenance accounting bills every probe.
+        """
         config = config or MeridianConfig()
         rng = make_rng(seed)
         members = np.asarray(member_ids, dtype=int)
         if members.size < 2:
             raise DataError("an overlay needs at least two members")
+        if probe_many is None:
+            probe_many = oracle_probe_many(oracle)
+        if pairwise is None:
+            pairwise = oracle_pairwise(oracle)
         # Ring edges for vectorised assignment: index i covers (edge[i-1], edge[i]].
         edges = np.array(config.rings.outer_edges())
 
@@ -242,13 +255,13 @@ class MeridianOverlay:
             if knowledge is not None and knowledge < others.size:
                 others = rng.choice(others, size=knowledge, replace=False)
             # One batched row per node instead of a scalar probe per member.
-            latencies = batch_latencies_from(oracle, int(node_id), others)
+            latencies = probe_many(int(node_id), others)
             populate_node_rings(
                 node,
                 others,
                 latencies,
                 rng,
-                lambda c: batch_latency_block(oracle, c, c),
+                pairwise,
                 edges=edges,
             )
             nodes[int(node_id)] = node

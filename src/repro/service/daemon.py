@@ -150,6 +150,15 @@ class DaemonRun:
     ring_repair_probes: int
     forced_flushes: int
     loop_events: int
+    #: Exact per-membership-event maintenance bills from the algorithm's
+    #: ledger, indexed by event id in observation order (length
+    #: ``n_events``).  Unlike the per-job claims these are invariant to
+    #: scheduling order, stepper choice and shard layout.
+    maintenance_by_event: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    #: Maintenance probes with no membership-event cause (ring repair).
+    maintenance_background_probes: int = 0
     #: Fault-path totals (zero without an active fault model).
     probes_dropped: int = 0
     probes_retransmitted: int = 0
@@ -349,6 +358,10 @@ class QueryDaemon:
             ),
             in_flight_probes_max=self._stepper.peak,
             trailing_maintenance_probes=self.algorithm.unclaimed_maintenance_probes,
+            maintenance_by_event=self.algorithm.maintenance_by_event,
+            maintenance_background_probes=(
+                self.algorithm.maintenance_background_probes
+            ),
             ring_repair_passes=repair.passes if repair else 0,
             ring_repair_nodes=repair.nodes_repaired if repair else 0,
             ring_repair_probes=repair.probes_spent if repair else 0,

@@ -20,7 +20,13 @@ stream shared across queries would make measurements depend on the shard
 layout) and eager maintenance only (lazy/coalesce flush timing depends
 on shard-local query order).  Per-job ``maintenance_probes`` attribution
 is claim-order-local to a shard and is therefore *not* shard-invariant;
-timelines, answers and probe counts are.
+timelines, answers, probe counts — and the per-*event* maintenance
+ledger (``maintenance_by_event``) — are.  Every replica replays every
+membership event on an identically-seeded maintenance generator, so the
+replicas' ledgers are bit-identical and the merge takes the
+longest-lived replica's, like the other replicated maintenance
+counters.  The ledger, not the per-job claims, is the exact attribution
+surface.
 
 Merging: jobs are reunited in global arrival order; time-weighted areas
 sum exactly (entry sets are disjoint, and a shard's integral is zero
@@ -152,6 +158,8 @@ def _run_shard(
         "in_flight_bp_times": _cat(stepper.bp_times),
         "in_flight_bp_deltas": _cat(stepper.bp_deltas),
         "trailing_maintenance": run.trailing_maintenance_probes,
+        "maintenance_by_event": run.maintenance_by_event,
+        "maintenance_background": run.maintenance_background_probes,
         "ring_repair": (
             run.ring_repair_passes,
             run.ring_repair_nodes,
@@ -267,6 +275,18 @@ def _merge(
     parts: list[dict],
 ) -> DaemonRun:
     """Reunite shard partial records into one global :class:`DaemonRun`."""
+    longest = max(parts, key=lambda part: part["makespan_ms"])
+    # Maintenance is replicated work, not partitioned work: every replica
+    # replays every membership event, so claims from two replicas double
+    # count the same logical upkeep.  The merged record reports one
+    # replica's worth — the longest-lived one's, whose claims + trailing
+    # counter cover its whole timeline — keeping the record's
+    # ``total_maintenance_probes`` equal to ``sum(maintenance_by_event)
+    # + maintenance_background_probes`` exactly as in unsharded runs.
+    for part in parts:
+        if part is not longest:
+            for job in part["jobs"]:
+                job.result.maintenance_probes = 0
     jobs = sorted(
         (job for part in parts for job in part["jobs"]),
         key=lambda job: job.index,
@@ -287,7 +307,6 @@ def _merge(
         [part["in_flight_bp_times"] for part in parts],
         [part["in_flight_bp_deltas"] for part in parts],
     )
-    longest = max(parts, key=lambda part: part["makespan_ms"])
     return DaemonRun(
         jobs=jobs,
         memberships=memberships,
@@ -300,6 +319,8 @@ def _merge(
         ),
         in_flight_probes_max=in_flight_peak,
         trailing_maintenance_probes=longest["trailing_maintenance"],
+        maintenance_by_event=longest["maintenance_by_event"],
+        maintenance_background_probes=longest["maintenance_background"],
         ring_repair_passes=longest["ring_repair"][0],
         ring_repair_nodes=longest["ring_repair"][1],
         ring_repair_probes=longest["ring_repair"][2],

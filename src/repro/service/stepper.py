@@ -18,7 +18,12 @@ back-to-back by ``deliver_many``), every other event sorts strictly
 before or after that whole block, and the plan advances during the last
 reply at ``t + max(delays)`` — exactly when the batch stepper's one event
 fires.  The equivalence tests compare full run records for all seven
-schemes.
+schemes.  Because the timelines match event for event, membership events
+fire in the same order under either stepper, so the per-event
+maintenance ledger (``DaemonRun.maintenance_by_event``) is
+stepper-invariant by construction — unlike the per-job
+``maintenance_probes`` claims, which depend on which in-flight plan
+finishes first and are exact only in aggregate.
 
 In-flight probe accounting differs only in mechanics.  The scalar path
 integrates the count at every ±1 transition; the batch path adds each

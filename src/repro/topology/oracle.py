@@ -120,6 +120,38 @@ def batch_latency_block(
     )
 
 
+def oracle_probe_many(oracle: LatencyOracle):
+    """An uncounted ``(src, nodes) -> RTTs`` probe callable over ``oracle``.
+
+    The substrate-level default for probe-callable parameters (the
+    Meridian overlay/gossip builders take ``probe_many=``): standalone
+    callers measure straight off the oracle, while an algorithm passes
+    its counted channel instead so the same code path bills its probes.
+    Keeping the raw oracle access here — outside the probe-accounting
+    packages — is what lets the ``counted-probes`` lint rule gate every
+    direct oracle call inside them.
+    """
+
+    def probe_many(src: int, nodes: np.ndarray | list[int]) -> np.ndarray:
+        return batch_latencies_from(oracle, int(src), nodes)
+
+    return probe_many
+
+
+def oracle_pairwise(oracle: LatencyOracle):
+    """An uncounted ``(nodes) -> RTT block`` pairwise callable over ``oracle``.
+
+    The block-shaped sibling of :func:`oracle_probe_many`, for
+    diversity-selection passes that need all-pairs RTTs of a candidate
+    set.
+    """
+
+    def pairwise(nodes: np.ndarray | list[int]) -> np.ndarray:
+        return batch_latency_block(oracle, nodes, nodes)
+
+    return pairwise
+
+
 class MatrixOracle:
     """Oracle backed by a dense symmetric latency matrix."""
 

@@ -226,6 +226,86 @@ class TestShardInvariance:
             )
 
 
+class TestMaintenanceByEvent:
+    """The per-event ledger replaces the racy first-finisher claim: bills
+    are exact (they sum to the run's total maintenance) and invariant to
+    stepper choice and shard count, which the per-query
+    ``maintenance_probes`` claims never were."""
+
+    @pytest.fixture(scope="class")
+    def records(self, small_world):
+        return {
+            (shards, stepper): run_daemon(
+                small_world,
+                lambda: TiersSearch(branching=8),
+                dataclasses.replace(CHURN_SPEC, shards=shards, stepper=stepper),
+                n_queries=30,
+                seed=23,
+            )
+            for shards in (1, 2, 5)
+            for stepper in ("batch", "scalar")
+        }
+
+    def test_bills_are_exact_in_every_configuration(self, records):
+        for key, record in records.items():
+            bills = record.maintenance_by_event
+            assert bills is not None, key
+            assert bills.shape == (record.n_churn_events,), key
+            assert (
+                int(bills.sum()) + record.maintenance_background_probes
+                == record.total_maintenance_probes
+            ), key
+
+    def test_bills_invariant_to_stepper_and_shard_count(self, records):
+        # The unsharded loop and the sharded script pre-draw the workload
+        # differently, so ledgers are comparable within a driver: the
+        # stepper must never change a bill, nor must the shard count.
+        pairs = [
+            ((1, "batch"), (1, "scalar")),
+            ((2, "batch"), (2, "scalar")),
+            ((2, "batch"), (5, "batch")),
+            ((2, "scalar"), (5, "scalar")),
+        ]
+        for left, right in pairs:
+            assert np.array_equal(
+                records[left].maintenance_by_event,
+                records[right].maintenance_by_event,
+            ), (left, right)
+
+    def test_per_event_metric_prefers_the_ledger(self, records):
+        record = records[(1, "batch")]
+        if record.n_churn_events == 0:
+            pytest.skip("workload produced no events at this seed")
+        assert record.maintenance_probes_per_event == pytest.approx(
+            float(record.maintenance_by_event.mean())
+        )
+
+    def test_meridian_periodic_repair_lands_on_background(self, small_world):
+        # Per-event repair off and a draining churn mix: the periodic
+        # timer does all the repairing, exactly the daemon deployment the
+        # background bucket exists for.
+        record = run_daemon(
+            small_world,
+            lambda: MeridianSearch(ring_repair=False),
+            dataclasses.replace(
+                CHURN_SPEC,
+                mean_event_interval_ms=40.0,
+                departure_rate=5.0,
+                arrival_rate=0.5,
+                ring_repair_period_ms=100.0,
+            ),
+            n_queries=30,
+            seed=23,
+        )
+        assert record.ring_repair_probes > 0
+        assert record.maintenance_background_probes == record.ring_repair_probes
+        assert (
+            int(record.maintenance_by_event.sum())
+            + record.maintenance_background_probes
+            == record.total_maintenance_probes
+        )
+
+
 class TestSoAState:
     """The struct-of-arrays counters mirror the historical dict bookkeeping."""
 

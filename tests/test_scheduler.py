@@ -520,6 +520,218 @@ class TestServiceMode:
             ServicePhase("p", ChurnSpec(), n_queries=0)
 
 
+class TestMaintenanceLedger:
+    """Every maintenance probe has an exact cause: sum(bills) + background
+    equals ``maintenance_probes_total`` at any flush boundary, under every
+    discipline."""
+
+    def test_eager_bills_each_event_on_its_own_id(self, oracle):
+        algorithm = BeaconSearch(n_beacons=6, maintenance="eager")
+        algorithm.build(oracle, np.arange(80), seed=7)
+        spent_join = algorithm.join(np.arange(80, 90), seed=1)
+        spent_leave = algorithm.leave(np.arange(0, 5), seed=2)
+        bills = algorithm.maintenance_by_event
+        assert bills.tolist() == [spent_join, spent_leave]
+        assert algorithm.maintenance_background_probes == 0
+        assert bills.sum() == algorithm.maintenance_probes_total
+
+    def test_empty_events_allocate_no_ids(self, oracle):
+        algorithm = BeaconSearch(n_beacons=6, maintenance="eager")
+        algorithm.build(oracle, np.arange(80), seed=7)
+        algorithm.join(np.array([], dtype=int), seed=1)
+        algorithm.leave(np.array([], dtype=int), seed=2)
+        assert algorithm.maintenance_by_event.size == 0
+
+    def test_lazy_flush_spreads_bill_over_buffered_events(self, oracle):
+        algorithm = KargerRuhlSearch(maintenance="lazy")
+        algorithm.build(oracle, np.arange(60), seed=7)
+        algorithm.join([60, 61], seed=1)
+        algorithm.leave([0], seed=2)
+        algorithm.join([62], seed=3)
+        assert algorithm.maintenance_by_event.tolist() == [0, 0, 0]
+        algorithm.query(150, seed=4)  # lazy pays here
+        bills = algorithm.maintenance_by_event
+        assert bills.size == 3
+        assert (bills > 0).all()
+        # The deterministic floor split: shares differ by at most one,
+        # with the remainder on the earliest ids.
+        assert bills.max() - bills.min() <= 1
+        assert np.all(np.diff(bills) <= 0)
+        assert bills.sum() == algorithm.maintenance_probes_total
+
+    def test_ledger_invariant_across_disciplines(self, oracle):
+        for discipline in ("eager", "coalesce:3", "lazy", "lazy-partial"):
+            algorithm = TapestrySearch(maintenance=discipline)
+            algorithm.build(oracle, np.arange(60), seed=7)
+            for i, (kind, ids) in enumerate(
+                [("join", [60, 61]), ("leave", [0, 1]), ("join", [62])]
+            ):
+                getattr(algorithm, kind)(ids, seed=10 + i)
+            algorithm.query(150, seed=20)
+            algorithm.flush_maintenance(seed=21)
+            bills = algorithm.maintenance_by_event
+            assert bills.size == 3, discipline
+            assert (
+                bills.sum() + algorithm.maintenance_background_probes
+                == algorithm.maintenance_probes_total
+            ), discipline
+
+    def test_departure_triggered_repair_bills_the_event(self, uniform_matrix):
+        """Repair run from a leave has a membership cause: its probes land
+        on the departure event's own bill, not on background."""
+        algorithm = MeridianSearch(ring_repair=True)
+        algorithm.build(MatrixOracle(uniform_matrix), np.arange(100), seed=7)
+        algorithm.leave(np.arange(0, 30), seed=1)
+        assert algorithm.maintenance_probes_total > 0
+        assert algorithm.maintenance_background_probes == 0
+        assert (
+            algorithm.maintenance_by_event.sum()
+            == algorithm.maintenance_probes_total
+        )
+
+    def test_periodic_repair_bills_the_background_bucket(self, uniform_matrix):
+        """A periodic pass (the daemon's repair timer) has no membership
+        cause: its probes accrue on the ledger's background bucket."""
+        algorithm = MeridianSearch(ring_repair=False)
+        algorithm.build(MatrixOracle(uniform_matrix), np.arange(100), seed=7)
+        algorithm.leave(np.arange(0, 30), seed=1)  # eviction only, free
+        assert algorithm.maintenance_probes_total == 0
+        _, spent = algorithm.repair_rings(seed=2)
+        assert spent > 0
+        assert algorithm.maintenance_background_probes == spent
+        assert algorithm.maintenance_by_event.sum() == 0
+        assert algorithm.maintenance_probes_total == spent
+
+    def test_build_resets_ledger(self, oracle):
+        algorithm = BeaconSearch(n_beacons=6, maintenance="eager")
+        algorithm.build(oracle, np.arange(80), seed=7)
+        algorithm.join(np.arange(80, 90), seed=1)
+        algorithm.build(oracle, np.arange(80), seed=7)
+        assert algorithm.maintenance_by_event.size == 0
+        assert algorithm.maintenance_background_probes == 0
+
+    def test_charge_spread_floor_split_unit(self):
+        from repro.algorithms.base import MaintenanceLedger
+
+        ledger = MaintenanceLedger()
+        ids = [ledger.new_event() for _ in range(3)]
+        ledger.charge_spread(ids, 10)
+        assert ledger.bills().tolist() == [4, 3, 3]
+        ledger.charge_spread([], 5)  # no cause on the books -> background
+        assert ledger.background == 5
+        assert ledger.total == 15
+
+
+class TestPartialFreshness:
+    """``lazy-partial`` answers must be bit-identical to ``lazy`` while
+    paying a fraction of the maintenance probes on touch-sparse reads."""
+
+    EVENTS = [
+        ("join", np.arange(120, 125)),
+        ("leave", np.arange(0, 5)),
+        ("join", np.arange(125, 130)),
+        ("leave", np.arange(5, 10)),
+    ]
+
+    def _run(self, oracle, factory, discipline):
+        algorithm = factory(discipline)
+        algorithm.build(oracle, np.arange(120), seed=7)
+        answers = []
+        seed = 100
+        for kind, ids in self.EVENTS:
+            getattr(algorithm, kind)(ids, seed=seed)
+            seed += 1
+            for q in range(2):
+                result = algorithm.query(150 + q, seed=seed)
+                seed += 1
+                answers.append(
+                    (result.found, result.found_latency_ms, result.probes)
+                )
+        # Drain what partial left pending, then one fully-flushed query:
+        # the two disciplines must converge on the identical index.
+        algorithm.flush_maintenance(seed=seed)
+        result = algorithm.query(155, seed=seed + 1)
+        answers.append((result.found, result.found_latency_ms, result.probes))
+        return algorithm, answers
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda m: KargerRuhlSearch(maintenance=m),
+            lambda m: TapestrySearch(maintenance=m),
+        ],
+        ids=["karger-ruhl", "tapestry"],
+    )
+    def test_partial_is_bit_identical_and_far_cheaper(self, oracle, factory):
+        full, full_answers = self._run(oracle, factory, "lazy")
+        partial, partial_answers = self._run(oracle, factory, "lazy-partial")
+        assert full_answers == partial_answers
+        assert full.rebuild_count > 0
+        assert partial.rebuild_count == 0
+        assert (
+            partial.maintenance_probes_total
+            < full.maintenance_probes_total / 3
+        )
+        # Both ledgers bill the same four events, exactly.
+        assert partial.maintenance_by_event.size == len(self.EVENTS)
+        assert (
+            partial.maintenance_by_event.sum()
+            == partial.maintenance_probes_total
+        )
+
+    def test_non_supporting_scheme_falls_back_to_full_flush(self, oracle):
+        """A scheme without ``supports_partial_flush`` under
+        ``lazy-partial`` behaves exactly like ``lazy``."""
+        lazy, lazy_answers = self._run(
+            oracle, lambda m: BeaconSearch(n_beacons=6, maintenance=m), "lazy"
+        )
+        fallback, fallback_answers = self._run(
+            oracle,
+            lambda m: BeaconSearch(n_beacons=6, maintenance=m),
+            "lazy-partial",
+        )
+        assert lazy_answers == fallback_answers
+        assert (
+            lazy.maintenance_probes_total == fallback.maintenance_probes_total
+        )
+        assert not fallback.has_pending_maintenance
+
+    def test_partial_flush_refreshes_only_touched_regions(self, oracle):
+        algorithm = KargerRuhlSearch(maintenance="lazy-partial")
+        algorithm.build(oracle, np.arange(60), seed=7)
+        algorithm.join([60, 61], seed=1)
+        touched = [3, 4, 5]
+        spent = algorithm.partial_flush(touched)
+        assert spent > 0
+        # Touched regions are fresh; a second partial flush is free.
+        assert algorithm.partial_flush(touched) == 0
+        # Untouched regions still pend: the buffer has not drained.
+        assert algorithm.has_pending_maintenance
+        assert algorithm.maintenance_probes_total == spent
+        assert algorithm.maintenance_by_event.sum() == spent
+
+    def test_partial_flush_falls_back_to_full_flush_outside_partial_mode(
+        self, oracle
+    ):
+        algorithm = KargerRuhlSearch(maintenance="lazy")
+        algorithm.build(oracle, np.arange(60), seed=7)
+        algorithm.join([60, 61], seed=1)
+        spent = algorithm.partial_flush([3], seed=2)
+        assert spent == 62 * 62  # one full counted rebuild
+        assert not algorithm.has_pending_maintenance
+        assert algorithm.partial_flush([3], seed=3) == 0
+
+    def test_partial_mode_answers_see_live_membership(self, oracle):
+        """Under partial freshness queries answer from the live members —
+        unlike coalesce, which serves the stale indexed view."""
+        algorithm = TapestrySearch(maintenance="lazy-partial")
+        algorithm.build(oracle, np.arange(60), seed=7)
+        algorithm.leave(np.arange(0, 30), seed=1)
+        for q in range(5):
+            result = algorithm.query(150, seed=2 + q)
+            assert result.found >= 30
+
+
 class TestEventsPerQuery:
     def test_events_per_query_validation(self):
         with pytest.raises(ConfigurationError):
