@@ -17,6 +17,7 @@ setup(
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
             "repro-lint=repro.lint.cli:main",
+            "repro-trace=repro.obs.cli:main",
         ],
     },
 )

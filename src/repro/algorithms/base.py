@@ -107,6 +107,15 @@ class MaintenanceLedger:
         """Per-event bills as an int64 array indexed by event id."""
         return np.asarray(self._bills, dtype=np.int64)
 
+    def billed_between(self, start: int, stop: int) -> int:
+        """Total probes billed to event ids ``start..stop-1``.
+
+        O(stop - start), unlike slicing :meth:`bills`, which materialises
+        the whole ledger — this is the per-event read the tracer makes
+        after every membership tick.
+        """
+        return sum(self._bills[start:stop])
+
     @property
     def total(self) -> int:
         return sum(self._bills) + self.background
@@ -439,6 +448,12 @@ class NearestPeerAlgorithm(abc.ABC):
         # replaced, never mutated, so identity pins the mask's validity).
         self._member_mask: np.ndarray | None = None
         self._member_mask_for: np.ndarray | None = None
+        # Observability hook, called as ``(event_ids, probes, kind)``
+        # right after a deferred flush (kind="flush") or an on-demand
+        # region refresh (kind="partial") charges the ledger.  The
+        # daemon's tracer installs it; ``None`` (the default) costs one
+        # attribute check on the flush path and nothing on queries.
+        self._flush_observer = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -750,6 +765,8 @@ class NearestPeerAlgorithm(abc.ABC):
         self._scheduler.note_flush()
         spent = self._maintenance_probe_count - before
         self._scheduler.ledger.charge_spread(self._pending_event_ids, spent)
+        if self._flush_observer is not None and self._pending_event_ids:
+            self._flush_observer(tuple(self._pending_event_ids), spent, "flush")
         self._pending_event_ids = []
         self._maintenance_since_query += spent
         return spent
@@ -856,6 +873,10 @@ class NearestPeerAlgorithm(abc.ABC):
             self._in_maintenance = False
         spent = self._maintenance_probe_count - before
         self._scheduler.ledger.charge_spread(self._pending_event_ids, spent)
+        if self._flush_observer is not None and spent:
+            self._flush_observer(
+                tuple(self._pending_event_ids), spent, "partial"
+            )
         self._maintenance_since_query += spent
         return spent
 

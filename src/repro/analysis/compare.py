@@ -55,15 +55,19 @@ def format_trial_records(records: list[TrialRecord]) -> str:
     auxiliary-probe bill (beacon-to-beacon traffic and the like) and the
     membership-maintenance bill (0.0 under the static protocols).  When
     any record carries simulated timing (a daemon-protocol
-    :class:`~repro.harness.results.DaemonTrialRecord`), three
-    time-to-answer columns are appended — median/p95/p99 simulated ms —
-    and records without timing degrade gracefully to ``-`` cells.
+    :class:`~repro.harness.results.DaemonTrialRecord`), five daemon
+    columns are appended — median/p95/p99 simulated ms to answer, the
+    deadline availability and the per-query retransmit bill — and
+    records without timing degrade gracefully to ``-`` cells.
     """
     headers = ["scheme", "P(exact closest)", "P(correct cluster)",
                "probes/query", "aux/query", "maint/query"]
     timed = any(_has_timing(r) for r in records)
     if timed:
-        headers += ["tta p50 (ms)", "tta p95 (ms)", "tta p99 (ms)"]
+        headers += [
+            "tta p50 (ms)", "tta p95 (ms)", "tta p99 (ms)",
+            "availability", "retx/query",
+        ]
     rows = []
     for r in records:
         row = [
@@ -76,13 +80,20 @@ def format_trial_records(records: list[TrialRecord]) -> str:
         ]
         if timed:
             if _has_timing(r):
+                retransmits = getattr(r, "total_probe_retransmits", None)
                 row += [
                     f"{r.tta_median_ms:.1f}",
                     f"{r.tta_p95_ms:.1f}",
                     f"{r.tta_p99_ms:.1f}",
+                    f"{r.availability:.3f}",
+                    (
+                        "-"
+                        if retransmits is None
+                        else f"{retransmits / r.n_queries:.2f}"
+                    ),
                 ]
             else:
-                row += ["-", "-", "-"]
+                row += ["-"] * 5
         rows.append(row)
     return format_table(headers, rows)
 

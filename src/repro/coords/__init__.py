@@ -10,7 +10,7 @@ systems:
   algorithm (Dabek et al., SIGCOMM 2004), with adaptive timestep and error
   estimates;
 * :mod:`repro.coords.gnp` — landmark-based global embedding (Ng & Zhang,
-  INFOCOM 2002) via scipy least squares.
+  INFOCOM 2002) via a deterministic in-house Levenberg-Marquardt solve.
 
 :mod:`repro.coords.errors` quantifies embedding quality, including the
 paper's diagnostic: relative error *within* a cluster stays ~1 no matter

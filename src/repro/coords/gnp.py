@@ -3,13 +3,16 @@
 A small set of landmarks measure each other and solve a global embedding;
 every other node then measures the landmarks and solves its own coordinate
 against the fixed landmark positions.  Both solves are plain least squares
-on relative error, via :func:`scipy.optimize.leastsq` (MINPACK's
-Levenberg-Marquardt).  The legacy ``leastsq`` wrapper is deliberate: the
-newer ``least_squares(method="lm")`` front-end is not run-to-run
-deterministic for identical inputs under this scipy build, and a single
-ULP of drift in a landmark solve cascades through every dependent
-coordinate into different greedy-walk answers — which breaks the repo's
-fixed-seed replay guarantee.
+on relative error, via the in-house Levenberg-Marquardt loop below rather
+than scipy's MINPACK wrappers: both ``leastsq`` and
+``least_squares(method="lm")`` can return *different* minima for
+byte-identical inputs depending on process heap state (observed directly:
+same ``x0``, same residuals, two distinct fixed points across allocator
+histories), and a single ULP of drift in a landmark solve cascades through
+every dependent coordinate into different greedy-walk answers — which
+breaks the repo's fixed-seed replay guarantee.  The loop here is ordinary
+numpy on value-identical arrays with a fixed damping schedule, so its
+result is a pure function of the inputs.
 
 PIC's "fixed-point" placement strategy is the same computation with peers
 as landmarks, so :class:`GnpEmbedding` doubles as PIC's embedding engine in
@@ -21,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import leastsq
 
 from repro.topology.oracle import LatencyOracle
 from repro.util.errors import DataError
@@ -45,18 +47,73 @@ class GnpConfig:
             )
 
 
+def _lm_least_squares(
+    residual_fn,
+    jacobian_fn,
+    x0: np.ndarray,
+    max_iter: int,
+) -> np.ndarray:
+    """Deterministic Levenberg-Marquardt: minimise ``sum(residual_fn(x)**2)``.
+
+    Fixed damping schedule, analytic Jacobian, no black-box solver state:
+    for identical input values the iterate sequence — and therefore the
+    returned point — is bit-identical whatever the allocator has been
+    doing, which is the property the fixed-seed replay tests pin.
+    """
+    x = np.array(x0, dtype=float)
+    residual = residual_fn(x)
+    cost = float(residual @ residual)
+    lam = 1e-3
+    for _ in range(max_iter):
+        jacobian = jacobian_fn(x)
+        gradient = jacobian.T @ residual
+        if float(np.max(np.abs(gradient), initial=0.0)) < 1e-12:
+            break
+        hessian = jacobian.T @ jacobian
+        diag = np.diag_indices_from(hessian)
+        improved = False
+        relative_drop = 0.0
+        while lam <= 1e12:
+            damped = hessian.copy()
+            damped[diag] += lam * np.maximum(hessian[diag], 1e-12)
+            try:
+                step = np.linalg.solve(damped, -gradient)
+            except np.linalg.LinAlgError:
+                lam *= 10.0
+                continue
+            candidate = x + step
+            candidate_residual = residual_fn(candidate)
+            candidate_cost = float(candidate_residual @ candidate_residual)
+            if candidate_cost < cost:
+                relative_drop = (cost - candidate_cost) / max(cost, 1e-300)
+                x, residual, cost = candidate, candidate_residual, candidate_cost
+                lam = max(lam * 0.3, 1e-12)
+                improved = True
+                break
+            lam *= 10.0
+        if not improved or relative_drop < 1e-12:
+            break
+    return x
+
+
 def _solve_point(
     anchors: np.ndarray, rtts: np.ndarray, x0: np.ndarray
 ) -> np.ndarray:
     """Least-squares position of one point given distances to anchors."""
+    weights = np.maximum(rtts, 1e-3)
 
     def residuals(x: np.ndarray) -> np.ndarray:
         predicted = np.linalg.norm(anchors - x[None, :], axis=1)
-        return (predicted - rtts) / np.maximum(rtts, 1e-3)
+        return (predicted - rtts) / weights
 
-    # full_output silences the maxfev RuntimeWarning: hitting the probe
-    # budget and answering with the best point so far is expected here.
-    return leastsq(residuals, x0, maxfev=200, full_output=True)[0]
+    def jacobian(x: np.ndarray) -> np.ndarray:
+        offsets = x[None, :] - anchors
+        distances = np.maximum(
+            np.linalg.norm(offsets, axis=1), 1e-12
+        )
+        return offsets / (distances * weights)[:, None]
+
+    return _lm_least_squares(residuals, jacobian, x0, max_iter=50)
 
 
 class GnpEmbedding:
@@ -105,16 +162,30 @@ class GnpEmbedding:
 
         iu = np.triu_indices(L, k=1)
 
+        actual = lm_rtts[iu]
+        weights = np.maximum(actual, 1e-3)
+        pair_index = np.arange(iu[0].size)
+
         def landmark_residuals(flat: np.ndarray) -> np.ndarray:
             pos = flat.reshape(L, d)
             diff = pos[iu[0]] - pos[iu[1]]
             predicted = np.linalg.norm(diff, axis=1)
-            actual = lm_rtts[iu]
-            return (predicted - actual) / np.maximum(actual, 1e-3)
+            return (predicted - actual) / weights
 
-        lm_positions = leastsq(
-            landmark_residuals, x0, maxfev=2000, full_output=True
-        )[0].reshape(L, d)
+        def landmark_jacobian(flat: np.ndarray) -> np.ndarray:
+            pos = flat.reshape(L, d)
+            diff = pos[iu[0]] - pos[iu[1]]
+            distances = np.maximum(np.linalg.norm(diff, axis=1), 1e-12)
+            grad = diff / (distances * weights)[:, None]
+            jacobian = np.zeros((iu[0].size, L * d))
+            for axis in range(d):
+                jacobian[pair_index, iu[0] * d + axis] = grad[:, axis]
+                jacobian[pair_index, iu[1] * d + axis] = -grad[:, axis]
+            return jacobian
+
+        lm_positions = _lm_least_squares(
+            landmark_residuals, landmark_jacobian, x0, max_iter=200
+        ).reshape(L, d)
 
         # Stage 2: every member against the fixed landmarks.
         positions: dict[int, np.ndarray] = {}

@@ -37,6 +37,7 @@ from repro.harness.scenario import (
     SamplingSpec,
     Scenario,
     ServicePhase,
+    TraceSpec,
     get_scenario,
     list_scenarios,
     register_scenario,
@@ -58,6 +59,7 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "ServicePhase",
+    "TraceSpec",
     "TrialRecord",
     "get_scenario",
     "list_scenarios",

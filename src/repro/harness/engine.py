@@ -543,6 +543,15 @@ class QueryEngine:
             found,
             host_cluster=world.topology.host_cluster,
         )
+        spans = timeseries = None
+        if run.spans is not None:
+            from repro.obs.metrics import populate_span_histograms, sample_times
+
+            populate_span_histograms(run.metrics, run.spans)
+            timeseries = run.metrics.sample(
+                sample_times(run.makespan_ms, spec.trace.sample_interval_ms)
+            )
+            spans = tuple(run.spans)
         return DaemonTrialRecord(
             scheme=algorithm.name,
             world_seed=int(seed) if isinstance(seed, (int, np.integer)) else None,
@@ -595,6 +604,12 @@ class QueryEngine:
             query_retries=np.array([job.retries for job in jobs], dtype=int),
             relay_extra_ms=run.relay_extra_ms,
             deadline_ms=deadline_ms,
+            loop_events=run.loop_events,
+            loop_pending_at_drain=run.loop_pending_at_drain,
+            loop_queue_peak=run.loop_queue_peak,
+            loop_cancelled_events=run.loop_cancelled_events,
+            spans=spans,
+            timeseries=timeseries,
         )
 
     def _record(

@@ -297,6 +297,19 @@ class DaemonTrialRecord(TrialRecord):
     #: continuous ring repair).  ``sum(maintenance_by_event) +
     #: maintenance_background_probes == total_maintenance_probes``.
     maintenance_background_probes: int = 0
+    #: Event-loop diagnostics: events executed, live events left queued at
+    #: drain (always 0 for a clean run), the largest raw heap ever held,
+    #: and the lifetime cancelled-event count (the compaction workload).
+    loop_events: int = 0
+    loop_pending_at_drain: int = 0
+    loop_queue_peak: int = 0
+    loop_cancelled_events: int = 0
+    #: Trace stream (tuple of :class:`repro.obs.trace.Span`, canonical
+    #: order) and sampled metrics
+    #: (:class:`repro.obs.metrics.TimeSeriesBlock`); ``None`` unless the
+    #: trial ran with ``DaemonSpec.trace`` set.
+    spans: tuple | None = None
+    timeseries: object | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()

@@ -347,6 +347,25 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class TraceSpec:
+    """Observability configuration for a daemon run.
+
+    Attaching one to :attr:`DaemonSpec.trace` turns the simulated-time
+    tracing and metrics layer on (:mod:`repro.obs`): per-query spans on
+    the loop clock, ledger-tagged maintenance spans, and a
+    :class:`~repro.obs.metrics.TimeSeriesBlock` sampled every
+    ``sample_interval_ms`` of simulated time.  The layer is passive and
+    rng-clean — enabling it never changes answers, timing or bills.
+    """
+
+    #: Simulated-time spacing of the metrics sampling grid.
+    sample_interval_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.sample_interval_ms, "sample_interval_ms")
+
+
+@dataclass(frozen=True)
 class DaemonSpec:
     """Simulated-time service load for the ``daemon`` protocol.
 
@@ -406,6 +425,13 @@ class DaemonSpec:
     shards: int = 1
     #: Network-fault configuration (``None`` = the perfect network).
     faults: FaultSpec | None = None
+    #: Observability configuration (``None`` = tracing off: no tracer is
+    #: constructed and the hot path allocates nothing).  Tracing is
+    #: rng-clean and passive — it reads only the loop clock and the
+    #: daemon's own counters — so enabling it is bit-identical for
+    #: answers, time-to-answer and maintenance bills (pinned by the
+    #: trace tests and the ``obs-passivity`` lint rule).
+    trace: "TraceSpec | None" = None
 
     def __post_init__(self) -> None:
         require_positive(self.mean_interarrival_ms, "mean_interarrival_ms")

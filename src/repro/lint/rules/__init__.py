@@ -95,6 +95,7 @@ def all_rules() -> list[Rule]:
     """Instantiate every shipped rule, in rule-id order."""
     from repro.lint.rules.counted_probes import CountedProbesRule
     from repro.lint.rules.frozen_specs import FrozenSpecsRule
+    from repro.lint.rules.obs_passivity import ObsPassivityRule
     from repro.lint.rules.ordered_iteration import OrderedIterationRule
     from repro.lint.rules.plan_purity import PlanPurityRule
     from repro.lint.rules.rng_discipline import RngDisciplineRule
@@ -103,6 +104,7 @@ def all_rules() -> list[Rule]:
     rules: list[Rule] = [
         CountedProbesRule(),
         FrozenSpecsRule(),
+        ObsPassivityRule(),
         OrderedIterationRule(),
         PlanPurityRule(),
         RngDisciplineRule(),

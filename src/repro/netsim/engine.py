@@ -73,6 +73,8 @@ class EventLoop:
         self._sequence = itertools.count()
         self._processed = 0
         self._cancelled = 0
+        self._cancelled_total = 0
+        self._peak_queue = 0
 
     @property
     def now(self) -> float:
@@ -94,6 +96,21 @@ class EventLoop:
         """Number of events executed so far."""
         return self._processed
 
+    @property
+    def peak_queue_size(self) -> int:
+        """Largest raw heap size ever reached (scheduler memory pressure)."""
+        return self._peak_queue
+
+    @property
+    def cancelled_total(self) -> int:
+        """Cancellations over the loop's whole life (compaction workload).
+
+        Unlike the live ``_cancelled`` tally — which compaction and pops
+        drain back toward zero — this only grows, so it is the number a
+        run report can surface.
+        """
+        return self._cancelled_total
+
     def schedule(
         self, delay_ms: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
@@ -107,6 +124,8 @@ class EventLoop:
             args=args,
         )
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self._peak_queue:
+            self._peak_queue = len(self._queue)
         return EventHandle(event, self)
 
     def schedule_at(
@@ -131,11 +150,14 @@ class EventLoop:
             args=args,
         )
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self._peak_queue:
+            self._peak_queue = len(self._queue)
         return EventHandle(event, self)
 
     def _note_cancel(self) -> None:
         """Account one cancellation; compact the heap past the threshold."""
         self._cancelled += 1
+        self._cancelled_total += 1
         if (
             self._cancelled >= _COMPACT_MIN_CANCELLED
             and 2 * self._cancelled >= len(self._queue)

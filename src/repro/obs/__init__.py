@@ -1,0 +1,33 @@
+"""Simulated-time observability: per-query spans, metrics, exporters.
+
+The daemon's answer to "which phase of which query paid for that p99":
+
+* :mod:`repro.obs.trace` — :class:`~repro.obs.trace.Span` /
+  :class:`~repro.obs.trace.Tracer`, per-query spans on **simulated**
+  time (``queue_wait`` / ``dispatch`` / ``probe_round`` / ``plan_retry``
+  plus ledger-tagged ``maintenance_flush`` spans);
+* :mod:`repro.obs.metrics` — :class:`~repro.obs.metrics.MetricsRegistry`
+  of breakpoint-backed counters/gauges and fixed-bucket histograms,
+  sampled on simulated-time intervals into a
+  :class:`~repro.obs.metrics.TimeSeriesBlock`;
+* :mod:`repro.obs.export` — JSONL trace dump / load / schema validation;
+* :mod:`repro.obs.cli` — the ``repro-trace`` console script (ASCII
+  timeline, critical-path view, ``--summary`` phase breakdown).
+
+The whole layer is *passive*: it reads the event loop's clock and the
+driver's own bookkeeping, never the latency oracle, the probe channels
+or any random stream — so enabling it is bit-identical for answers,
+time-to-answer and maintenance bills (the ``obs-passivity`` repro-lint
+rule pins this statically, the trace tests dynamically).
+"""
+
+from repro.obs.metrics import MetricsRegistry, TimeSeriesBlock
+from repro.obs.trace import Span, Tracer, sort_spans
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "TimeSeriesBlock",
+    "Tracer",
+    "sort_spans",
+]

@@ -1,0 +1,206 @@
+"""JSONL trace export: dump, load, and schema validation.
+
+One trace file is a sequence of JSON objects, one per line:
+
+* a ``{"type": "meta", ...}`` header — scheme name, query count,
+  makespan, schema ``version`` — then
+* one ``{"type": "span", ...}`` line per span, in the canonical stream
+  order (:func:`repro.obs.trace.sort_spans`).
+
+A file may concatenate several traces (one meta line starts each block),
+which is how multi-scheme comparisons travel as a single artifact for
+``repro-trace --summary``.  :func:`validate_trace` is the schema gate CI
+runs on exported files: structural checks (required keys, types, one
+root per query, children nested and non-overlapping) rather than a
+external-schema dependency, so it needs nothing outside the stdlib.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.trace import Span, sort_spans, spans_by_query
+from repro.util.errors import DataError
+
+SCHEMA_VERSION = 1
+
+_SPAN_NAMES = frozenset(
+    {
+        "query",
+        "queue_wait",
+        "dispatch",
+        "probe_round",
+        "plan_retry",
+        "maintenance_flush",
+    }
+)
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays so span attrs serialise cleanly."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"span attr not JSON-serialisable: {value!r}")
+
+
+@dataclass
+class TraceDump:
+    """One loaded trace block: its meta header plus its spans."""
+
+    meta: dict
+    spans: list[Span] = field(default_factory=list)
+
+
+def span_to_obj(span: Span) -> dict:
+    return {
+        "type": "span",
+        "name": span.name,
+        "query": span.query,
+        "seq": span.seq,
+        "parent": span.parent,
+        "start_ms": span.start_ms,
+        "end_ms": span.end_ms,
+        "attrs": span.attrs,
+    }
+
+
+def span_from_obj(obj: dict) -> Span:
+    return Span(
+        name=obj["name"],
+        start_ms=float(obj["start_ms"]),
+        end_ms=float(obj["end_ms"]),
+        query=obj.get("query"),
+        seq=int(obj.get("seq", 0)),
+        parent=obj.get("parent"),
+        attrs=dict(obj.get("attrs", {})),
+    )
+
+
+def dump_trace_jsonl(path, spans: list[Span], meta: dict, mode: str = "w") -> None:
+    """Write one trace block (meta + spans) to ``path``.
+
+    ``mode="a"`` appends another block to an existing file — the
+    multi-scheme comparison artifact.
+    """
+    header = {"type": "meta", "version": SCHEMA_VERSION, **meta}
+    with open(path, mode, encoding="utf-8") as fh:
+        fh.write(json.dumps(header, default=_jsonable) + "\n")
+        for span in sort_spans(list(spans)):
+            fh.write(json.dumps(span_to_obj(span), default=_jsonable) + "\n")
+
+
+def load_trace_jsonl(path) -> list[TraceDump]:
+    """Load every trace block of a JSONL file."""
+    dumps: list[TraceDump] = []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.get("type")
+            if kind == "meta":
+                dumps.append(TraceDump(meta=obj))
+            elif kind == "span":
+                if not dumps:
+                    raise DataError(
+                        f"{path}:{line_no}: span before any meta header"
+                    )
+                dumps[-1].spans.append(span_from_obj(obj))
+            else:
+                raise DataError(
+                    f"{path}:{line_no}: unknown record type {kind!r}"
+                )
+    if not dumps:
+        raise DataError(f"{path}: no trace blocks found")
+    return dumps
+
+
+def validate_trace(path) -> list[str]:
+    """Schema-validate a JSONL trace file; returns problems (empty = ok).
+
+    Checks both line shape (required keys, value types, known span
+    names) and stream structure (every query has exactly one root span,
+    children carry ``parent == 0``, nest inside their root, and tile it
+    without overlaps).
+    """
+    problems: list[str] = []
+    try:
+        dumps = load_trace_jsonl(path)
+    except (DataError, json.JSONDecodeError, KeyError) as exc:
+        return [f"unreadable trace: {exc}"]
+    for block_no, dump in enumerate(dumps):
+        where = f"block {block_no}"
+        for key in ("version", "scheme", "n_queries"):
+            if key not in dump.meta:
+                problems.append(f"{where}: meta missing {key!r}")
+        if dump.meta.get("version") != SCHEMA_VERSION:
+            problems.append(
+                f"{where}: schema version {dump.meta.get('version')!r} "
+                f"!= {SCHEMA_VERSION}"
+            )
+        for span in dump.spans:
+            if span.name not in _SPAN_NAMES:
+                problems.append(f"{where}: unknown span name {span.name!r}")
+            if not (
+                np.isfinite(span.start_ms)
+                and np.isfinite(span.end_ms)
+                and span.end_ms >= span.start_ms
+            ):
+                problems.append(
+                    f"{where}: span {span.name!r} has bad interval "
+                    f"[{span.start_ms}, {span.end_ms}]"
+                )
+            if span.name == "maintenance_flush":
+                if span.query is not None:
+                    problems.append(
+                        f"{where}: maintenance span owned by query "
+                        f"{span.query}"
+                    )
+            elif span.query is None:
+                problems.append(f"{where}: {span.name!r} span without a query")
+        problems.extend(
+            f"{where}: {issue}" for issue in check_nesting(dump.spans)
+        )
+    return problems
+
+
+def check_nesting(spans: list[Span]) -> list[str]:
+    """Structural invariants of one span stream (see :func:`validate_trace`)."""
+    issues: list[str] = []
+    for query, group in sorted(spans_by_query(spans).items()):
+        roots = [s for s in group if s.seq == 0]
+        if len(roots) != 1 or roots[0].name != "query":
+            issues.append(f"query {query}: expected exactly one root span")
+            continue
+        root = roots[0]
+        children = [s for s in group if s.seq != 0]
+        seqs = [s.seq for s in children]
+        if len(set(seqs)) != len(seqs):
+            issues.append(f"query {query}: duplicate child seq")
+        previous_end: float | None = None
+        for span in children:
+            if span.parent != 0:
+                issues.append(
+                    f"query {query}: span {span.seq} parent "
+                    f"{span.parent!r} != 0"
+                )
+            if span.start_ms < root.start_ms or span.end_ms > root.end_ms:
+                issues.append(
+                    f"query {query}: span {span.seq} ({span.name}) "
+                    f"escapes its root"
+                )
+            if previous_end is not None and span.start_ms < previous_end:
+                issues.append(
+                    f"query {query}: span {span.seq} ({span.name}) "
+                    f"overlaps its predecessor"
+                )
+            previous_end = span.end_ms
+    return issues

@@ -53,6 +53,7 @@ from repro.harness.scenario import DaemonSpec
 from repro.meridian.gossip import PeriodicRepair
 from repro.netsim.engine import EventHandle, EventLoop
 from repro.netsim.network import FaultModel, Message, Network, SimNode
+from repro.obs.trace import Tracer
 from repro.service.soa import MemberStateArrays
 from repro.service.stepper import PlanBatchStepper, ScalarStepper
 from repro.util.errors import ConfigurationError, SimulationError
@@ -166,6 +167,18 @@ class DaemonRun:
     probes_relayed: int = 0
     relay_extra_ms: float = 0.0
     query_retries: int = 0
+    #: Event-loop internals surfaced for diagnostics: live events still
+    #: queued when the loop drained (0 for a clean run), the largest raw
+    #: heap ever held, and the lifetime cancellation count (compaction
+    #: workload).
+    loop_pending_at_drain: int = 0
+    loop_queue_peak: int = 0
+    loop_cancelled_events: int = 0
+    #: Trace stream and metrics registry, populated only when
+    #: ``DaemonSpec.trace`` is set (``None`` otherwise — tracing off means
+    #: the run carries no observability payload at all).
+    spans: list | None = None
+    metrics: object | None = None
 
 
 class _Coordinator(SimNode):
@@ -281,6 +294,13 @@ class QueryDaemon:
         self._repair: PeriodicRepair | None = None
         self.forced_flushes = 0
         self.query_retries = 0
+        # Tracing is strictly opt-in: with ``spec.trace`` unset the hot
+        # path carries one ``is None`` check per hook and nothing else.
+        self.tracer: Tracer | None = (
+            Tracer() if spec.trace is not None else None
+        )
+        if self.tracer is not None:
+            algorithm._flush_observer = self._observe_flush
 
     # -- run ---------------------------------------------------------------
 
@@ -344,6 +364,26 @@ class QueryDaemon:
         self._stepper.finalize()
         makespan = self.loop.now
         repair = self._repair
+        spans = metrics = None
+        tracer = self.tracer
+        if tracer is not None:
+            self.algorithm._flush_observer = None
+            metrics = tracer.metrics
+            # The load gauges reuse the breakpoints the daemon/stepper
+            # already recorded — zero extra hot-path work.
+            queue_gauge = metrics.gauge("queue_depth")
+            if self._queue_bp_times:
+                queue_gauge.extend(
+                    np.concatenate(self._queue_bp_times),
+                    np.concatenate(self._queue_bp_deltas),
+                )
+            flight_gauge = metrics.gauge("in_flight_probes")
+            if self._stepper.bp_times:
+                flight_gauge.extend(
+                    np.concatenate(self._stepper.bp_times),
+                    np.concatenate(self._stepper.bp_deltas),
+                )
+            spans = tracer.sorted_spans()
         return DaemonRun(
             jobs=self.jobs,
             memberships=self.memberships,
@@ -373,6 +413,11 @@ class QueryDaemon:
             probes_relayed=self.network.probes_relayed,
             relay_extra_ms=self.network.relay_extra_ms,
             query_retries=self.query_retries,
+            loop_pending_at_drain=self.loop.pending,
+            loop_queue_peak=self.loop.peak_queue_size,
+            loop_cancelled_events=self.loop.cancelled_total,
+            spans=spans,
+            metrics=metrics,
         )
 
     # -- load accounting ---------------------------------------------------
@@ -444,6 +489,19 @@ class QueryDaemon:
         job.start_ms = self.loop.now
         job.epoch = self.memberships.n_epochs - 1
         job.membership_size = int(self.algorithm.members.size)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("queue_wait", job.index, job.arrival_ms, job.start_ms)
+            tracer.emit(
+                "dispatch",
+                job.index,
+                job.start_ms,
+                job.start_ms,
+                entry=job.entry,
+                target=job.target,
+                membership_size=job.membership_size,
+                epoch=job.epoch,
+            )
         seed = (
             self.algo_rng
             if self._script is None
@@ -472,6 +530,12 @@ class QueryDaemon:
 
     def _advance(self, job: QueryJob) -> None:
         """Resume the plan; schedule the next round or finish the job."""
+        tracer = self.tracer
+        if tracer is not None:
+            # The job's previous phase (round or retry gap) ends exactly
+            # when this driver event fires — a loop timestamp, so the
+            # per-query spans tile [arrival, finish] by construction.
+            tracer.close(job.index, self.loop.now)
         mask = job._pending_mask
         job._pending_mask = None
         try:
@@ -485,6 +549,15 @@ class QueryDaemon:
             return
         job.rounds += 1
         if not batch:
+            if tracer is not None:
+                tracer.open(
+                    job.index,
+                    "probe_round",
+                    self.loop.now,
+                    probes=0,
+                    round=job.rounds,
+                    attempt=job.retries,
+                )
             # A round with nothing to measure resumes on the next loop turn.
             self.network.deliver_later(
                 Message(
@@ -529,6 +602,10 @@ class QueryDaemon:
                 fault_model.query_retry_ms
                 * fault_model.query_retry_backoff ** (job.retries - 1)
             )
+        if self.tracer is not None:
+            self.tracer.open(
+                job.index, "plan_retry", self.loop.now, attempt=job.retries
+            )
         self.loop.schedule(delay, self._retry, job)
 
     def _retry(self, job: QueryJob) -> None:
@@ -560,6 +637,18 @@ class QueryDaemon:
             )
         job.finish_ms = self.loop.now
         job.result = result
+        if self.tracer is not None:
+            self.tracer.root(
+                job.index,
+                job.arrival_ms,
+                job.finish_ms,
+                entry=job.entry,
+                target=job.target,
+                rounds=job.rounds,
+                retries=job.retries,
+                probes=int(result.probes),
+                found=int(result.found),
+            )
         self._answered += 1
         # Release the entry slot; admit the node's next queued query.
         self.state.release(job.entry)
@@ -583,6 +672,50 @@ class QueryDaemon:
 
     # -- background processes ----------------------------------------------
 
+    def _observe_flush(self, event_ids, probes, kind) -> None:
+        """Deferred-maintenance hook (installed only when tracing).
+
+        The algorithm calls this from inside ``flush_maintenance`` /
+        ``touch_region`` after the ledger is charged, so the span carries
+        exactly the event ids the flush retired (or, for a partial
+        refresh, touched) and the probes it spent.
+        """
+        now = self.loop.now
+        self.tracer.maintenance(
+            now,
+            now,
+            event_ids=[int(i) for i in event_ids],
+            probes=int(probes),
+            kind=str(kind),
+        )
+
+    def _trace_eager_maintenance(
+        self, ids_before: int, arriving: list[int], departing: list[int]
+    ) -> None:
+        """Emit spans for maintenance billed eagerly by one membership event.
+
+        Deferred disciplines bill at flush time instead; their spans come
+        through :meth:`_observe_flush`, so nothing is emitted here and
+        nothing is double-counted.
+        """
+        ledger = self.algorithm.maintenance_ledger
+        n_after = ledger.n_events
+        if (
+            n_after <= ids_before
+            or self.algorithm.maintenance_discipline != "eager"
+        ):
+            return
+        now = self.loop.now
+        self.tracer.maintenance(
+            now,
+            now,
+            event_ids=list(range(ids_before, n_after)),
+            probes=ledger.billed_between(ids_before, n_after),
+            kind="eager",
+            arriving=len(arriving),
+            departing=len(departing),
+        )
+
     def _apply_membership(self, arriving: list[int], departing: list[int]) -> None:
         """Log one applied membership event and mirror it into the SoA."""
         self.state.apply_leave(departing)
@@ -598,6 +731,10 @@ class QueryDaemon:
         spec = self.spec
         wrng = self.workload_rng
         algorithm = self.algorithm
+        tracer = self.tracer
+        ids_before = (
+            algorithm.maintenance_ledger.n_events if tracer is not None else 0
+        )
         current = algorithm.members
         departing: list[int] = []
         n_departures = int(wrng.poisson(spec.departure_rate))
@@ -618,6 +755,8 @@ class QueryDaemon:
                 del self.standby[index]
             algorithm.join(np.asarray(arriving, dtype=int), seed=self.algo_rng)
         self._apply_membership(arriving, departing)
+        if tracer is not None:
+            self._trace_eager_maintenance(ids_before, arriving, departing)
         self._membership_timer = self.loop.schedule(
             float(wrng.exponential(spec.mean_event_interval_ms)),
             self._membership_tick,
@@ -630,11 +769,19 @@ class QueryDaemon:
         _time_ms, arriving, departing = script.events[self._event_cursor]
         self._event_cursor += 1
         algorithm = self.algorithm
+        tracer = self.tracer
+        ids_before = (
+            algorithm.maintenance_ledger.n_events if tracer is not None else 0
+        )
         if departing:
             algorithm.leave(np.asarray(departing, dtype=int), seed=self.algo_rng)
         if arriving:
             algorithm.join(np.asarray(arriving, dtype=int), seed=self.algo_rng)
         self._apply_membership(list(arriving), list(departing))
+        if tracer is not None:
+            self._trace_eager_maintenance(
+                ids_before, list(arriving), list(departing)
+            )
         if self._event_cursor < len(script.events):
             next_at = float(script.events[self._event_cursor][0])
             self._membership_timer = self.loop.schedule_at(

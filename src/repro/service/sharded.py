@@ -47,6 +47,8 @@ import numpy as np
 from repro.algorithms.base import NearestPeerAlgorithm
 from repro.harness.results import MembershipLog
 from repro.harness.scenario import DaemonSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import merge_span_streams
 from repro.service.daemon import DaemonRun, DaemonScript, QueryDaemon
 from repro.service.stepper import peak_from_breakpoints
 from repro.util.errors import ConfigurationError
@@ -175,6 +177,13 @@ def _run_shard(
             run.relay_extra_ms,
             run.query_retries,
         ),
+        "loop_stats": (
+            run.loop_pending_at_drain,
+            run.loop_queue_peak,
+            run.loop_cancelled_events,
+        ),
+        "spans": run.spans,
+        "metrics": run.metrics,
     }
 
 
@@ -307,6 +316,23 @@ def _merge(
         [part["in_flight_bp_times"] for part in parts],
         [part["in_flight_bp_deltas"] for part in parts],
     )
+    spans = metrics = None
+    if longest["spans"] is not None:
+        # Query spans are partitioned (one shard serves each query) so
+        # their union is exact; maintenance spans are replicated work and
+        # one replica's stream — the longest-lived one's, matching the
+        # counter merge above — is the global stream.
+        per_query = [
+            span
+            for part in parts
+            for span in part["spans"]
+            if span.query is not None
+        ]
+        maintenance = [
+            span for span in longest["spans"] if span.query is None
+        ]
+        spans = merge_span_streams(per_query, maintenance)
+        metrics = MetricsRegistry.merge([part["metrics"] for part in parts])
     return DaemonRun(
         jobs=jobs,
         memberships=memberships,
@@ -334,4 +360,11 @@ def _merge(
         probes_relayed=sum(part["fault_totals"][3] for part in parts),
         relay_extra_ms=sum(part["fault_totals"][4] for part in parts),
         query_retries=sum(part["fault_totals"][5] for part in parts),
+        # Heap peaks are shard-local (the loops are disjoint); report the
+        # largest single loop's, and the total cancellation workload.
+        loop_pending_at_drain=sum(part["loop_stats"][0] for part in parts),
+        loop_queue_peak=max(part["loop_stats"][1] for part in parts),
+        loop_cancelled_events=sum(part["loop_stats"][2] for part in parts),
+        spans=spans,
+        metrics=metrics,
     )

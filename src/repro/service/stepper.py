@@ -91,23 +91,46 @@ def round_outcome(daemon: "QueryDaemon", job: "QueryJob", batch) -> np.ndarray:
     """
     delays = round_delays(daemon, job, batch)
     fault_model = daemon.fault_model
-    if fault_model is None or not fault_model.active:
-        return delays
-    if isinstance(batch, ProbeRound):
-        srcs, dsts = batch.srcs, batch.dsts
-    else:  # legacy list[ProbeOp] rounds from third-party schemes
-        srcs = np.array([op.src for op in batch], dtype=int)
-        dsts = np.array([op.dst for op in batch], dtype=int)
-    delays, answered, stats = daemon.network.apply_faults(
-        daemon.job_fault_rng(job), srcs, dsts, delays
-    )
-    job.probe_drops += int(stats["dropped"])
-    job.probe_retransmits += int(stats["retransmitted"])
-    job.probe_timeouts += int(stats["timed_out"])
-    job.relayed_probes += int(stats["relayed"])
-    job._pending_mask = answered
-    if daemon.spec.zero_delay:
-        delays = np.zeros_like(delays)
+    stats = None
+    if fault_model is not None and fault_model.active:
+        if isinstance(batch, ProbeRound):
+            srcs, dsts = batch.srcs, batch.dsts
+        else:  # legacy list[ProbeOp] rounds from third-party schemes
+            srcs = np.array([op.src for op in batch], dtype=int)
+            dsts = np.array([op.dst for op in batch], dtype=int)
+        delays, answered, stats = daemon.network.apply_faults(
+            daemon.job_fault_rng(job), srcs, dsts, delays
+        )
+        job.probe_drops += int(stats["dropped"])
+        job.probe_retransmits += int(stats["retransmitted"])
+        job.probe_timeouts += int(stats["timed_out"])
+        job.relayed_probes += int(stats["relayed"])
+        job._pending_mask = answered
+        if daemon.spec.zero_delay:
+            delays = np.zeros_like(delays)
+    tracer = daemon.tracer
+    if tracer is not None:
+        now = daemon.loop.now
+        attrs = {
+            "probes": len(batch),
+            "round": job.rounds,
+            "attempt": job.retries,
+        }
+        if stats is not None:
+            metrics = tracer.metrics
+            for key, counter_name in (
+                ("dropped", "probes_dropped"),
+                ("retransmitted", "probes_retransmitted"),
+                ("timed_out", "probes_timed_out"),
+                ("relayed", "probes_relayed"),
+            ):
+                count = int(stats[key])
+                if count:
+                    attrs[key] = count
+                    metrics.counter(counter_name).inc(now, count)
+        # Open-ended: the span closes when the plan actually resumes, so
+        # retransmit ladders and relay detours are inside the interval.
+        tracer.open(job.index, "probe_round", now, **attrs)
     return delays
 
 

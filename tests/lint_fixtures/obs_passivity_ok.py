@@ -1,0 +1,15 @@
+# Fixture: a passive observability helper — obs-passivity stays silent.
+# Everything here reads clocks the driver already advanced and counters
+# the driver already kept; nothing measures, nothing draws randomness.
+
+
+def phase_total_ms(spans, name):
+    total = 0.0
+    for span in spans:
+        if span.name == name:
+            total += span.end_ms - span.start_ms
+    return total
+
+
+def snapshot(loop, counters):
+    return {"now": loop.now, **{k: c.total for k, c in counters.items()}}

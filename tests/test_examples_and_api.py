@@ -43,7 +43,13 @@ class TestPublicApi:
 
 
 @pytest.mark.parametrize(
-    "script", ["quickstart.py", "assumption_audit.py", "churn_lifecycle.py"]
+    "script",
+    [
+        "quickstart.py",
+        "assumption_audit.py",
+        "churn_lifecycle.py",
+        "trace_a_query.py",
+    ],
 )
 def test_example_scripts_run(script, capsys):
     """The light examples execute end to end (heavier ones are exercised

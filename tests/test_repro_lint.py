@@ -36,6 +36,7 @@ RULE_FIXTURES = {
     "plan-purity": ("plan_purity", "src/repro/algorithms/fixture.py"),
     "ordered-iteration": ("ordered_iteration", "src/repro/service/fixture.py"),
     "frozen-specs": ("frozen_specs", "src/repro/harness/fixture.py"),
+    "obs-passivity": ("obs_passivity", "src/repro/obs/fixture.py"),
 }
 
 
@@ -106,6 +107,16 @@ def test_rules_respect_path_scope():
         lint_source(
             probes, "src/repro/algorithms/base.py",
             rules=[rule_by_id("counted-probes")],
+        ).findings
+        == []
+    )
+    # Rng draws and oracle calls are the *point* of the algorithm layer;
+    # obs-passivity only polices src/repro/obs/.
+    passivity = (FIXTURES / "obs_passivity_bad.py").read_text()
+    assert (
+        lint_source(
+            passivity, "src/repro/algorithms/fixture.py",
+            rules=[rule_by_id("obs-passivity")],
         ).findings
         == []
     )
@@ -222,6 +233,7 @@ def test_json_report_schema():
         "counted-probes",
         "frozen-specs",
         "no-wall-clock",
+        "obs-passivity",
         "ordered-iteration",
         "plan-purity",
         "rng-discipline",
